@@ -1,0 +1,92 @@
+// Simulator ablation: the paper's methodology requires an exact SSA
+// (Gillespie) for trace generation. This benchmark compares GLVA's three
+// simulation kernels (direct, next-reaction, tau-leaping) and the RK4 ODE
+// reference on the catalog circuits, per 10,000-time-unit sweep.
+//
+// Shape target: next-reaction tracks direct closely on these small
+// networks (its asymptotic advantage needs larger reaction counts),
+// tau-leaping trades accuracy for speed, and all SSA variants recover the
+// same extracted logic at the nominal threshold.
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/circuit_repository.h"
+#include "core/experiment.h"
+#include "sim/ode.h"
+#include "sim/virtual_lab.h"
+
+namespace {
+
+using namespace glva;
+
+void run_sweep(benchmark::State& state, const std::string& circuit,
+               sim::SsaMethod method) {
+  const auto spec = circuits::CircuitRepository::build(circuit);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::LabOptions options;
+    options.method = method;
+    options.seed = seed++;
+    sim::VirtualLab lab(spec.model, options);
+    lab.declare_inputs(spec.input_ids);
+    auto sweep = lab.run_combination_sweep(10000.0, 15.0);
+    benchmark::DoNotOptimize(sweep.trace.sample_count());
+  }
+}
+
+void BM_direct_small(benchmark::State& state) {
+  run_sweep(state, "myers_and", sim::SsaMethod::kDirect);
+}
+void BM_nrm_small(benchmark::State& state) {
+  run_sweep(state, "myers_and", sim::SsaMethod::kNextReaction);
+}
+void BM_tau_small(benchmark::State& state) {
+  run_sweep(state, "myers_and", sim::SsaMethod::kTauLeap);
+}
+void BM_direct_large(benchmark::State& state) {
+  run_sweep(state, "0x17", sim::SsaMethod::kDirect);
+}
+void BM_nrm_large(benchmark::State& state) {
+  run_sweep(state, "0x17", sim::SsaMethod::kNextReaction);
+}
+void BM_tau_large(benchmark::State& state) {
+  run_sweep(state, "0x17", sim::SsaMethod::kTauLeap);
+}
+
+void BM_ode_large(benchmark::State& state) {
+  const auto spec = circuits::CircuitRepository::build("0x17");
+  sim::VirtualLab lab(spec.model);
+  lab.declare_inputs(spec.input_ids);
+  const auto& network = lab.network();
+  const auto schedule =
+      sim::InputSchedule::combination_sweep(spec.input_ids, 10000.0, 15.0);
+  const sim::OdeRk4 integrator(0.05);
+  for (auto _ : state) {
+    auto trace = integrator.run(network, schedule, 10000.0);
+    benchmark::DoNotOptimize(trace.sample_count());
+  }
+}
+
+/// End-to-end: simulate + analyze, the full per-circuit pipeline cost.
+void BM_full_pipeline(benchmark::State& state) {
+  const auto spec = circuits::CircuitRepository::build("0x0B");
+  core::ExperimentConfig config;
+  for (auto _ : state) {
+    config.seed++;
+    auto result = core::run_experiment(spec, config);
+    benchmark::DoNotOptimize(result.extraction.construction.fitness_percent);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_direct_small)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_nrm_small)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_tau_small)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_direct_large)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_nrm_large)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_tau_large)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ode_large)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_full_pipeline)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Beyond the paper: what the logic analyzer reports when the circuit is
+// NOT combinational.
+//
+// The DATE'17 algorithm assumes each input combination settles to one
+// output level. Two classic dynamic circuits break that assumption in
+// different ways, and GLVA's outputs flag both:
+//
+//  * the genetic toggle switch (an SR latch) — output under input 00
+//    depends on history, so sweeping the combinations in different orders
+//    extracts different "Boolean functions";
+//  * the repressilator (a ring oscillator) — the output never settles, so
+//    the variation filter rejects states and PFoBE collapses.
+
+#include <iostream>
+
+#include "circuits/sequential_circuits.h"
+#include "core/logic_analyzer.h"
+#include "core/report.h"
+#include "sim/virtual_lab.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+using namespace glva;
+
+namespace {
+
+core::ExtractionResult analyze_with_order(
+    const sbml::Model& model, const std::vector<std::string>& inputs,
+    const std::vector<std::size_t>& combo_order) {
+  sim::VirtualLab lab(model, sim::LabOptions{1.0, 21, sim::SsaMethod::kDirect});
+  lab.declare_inputs(inputs);
+
+  // Hand-built schedule visiting combinations in the given order.
+  sim::InputSchedule schedule(inputs);
+  const double hold = 10000.0 / static_cast<double>(combo_order.size());
+  for (std::size_t k = 0; k < combo_order.size(); ++k) {
+    std::vector<double> levels(inputs.size(), 0.0);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const bool high =
+          (combo_order[k] >> (inputs.size() - 1 - i) & 1U) != 0;
+      levels[i] = high ? 15.0 : 0.0;
+    }
+    schedule.add_phase(static_cast<double>(k) * hold, std::move(levels));
+  }
+  const sim::Trace trace = lab.run(schedule, 10000.0);
+  const core::LogicAnalyzer analyzer(core::AnalyzerConfig{15.0, 0.25});
+  return analyzer.analyze(trace, inputs, "GFP");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== toggle switch: extraction depends on sweep order ===\n\n";
+  const auto toggle = circuits::toggle_switch_model();
+  const std::vector<std::string> sr_inputs{"S_set", "S_reset"};
+
+  // Ascending order visits 00 while the latch still holds its initial
+  // state; set-first visits 00 right after a SET pulse.
+  const auto ascending = analyze_with_order(toggle, sr_inputs, {0, 1, 2, 3});
+  const auto set_first = analyze_with_order(toggle, sr_inputs, {2, 0, 1, 3});
+
+  util::TextTable table({"sweep order", "extracted GFP =", "PFoBE %"});
+  table.add_row({"00,01,10,11", ascending.expression(),
+                 util::format_double(ascending.fitness(), 5)});
+  table.add_row({"10,00,01,11", set_first.expression(),
+                 util::format_double(set_first.fitness(), 5)});
+  std::cout << table.str() << "\n";
+  const bool order_dependent =
+      !(ascending.extracted() == set_first.extracted());
+  std::cout << (order_dependent
+                    ? "the two orders disagree -> the circuit holds state; "
+                      "it has no Boolean function\n\n"
+                    : "(orders agreed on this seed; the 00 case is "
+                      "history-dependent in general)\n\n");
+
+  std::cout << "=== repressilator: oscillation defeats the settling "
+               "assumption ===\n\n";
+  const auto osc = circuits::repressilator_model();
+  sim::VirtualLab lab(osc, sim::LabOptions{1.0, 22, sim::SsaMethod::kDirect});
+  lab.declare_inputs({"dummy_in"});
+  const auto sweep = lab.run_combination_sweep(10000.0, 15.0);
+  const core::LogicAnalyzer analyzer(core::AnalyzerConfig{15.0, 0.25});
+  const auto result = analyzer.analyze(sweep.trace, {"dummy_in"}, "GFP");
+
+  std::cout << core::render_analytics_table(result) << "\n";
+  std::cout << "extracted: GFP = " << result.expression() << " (PFoBE "
+            << util::format_double(result.fitness(), 5) << " %)\n";
+  std::cout << "high oscillation counts (Var_O) and ";
+  std::cout << (result.construction.unstable.empty()
+                    ? "majority-filter rejections"
+                    : "unstable-state rejections");
+  std::cout << " are the analyzer's signal that this circuit is not "
+               "combinational.\n";
+  return 0;
+}

@@ -1,0 +1,320 @@
+#include "app/commands.h"
+
+#include <fstream>
+
+#include "circuits/cello_circuits.h"
+#include "circuits/circuit_repository.h"
+#include "logic/quine_mccluskey.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "sbml/reader.h"
+#include "sbml/validate.h"
+#include "sbml/writer.h"
+#include "sbol/converter.h"
+#include "sbol/sbol_io.h"
+#include "timing/delay_estimator.h"
+#include "timing/threshold_estimator.h"
+#include "util/cli.h"
+#include "util/errors.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace glva::app {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: glva <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  list                         catalog circuits and their metadata\n"
+    "  show <circuit>               structure, intended logic, model stats\n"
+    "  export <circuit>             write SBML (--sbml) and/or SBOL (--sbol)\n"
+    "  analyze <model.sbml>         extract logic from a model file\n"
+    "  verify <circuit>             run the paper's experiment on a catalog circuit\n"
+    "  estimate <circuit>           estimate threshold and propagation delay\n"
+    "\n"
+    "run `glva <command> --help` for per-command options\n";
+
+/// Shared analysis options on a parser.
+void add_analysis_options(util::CliParser& cli) {
+  cli.add_option("threshold", "15", "ThVAL (molecules); inputs applied at it");
+  cli.add_option("fov-ud", "0.25", "acceptable fraction of output variation");
+  cli.add_option("total-time", "10000", "sweep duration (time units)");
+  cli.add_option("seed", "1", "simulation seed");
+  cli.add_option("method", "direct", "SSA: direct | next-reaction | tau-leap");
+  cli.add_option("csv", "", "write per-combination analytics CSV here");
+}
+
+core::ExperimentConfig config_from(const util::CliParser& cli) {
+  core::ExperimentConfig config;
+  config.threshold = cli.get_double("threshold");
+  config.fov_ud = cli.get_double("fov-ud");
+  config.total_time = cli.get_double("total-time");
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.method = sim::parse_ssa_method(cli.get("method"));
+  return config;
+}
+
+void maybe_write_csv(const util::CliParser& cli,
+                     const core::ExtractionResult& extraction,
+                     std::ostream& out) {
+  if (const std::string path = cli.get("csv"); !path.empty()) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) throw Error("cannot open CSV output file: " + path);
+    f << core::analytics_csv(extraction);
+    out << "analytics CSV written to " << path << "\n";
+  }
+}
+
+int cmd_list(const std::vector<std::string>& args, std::ostream& out) {
+  util::CliParser cli;
+  cli.add_flag("two-stage", "report the transcription+translation variant");
+  std::vector<const char*> argv{"glva-list"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva list");
+    return 0;
+  }
+  util::TextTable table({"circuit", "source", "inputs", "gates", "parts",
+                         "intended logic"});
+  table.set_align(2, util::TextTable::Align::kRight);
+  table.set_align(3, util::TextTable::Align::kRight);
+  table.set_align(4, util::TextTable::Align::kRight);
+  for (const auto& spec :
+       circuits::CircuitRepository::build_all(cli.get_flag("two-stage"))) {
+    table.add_row(
+        {spec.name, circuits::CircuitRepository::is_myers(spec.name)
+                        ? "Myers 2009"
+                        : "Cello-style",
+         std::to_string(spec.input_ids.size()), std::to_string(spec.gate_count),
+         std::to_string(spec.parts.total()),
+         logic::minimize(spec.expected, spec.input_ids).to_string()});
+  }
+  out << table.str();
+  return 0;
+}
+
+int cmd_show(const std::string& name, std::ostream& out) {
+  const auto spec = circuits::CircuitRepository::build(name);
+  out << "circuit:     " << spec.name << "\n"
+      << "description: " << spec.description << "\n"
+      << "source:      " << spec.source << "\n"
+      << "inputs:      " << util::join(spec.input_ids, ", ")
+      << " (MSB first); output: " << spec.output_id << "\n"
+      << "gates:       " << spec.gate_count << ", parts: promoters "
+      << spec.parts.promoters << ", rbs " << spec.parts.rbs << ", cds "
+      << spec.parts.cds << ", terminators " << spec.parts.terminators << "\n"
+      << "model:       " << spec.model.species.size() << " species, "
+      << spec.model.reactions.size() << " reactions, "
+      << spec.model.parameters.size() << " parameters\n\n"
+      << "intended logic: " << spec.output_id << " = "
+      << logic::minimize(spec.expected, spec.input_ids).to_string() << "\n\n"
+      << spec.expected.to_string(spec.input_ids, spec.output_id);
+  return 0;
+}
+
+int cmd_export(const std::string& name, const std::vector<std::string>& args,
+               std::ostream& out) {
+  util::CliParser cli;
+  cli.add_option("sbml", "", "output path for the behavioural SBML model");
+  cli.add_option("sbol", "", "output path for the structural SBOL-lite design");
+  cli.add_flag("two-stage", "expand gates to transcription+translation");
+  std::vector<const char*> argv{"glva-export"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva export <circuit>");
+    return 0;
+  }
+  const bool two_stage = cli.get_flag("two-stage");
+  const auto spec = circuits::CircuitRepository::build(name, two_stage);
+  bool wrote = false;
+  if (const std::string path = cli.get("sbml"); !path.empty()) {
+    sbml::write_sbml_file(spec.model, path);
+    out << "SBML written to " << path << "\n";
+    wrote = true;
+  }
+  if (const std::string path = cli.get("sbol"); !path.empty()) {
+    if (circuits::CircuitRepository::is_myers(name)) {
+      throw InvalidArgument(
+          "Myers book circuits are behavioural models without a gate-level "
+          "structure; --sbol applies to the Cello-style circuits");
+    }
+    const auto design = sbol::design_from_netlist(
+        circuits::cello_netlist(name), "design_" + spec.model.id);
+    sbol::write_design_file(design, path);
+    out << "SBOL-lite written to " << path << "\n";
+    wrote = true;
+  }
+  if (!wrote) {
+    out << "nothing to do: pass --sbml <path> and/or --sbol <path>\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_analyze(const std::string& path, const std::vector<std::string>& args,
+                std::ostream& out) {
+  util::CliParser cli;
+  cli.add_option("inputs", "", "comma-separated input species ids (MSB first)");
+  cli.add_option("output", "GFP", "output species id");
+  cli.add_option("expected", "",
+                 "optional expected function as minterm hex (bit i = "
+                 "combination i), e.g. 0x8 for 2-input AND");
+  add_analysis_options(cli);
+  std::vector<const char*> argv{"glva-analyze"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva analyze <model.sbml>");
+    return 0;
+  }
+
+  std::vector<std::string> input_ids;
+  for (const auto& field : util::split(cli.get("inputs"), ',')) {
+    const auto trimmed = util::trim(field);
+    if (!trimmed.empty()) input_ids.emplace_back(trimmed);
+  }
+  if (input_ids.empty()) {
+    throw InvalidArgument("analyze: --inputs is required (e.g. --inputs A,B)");
+  }
+
+  circuits::CircuitSpec spec;
+  spec.name = path;
+  spec.model = sbml::read_sbml_file(path);
+  spec.input_ids = input_ids;
+  spec.output_id = cli.get("output");
+  spec.expected = logic::TruthTable(input_ids.size());
+
+  const auto config = config_from(cli);
+  const auto result = core::run_experiment(spec, config);
+
+  out << core::render_analytics_table(result.extraction) << "\n"
+      << "expression: " << spec.output_id << " = "
+      << result.extraction.expression() << "\n"
+      << "fitness:    "
+      << util::format_double(result.extraction.fitness(), 6) << " %\n";
+
+  maybe_write_csv(cli, result.extraction, out);
+
+  if (const std::string expected_hex = cli.get("expected");
+      !expected_hex.empty()) {
+    const auto bits =
+        std::stoull(expected_hex, nullptr, 16);  // accepts 0x prefix? no
+    const auto expected = logic::TruthTable::from_bits(input_ids.size(), bits);
+    const auto report = core::verify(result.extraction, expected);
+    out << "verify:     " << core::summarize(report, expected) << "\n";
+    return report.matches ? 0 : 1;
+  }
+  return 0;
+}
+
+int cmd_verify(const std::string& name, const std::vector<std::string>& args,
+               std::ostream& out) {
+  util::CliParser cli;
+  add_analysis_options(cli);
+  cli.add_flag("two-stage", "expand gates to transcription+translation");
+  std::vector<const char*> argv{"glva-verify"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva verify <circuit>");
+    return 0;
+  }
+  const auto spec =
+      circuits::CircuitRepository::build(name, cli.get_flag("two-stage"));
+  const auto result = core::run_experiment(spec, config_from(cli));
+  out << core::render_analytics_table(result.extraction) << "\n"
+      << core::render_experiment_summary(result, spec.expected);
+  maybe_write_csv(cli, result.extraction, out);
+  return result.verification.matches ? 0 : 1;
+}
+
+int cmd_estimate(const std::string& name, const std::vector<std::string>& args,
+                 std::ostream& out) {
+  util::CliParser cli;
+  cli.add_option("probe-level", "30", "input level for the probe sweep");
+  cli.add_option("total-time", "10000", "probe sweep duration");
+  cli.add_option("seed", "1", "simulation seed");
+  std::vector<const char*> argv{"glva-estimate"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva estimate <circuit>");
+    return 0;
+  }
+  const auto spec = circuits::CircuitRepository::build(name);
+  sim::LabOptions options;
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  sim::VirtualLab lab(spec.model, options);
+  lab.declare_inputs(spec.input_ids);
+
+  const double probe = cli.get_double("probe-level");
+  const double total = cli.get_double("total-time");
+  const auto sweep = lab.run_combination_sweep(total, probe);
+  const auto& series = sweep.trace.series(spec.output_id);
+  const auto threshold_info = timing::estimate_threshold(
+      std::span<const double>(series.data(), series.size()));
+  const auto delays = timing::estimate_delays(
+      sweep.trace, sweep.schedule, spec.output_id, threshold_info.threshold);
+
+  out << "circuit:            " << spec.name << "\n"
+      << "threshold estimate: "
+      << util::format_double(threshold_info.threshold, 4) << " molecules (off "
+      << util::format_double(threshold_info.off_mean, 4) << ", on "
+      << util::format_double(threshold_info.on_mean, 4) << ", separation "
+      << util::format_double(threshold_info.separation, 3) << ")\n"
+      << "rise delay:         "
+      << util::format_double(delays.mean_rise_delay, 4) << " tu\n"
+      << "fall delay:         "
+      << util::format_double(delays.mean_fall_delay, 4) << " tu\n"
+      << "recommended hold:   "
+      << util::format_double(delays.recommended_hold_time, 4)
+      << " tu per combination\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "-h" ||
+        args[0] == "help") {
+      out << kUsage;
+      return args.empty() ? 2 : 0;
+    }
+    const std::string& command = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+    if (command == "list") return cmd_list(rest, out);
+    if (command == "show" || command == "export" || command == "analyze" ||
+        command == "verify" || command == "estimate") {
+      if (rest.empty() || util::starts_with(rest[0], "--")) {
+        err << "glva " << command << ": missing argument\n" << kUsage;
+        return 2;
+      }
+      const std::string target = rest[0];
+      const std::vector<std::string> options(rest.begin() + 1, rest.end());
+      if (command == "show") return cmd_show(target, out);
+      if (command == "export") return cmd_export(target, options, out);
+      if (command == "analyze") return cmd_analyze(target, options, out);
+      if (command == "verify") return cmd_verify(target, options, out);
+      return cmd_estimate(target, options, out);
+    }
+    err << "glva: unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const Error& e) {
+    err << "glva: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "glva: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run_cli(args, out, err);
+}
+
+}  // namespace glva::app

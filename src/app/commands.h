@@ -1,0 +1,33 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// The `glva` command-line tool: the D-VASim-style push-button workflow as
+/// subcommands. Implemented as a library so the test suite can drive it
+/// with argument vectors and captured streams.
+///
+/// Subcommands:
+///   list                                  catalog circuits + metadata
+///   show <circuit>                        structure, truth table, model stats
+///   export <circuit> [--sbml p] [--sbol p] [--two-stage]
+///   analyze <model.sbml> --inputs A,B --output GFP [analysis options]
+///   verify <circuit> [analysis options]   catalog circuit vs intended logic
+///   estimate <circuit> [--probe-level n]  threshold + propagation delay
+///
+/// Shared analysis options: --threshold, --fov-ud, --total-time, --seed,
+/// --method (direct|next-reaction|tau-leap), --csv <path>.
+namespace glva::app {
+
+/// Run one invocation. `args` excludes the program name. Output goes to
+/// `out`, diagnostics to `err`. Returns a process exit code (0 success,
+/// 1 verification failure, 2 usage error).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+/// argv adapter for main().
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace glva::app

@@ -1,0 +1,10 @@
+// Entry point of the `glva` command-line tool; all behaviour lives in
+// glva::app::run_cli so the test suite can exercise it directly.
+
+#include <iostream>
+
+#include "app/commands.h"
+
+int main(int argc, char** argv) {
+  return glva::app::run_cli(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,196 @@
+#include "circuits/cello_circuits.h"
+
+#include "gates/gate_library.h"
+#include "gates/netlist_to_sbml.h"
+#include "util/errors.h"
+
+namespace glva::circuits {
+
+namespace {
+
+using gates::Net;
+using gates::Netlist;
+
+/// 2-input NOR — a single gate.
+Netlist netlist_0x1() {
+  Netlist nl({"A", "B"});
+  const Net out = nl.add_nor("PhlF", Net::input(0), Net::input(1));
+  nl.set_output(out);
+  return nl;
+}
+
+/// 2-input XOR — the classic 4-NOR XNOR core plus an output inverter.
+Netlist netlist_0x6() {
+  Netlist nl({"A", "B"});
+  const Net n1 = nl.add_nor("AmtR", Net::input(0), Net::input(1));
+  const Net n2 = nl.add_nor("BetI", Net::input(0), n1);   // A' * B
+  const Net n3 = nl.add_nor("BM3R1", Net::input(1), n1);  // A * B'
+  const Net xnor = nl.add_nor("HlyIIR", n2, n3);          // XNOR(A, B)
+  const Net out = nl.add_not("PhlF", xnor);               // XOR(A, B)
+  nl.set_output(out);
+  return nl;
+}
+
+/// 2-input AND = NOR(NOT A, NOT B).
+Netlist netlist_0x8() {
+  Netlist nl({"A", "B"});
+  const Net na = nl.add_not("SrpR", Net::input(0));
+  const Net nb = nl.add_not("QacR", Net::input(1));
+  const Net out = nl.add_nor("PhlF", na, nb);
+  nl.set_output(out);
+  return nl;
+}
+
+/// 2-input OR = NOT(NOR(A, B)).
+Netlist netlist_0xE() {
+  Netlist nl({"A", "B"});
+  const Net n1 = nl.add_nor("LmrA", Net::input(0), Net::input(1));
+  const Net out = nl.add_not("PhlF", n1);
+  nl.set_output(out);
+  return nl;
+}
+
+/// A'·B·C' = AND(NOR(A, C), B) = NOR(NOT(NOR(A, C)), NOT(B)).
+Netlist netlist_0x04() {
+  Netlist nl({"A", "B", "C"});
+  const Net n1 = nl.add_nor("AmtR", Net::input(0), Net::input(2));  // A'C'
+  const Net n2 = nl.add_not("SrpR", n1);
+  const Net n3 = nl.add_not("QacR", Net::input(1));  // B'
+  const Net out = nl.add_nor("PhlF", n2, n3);        // A'·B·C'
+  nl.set_output(out);
+  return nl;
+}
+
+/// C·(A' + B) = NOR(NOR(NOT A, B), NOT C). High at {001, 011, 111} —
+/// satisfies the paper's constraints on 0x0B: 011 high, 100 low (so the
+/// sweep's 011→100 transition leaves the decay tail Filter 2 rejects),
+/// 000 low and 111 high (the threshold-3 collapse keeps a conjunctive
+/// behaviour).
+Netlist netlist_0x0B() {
+  Netlist nl({"A", "B", "C"});
+  const Net na = nl.add_not("SrpR", Net::input(0));            // A'
+  const Net g2 = nl.add_nor("BM3R1", na, Net::input(1));       // A·B'
+  const Net nc = nl.add_not("PhlF", Net::input(2));            // C'
+  const Net out = nl.add_nor("HlyIIR", g2, nc);                // C·(A'+B)
+  nl.set_output(out);
+  return nl;
+}
+
+/// (A XOR B)·C' = NOR(XNOR(A, B), C).
+Netlist netlist_0x14() {
+  Netlist nl({"A", "B", "C"});
+  const Net n1 = nl.add_nor("AmtR", Net::input(0), Net::input(1));
+  const Net n2 = nl.add_nor("BetI", Net::input(0), n1);
+  const Net n3 = nl.add_nor("BM3R1", Net::input(1), n1);
+  const Net xnor = nl.add_nor("HlyIIR", n2, n3);
+  const Net out = nl.add_nor("PhlF", xnor, Net::input(2));
+  nl.set_output(out);
+  return nl;
+}
+
+/// Minority(A, B, C) = NOR(A,B) + NOR(A,C) + NOR(B,C), built as
+/// NOT(NOR(OR(t1, t2), t3)) — seven gates, the catalog's largest circuit.
+Netlist netlist_0x17() {
+  Netlist nl({"A", "B", "C"});
+  const Net t1 = nl.add_nor("AmtR", Net::input(0), Net::input(1));
+  const Net t2 = nl.add_nor("BetI", Net::input(0), Net::input(2));
+  const Net t3 = nl.add_nor("BM3R1", Net::input(1), Net::input(2));
+  const Net u = nl.add_nor("HlyIIR", t1, t2);  // (t1 + t2)'
+  const Net v = nl.add_not("SrpR", u);         // t1 + t2
+  const Net w = nl.add_nor("QacR", v, t3);     // (t1 + t2 + t3)'
+  const Net out = nl.add_not("PhlF", w);       // minority
+  nl.set_output(out);
+  return nl;
+}
+
+/// A'·(B + C) = NOR(A, NOR(B, C)).
+Netlist netlist_0x1C() {
+  Netlist nl({"A", "B", "C"});
+  const Net n1 = nl.add_nor("LitR", Net::input(1), Net::input(2));
+  const Net out = nl.add_nor("PhlF", Net::input(0), n1);
+  nl.set_output(out);
+  return nl;
+}
+
+/// AND3 = NOR(NOT A, NOT(AND(B, C))).
+Netlist netlist_0x80() {
+  Netlist nl({"A", "B", "C"});
+  const Net na = nl.add_not("AmtR", Net::input(0));
+  const Net nb = nl.add_not("BetI", Net::input(1));
+  const Net nc = nl.add_not("BM3R1", Net::input(2));
+  const Net bc = nl.add_nor("HlyIIR", nb, nc);  // B·C
+  const Net nbc = nl.add_not("SrpR", bc);       // (B·C)'
+  const Net out = nl.add_nor("PhlF", na, nbc);  // A·B·C
+  nl.set_output(out);
+  return nl;
+}
+
+struct CatalogEntry {
+  const char* name;
+  const char* description;
+  Netlist (*build)();
+};
+
+const CatalogEntry kCatalog[] = {
+    {"0x1", "2-input NOR (single tandem-repressed promoter)", netlist_0x1},
+    {"0x6", "2-input XOR (4-NOR XNOR core plus inverter)", netlist_0x6},
+    {"0x8", "2-input AND", netlist_0x8},
+    {"0xE", "2-input OR", netlist_0xE},
+    {"0x04", "A'*B*C' single-minterm decoder", netlist_0x04},
+    {"0x0B", "C*(A'+B) (paper Figure 4/5 subject)", netlist_0x0B},
+    {"0x14", "(A xor B)*C'", netlist_0x14},
+    {"0x17", "3-input minority", netlist_0x17},
+    {"0x1C", "A'*(B+C)", netlist_0x1C},
+    {"0x80", "3-input AND", netlist_0x80},
+};
+
+}  // namespace
+
+std::vector<std::string> cello_circuit_names() {
+  std::vector<std::string> names;
+  for (const auto& entry : kCatalog) names.emplace_back(entry.name);
+  return names;
+}
+
+gates::Netlist cello_netlist(const std::string& name) {
+  for (const auto& entry : kCatalog) {
+    if (name == entry.name) return entry.build();
+  }
+  throw InvalidArgument("unknown Cello-style circuit '" + name + "'");
+}
+
+CircuitSpec build_cello_circuit(const std::string& name, bool two_stage) {
+  const CatalogEntry* entry = nullptr;
+  for (const auto& e : kCatalog) {
+    if (name == e.name) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    throw InvalidArgument("unknown Cello-style circuit '" + name + "'");
+  }
+
+  const Netlist netlist = entry->build();
+  CircuitSpec spec;
+  spec.name = name;
+  spec.description = entry->description;
+  spec.source = "Cello-style reconstruction (after Nielsen et al. 2016)";
+  spec.input_ids = netlist.input_names();
+  spec.output_id = "GFP";
+  spec.expected = netlist.ideal_truth_table();
+  spec.gate_count = netlist.gate_count();
+  spec.parts = netlist.parts_summary();
+
+  gates::ModelOptions options;
+  options.model_id = "cello_" +
+                     // SIds cannot contain 'x' prefix issues; strip "0x".
+                     (name.size() > 2 ? name.substr(2) : name);
+  options.reporter_id = "GFP";
+  options.two_stage = two_stage;
+  spec.model = gates::netlist_to_model(netlist, gates::GateLibrary::standard(),
+                                       options);
+  return spec;
+}
+
+}  // namespace glva::circuits

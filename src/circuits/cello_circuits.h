@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuits/circuit_spec.h"
+#include "gates/netlist.h"
+
+/// The ten Cello-style circuits (after Nielsen et al., Science 2016). Each
+/// is a NOT/NOR gate netlist over the standard repressor library, compiled
+/// to behavioural SBML — GLVA's reconstruction of the paper's
+/// SBOL→SBML-converted real circuits. Circuit IDs are inherited as catalog
+/// labels; the intended function of each is fixed by the catalog (see
+/// DESIGN.md for the reconstruction rationale, including the behavioural
+/// constraints the paper states for 0x0B).
+namespace glva::circuits {
+
+/// Names: 2-input "0x1", "0x6", "0x8", "0xE"; 3-input "0x04", "0x0B",
+/// "0x14", "0x17", "0x1C", "0x80".
+[[nodiscard]] std::vector<std::string> cello_circuit_names();
+
+/// The gate netlist of one catalog circuit (inputs A, B[, C]).
+[[nodiscard]] gates::Netlist cello_netlist(const std::string& name);
+
+/// Build the full spec (netlist compiled to SBML with the standard gate
+/// library). `two_stage` selects the transcription+translation expansion.
+[[nodiscard]] CircuitSpec build_cello_circuit(const std::string& name,
+                                              bool two_stage = false);
+
+}  // namespace glva::circuits

@@ -1,0 +1,32 @@
+#include "circuits/circuit_repository.h"
+
+#include "circuits/cello_circuits.h"
+#include "circuits/myers_circuits.h"
+#include "util/string_util.h"
+
+namespace glva::circuits {
+
+std::vector<std::string> CircuitRepository::names() {
+  std::vector<std::string> all = myers_circuit_names();
+  for (auto& name : cello_circuit_names()) all.push_back(name);
+  return all;
+}
+
+bool CircuitRepository::is_myers(const std::string& name) {
+  return util::starts_with(name, "myers_");
+}
+
+CircuitSpec CircuitRepository::build(const std::string& name, bool two_stage) {
+  if (is_myers(name)) return build_myers_circuit(name);
+  return build_cello_circuit(name, two_stage);
+}
+
+std::vector<CircuitSpec> CircuitRepository::build_all(bool two_stage) {
+  std::vector<CircuitSpec> specs;
+  for (const auto& name : names()) {
+    specs.push_back(build(name, two_stage));
+  }
+  return specs;
+}
+
+}  // namespace glva::circuits

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuits/circuit_spec.h"
+
+/// Unified access to the paper's 15-circuit benchmark set: 5 Myers-book
+/// behavioural models and 10 Cello-style gate circuits (Section III).
+namespace glva::circuits {
+
+class CircuitRepository {
+public:
+  /// All 15 catalog names, Myers circuits first.
+  [[nodiscard]] static std::vector<std::string> names();
+
+  /// Build one circuit by catalog name. `two_stage` selects the
+  /// transcription+translation expansion for the netlist-generated
+  /// circuits (Myers models are always single-stage, as in the book).
+  [[nodiscard]] static CircuitSpec build(const std::string& name,
+                                         bool two_stage = false);
+
+  /// Build the full benchmark set.
+  [[nodiscard]] static std::vector<CircuitSpec> build_all(bool two_stage = false);
+
+  [[nodiscard]] static bool is_myers(const std::string& name);
+};
+
+}  // namespace glva::circuits

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gates/netlist.h"
+#include "logic/truth_table.h"
+#include "sbml/model.h"
+
+namespace glva::circuits {
+
+/// One benchmark circuit: the behavioural SBML model plus the metadata the
+/// experiments need (I/O species, expected logic, provenance).
+struct CircuitSpec {
+  std::string name;          ///< catalog name ("0x0B", "myers_and", ...)
+  std::string description;   ///< one-line summary
+  std::string source;        ///< provenance ("Myers 2009" / "Cello-style")
+  std::vector<std::string> input_ids;  ///< input species, MSB first
+  std::string output_id;     ///< reporter species ("GFP")
+  logic::TruthTable expected;  ///< intended Boolean function
+  sbml::Model model;         ///< simulatable behavioural model
+  std::size_t gate_count = 0;
+  gates::PartsSummary parts;  ///< structural component counts
+};
+
+}  // namespace glva::circuits

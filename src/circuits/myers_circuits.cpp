@@ -1,0 +1,223 @@
+#include "circuits/myers_circuits.h"
+
+#include "util/errors.h"
+
+namespace glva::circuits {
+
+namespace {
+
+/// Shared promoter kinetics for the book circuits (plateau 60 molecules,
+/// leak floor 1.2, repression half-point 8, cooperativity 2.5, protein
+/// half-life ~69 time units).
+struct PromoterParams {
+  double y_max = 1.2;
+  double y_min = 0.016;
+  double hill_k = 5.0;   // well below the 15-molecule input level
+  double hill_n = 3.5;
+  double decay = 0.02;   // plateau 60 molecules, fall-to-threshold ~70 tu
+};
+
+/// Add the `prefix`_{ymax,ymin,K,n} parameters and return the repressed
+/// Hill response "ymin + (ymax-ymin) * (1 - hill(x, K, n))".
+std::string add_promoter(sbml::Model& model, const std::string& prefix,
+                         const std::string& repressor_sum,
+                         const PromoterParams& p) {
+  model.add_parameter(prefix + "_ymax", p.y_max);
+  model.add_parameter(prefix + "_ymin", p.y_min);
+  model.add_parameter(prefix + "_K", p.hill_k);
+  model.add_parameter(prefix + "_n", p.hill_n);
+  return prefix + "_ymin + (" + prefix + "_ymax - " + prefix +
+         "_ymin) * (1 - hill(" + repressor_sum + ", " + prefix + "_K, " +
+         prefix + "_n))";
+}
+
+void add_decay(sbml::Model& model, const std::string& species,
+               const std::string& rate_id, double rate) {
+  model.add_parameter(rate_id, rate);
+  model.add_reaction(species + "_deg", {{species, 1.0}}, {},
+                     rate_id + " * " + species);
+}
+
+CircuitSpec make_not() {
+  CircuitSpec spec;
+  spec.name = "myers_not";
+  spec.description = "genetic inverter: TetR represses the GFP promoter";
+  spec.source = "Myers, Engineering Genetic Circuits (2009)";
+  spec.input_ids = {"TetR"};
+  spec.output_id = "GFP";
+  spec.expected = logic::TruthTable::not_gate();
+  spec.gate_count = 1;
+  spec.parts = gates::PartsSummary{1, 1, 1, 1};
+
+  sbml::Model m;
+  m.id = "myers_not";
+  m.name = "genetic NOT gate";
+  m.add_compartment("cell");
+  m.add_species("TetR", 0.0, true);
+  m.add_species("GFP", 0.0);
+  const PromoterParams p;
+  m.add_reaction("GFP_prod", {}, {{"GFP", 1.0}},
+                 add_promoter(m, "P1", "TetR", p),
+                 {sbml::ModifierReference{"TetR"}});
+  add_decay(m, "GFP", "GFP_delta", p.decay);
+  spec.model = std::move(m);
+  return spec;
+}
+
+CircuitSpec make_and() {
+  CircuitSpec spec;
+  spec.name = "myers_and";
+  spec.description =
+      "Figure 1 AND gate: LacI -| P1, TetR -| P2, P1+P2 -> CI, CI -| P3 -> GFP";
+  spec.source = "Myers (2009); paper Figure 1 via Roehner et al. [14]";
+  spec.input_ids = {"LacI", "TetR"};
+  spec.output_id = "GFP";
+  spec.expected = logic::TruthTable::and_gate(2);
+  spec.gate_count = 3;
+  spec.parts = gates::PartsSummary{3, 2, 2, 2};
+
+  sbml::Model m;
+  m.id = "myers_and";
+  m.name = "genetic AND gate (Figure 1)";
+  m.add_compartment("cell");
+  m.add_species("LacI", 0.0, true);
+  m.add_species("TetR", 0.0, true);
+  m.add_species("CI", 0.0);
+  m.add_species("GFP", 0.0);
+
+  PromoterParams p;
+  // CI is transcribed from both promoters; its production is the sum of
+  // the two repressed activities (tandem transcription units).
+  const std::string p1 = add_promoter(m, "P1", "LacI", p);
+  const std::string p2 = add_promoter(m, "P2", "TetR", p);
+  m.add_reaction("CI_prod", {}, {{"CI", 1.0}}, p1 + " + " + p2,
+                 {sbml::ModifierReference{"LacI"},
+                  sbml::ModifierReference{"TetR"}});
+  add_decay(m, "CI", "CI_delta", p.decay);
+
+  // P3 must stay repressed while either upstream promoter is active
+  // (CI plateau ~60–120), and open at the CI floor (~1.6): half-point 20.
+  // The raised y_max makes GFP outrun CI during start-up, reproducing the
+  // paper's Figure 2 initial-high transient at combination 00 ("the output
+  // of some genetic circuit models is initially high which gradually
+  // reduces to zero") — the transient that tricks unfiltered extraction
+  // into reading XNOR.
+  PromoterParams p3 = p;
+  p3.hill_k = 20.0;
+  p3.y_max = 1.8;
+  m.add_reaction("GFP_prod", {}, {{"GFP", 1.0}}, add_promoter(m, "P3", "CI", p3),
+                 {sbml::ModifierReference{"CI"}});
+  add_decay(m, "GFP", "GFP_delta", p.decay);
+  spec.model = std::move(m);
+  return spec;
+}
+
+CircuitSpec make_nand() {
+  CircuitSpec spec;
+  spec.name = "myers_nand";
+  spec.description =
+      "genetic NAND: two parallel promoters (LacI -| P1, TetR -| P2) drive GFP";
+  spec.source = "Myers, Engineering Genetic Circuits (2009)";
+  spec.input_ids = {"LacI", "TetR"};
+  spec.output_id = "GFP";
+  spec.expected = logic::TruthTable::nand_gate(2);
+  spec.gate_count = 2;
+  spec.parts = gates::PartsSummary{2, 1, 1, 1};
+
+  sbml::Model m;
+  m.id = "myers_nand";
+  m.name = "genetic NAND gate";
+  m.add_compartment("cell");
+  m.add_species("LacI", 0.0, true);
+  m.add_species("TetR", 0.0, true);
+  m.add_species("GFP", 0.0);
+  const PromoterParams p;
+  const std::string p1 = add_promoter(m, "P1", "LacI", p);
+  const std::string p2 = add_promoter(m, "P2", "TetR", p);
+  m.add_reaction("GFP_prod", {}, {{"GFP", 1.0}}, p1 + " + " + p2,
+                 {sbml::ModifierReference{"LacI"},
+                  sbml::ModifierReference{"TetR"}});
+  add_decay(m, "GFP", "GFP_delta", p.decay);
+  spec.model = std::move(m);
+  return spec;
+}
+
+CircuitSpec make_or() {
+  CircuitSpec spec;
+  spec.name = "myers_or";
+  spec.description =
+      "genetic OR: (LacI+TetR) -| P1 -> CI (a NOR), CI -| P2 -> GFP";
+  spec.source = "Myers, Engineering Genetic Circuits (2009)";
+  spec.input_ids = {"LacI", "TetR"};
+  spec.output_id = "GFP";
+  spec.expected = logic::TruthTable::or_gate(2);
+  spec.gate_count = 2;
+  spec.parts = gates::PartsSummary{2, 2, 2, 2};
+
+  sbml::Model m;
+  m.id = "myers_or";
+  m.name = "genetic OR gate";
+  m.add_compartment("cell");
+  m.add_species("LacI", 0.0, true);
+  m.add_species("TetR", 0.0, true);
+  m.add_species("CI", 0.0);
+  m.add_species("GFP", 0.0);
+  PromoterParams p;
+  m.add_reaction("CI_prod", {}, {{"CI", 1.0}},
+                 add_promoter(m, "P1", "LacI + TetR", p),
+                 {sbml::ModifierReference{"LacI"},
+                  sbml::ModifierReference{"TetR"}});
+  add_decay(m, "CI", "CI_delta", p.decay);
+  PromoterParams p2 = p;
+  p2.hill_k = 20.0;  // CI plateau 60 vs floor 1.2
+  m.add_reaction("GFP_prod", {}, {{"GFP", 1.0}}, add_promoter(m, "P2", "CI", p2),
+                 {sbml::ModifierReference{"CI"}});
+  add_decay(m, "GFP", "GFP_delta", p.decay);
+  spec.model = std::move(m);
+  return spec;
+}
+
+CircuitSpec make_nor() {
+  CircuitSpec spec;
+  spec.name = "myers_nor";
+  spec.description = "genetic NOR: (LacI+TetR) -| P1 -> GFP";
+  spec.source = "Myers, Engineering Genetic Circuits (2009)";
+  spec.input_ids = {"LacI", "TetR"};
+  spec.output_id = "GFP";
+  spec.expected = logic::TruthTable::nor_gate(2);
+  spec.gate_count = 1;
+  spec.parts = gates::PartsSummary{1, 1, 1, 1};
+
+  sbml::Model m;
+  m.id = "myers_nor";
+  m.name = "genetic NOR gate";
+  m.add_compartment("cell");
+  m.add_species("LacI", 0.0, true);
+  m.add_species("TetR", 0.0, true);
+  m.add_species("GFP", 0.0);
+  const PromoterParams p;
+  m.add_reaction("GFP_prod", {}, {{"GFP", 1.0}},
+                 add_promoter(m, "P1", "LacI + TetR", p),
+                 {sbml::ModifierReference{"LacI"},
+                  sbml::ModifierReference{"TetR"}});
+  add_decay(m, "GFP", "GFP_delta", p.decay);
+  spec.model = std::move(m);
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> myers_circuit_names() {
+  return {"myers_not", "myers_and", "myers_nand", "myers_or", "myers_nor"};
+}
+
+CircuitSpec build_myers_circuit(const std::string& name) {
+  if (name == "myers_not") return make_not();
+  if (name == "myers_and") return make_and();
+  if (name == "myers_nand") return make_nand();
+  if (name == "myers_or") return make_or();
+  if (name == "myers_nor") return make_nor();
+  throw InvalidArgument("unknown Myers circuit '" + name + "'");
+}
+
+}  // namespace glva::circuits

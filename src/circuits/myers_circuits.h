@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuits/circuit_spec.h"
+
+/// The five textbook circuits (Chris Myers, *Engineering Genetic Circuits*,
+/// 2009) the paper draws its first model set from. These are hand-written
+/// behavioural SBML models — not netlist-generated — mirroring how the
+/// book's models describe promoter activity directly with Hill kinetics.
+///
+/// `myers_and` is the paper's Figure 1 circuit: promoters P1 and P2
+/// (repressed by LacI and TetR respectively) both transcribe the repressor
+/// CI; promoter P3, repressed by CI, drives GFP. GFP is high only when
+/// both LacI and TetR are present.
+namespace glva::circuits {
+
+/// Names: "myers_not", "myers_and", "myers_nand", "myers_or", "myers_nor".
+[[nodiscard]] std::vector<std::string> myers_circuit_names();
+
+/// Build one of the book circuits; throws glva::InvalidArgument for an
+/// unknown name.
+[[nodiscard]] CircuitSpec build_myers_circuit(const std::string& name);
+
+}  // namespace glva::circuits

@@ -1,0 +1,82 @@
+#include "circuits/sequential_circuits.h"
+
+namespace glva::circuits {
+
+sbml::Model toggle_switch_model() {
+  sbml::Model m;
+  m.id = "toggle_switch";
+  m.name = "Gardner-Collins genetic toggle switch (SR latch)";
+  m.add_compartment("cell");
+
+  m.add_species("S_set", 0.0, /*boundary=*/true);    // forces U down
+  m.add_species("S_reset", 0.0, /*boundary=*/true);  // forces V down
+  m.add_species("U", 40.0);  // start latched on the U side
+  m.add_species("V", 0.0);
+  m.add_species("GFP", 0.0);
+
+  m.add_parameter("beta", 1.2);
+  m.add_parameter("leak", 0.012);
+  m.add_parameter("K", 5.0);
+  m.add_parameter("n", 3.0);
+  m.add_parameter("delta", 0.02);
+  // Inducer-enhanced degradation: a present inducer strips its target.
+  m.add_parameter("kind", 0.02);
+
+  // U repressed by V; V repressed by U (the bistable core).
+  m.add_reaction("U_prod", {}, {{"U", 1.0}},
+                 "leak + (beta - leak) * (1 - hill(V, K, n))",
+                 {sbml::ModifierReference{"V"}});
+  m.add_reaction("U_deg", {{"U", 1.0}}, {}, "delta * U");
+  m.add_reaction("U_induced_deg", {{"U", 1.0}}, {}, "kind * S_set * U",
+                 {sbml::ModifierReference{"S_set"}});
+
+  m.add_reaction("V_prod", {}, {{"V", 1.0}},
+                 "leak + (beta - leak) * (1 - hill(U, K, n))",
+                 {sbml::ModifierReference{"U"}});
+  m.add_reaction("V_deg", {{"V", 1.0}}, {}, "delta * V");
+  m.add_reaction("V_induced_deg", {{"V", 1.0}}, {}, "kind * S_reset * V",
+                 {sbml::ModifierReference{"S_reset"}});
+
+  // GFP reads out the U side (same promoter as U: repressed by V).
+  m.add_reaction("GFP_prod", {}, {{"GFP", 1.0}},
+                 "leak + (beta - leak) * (1 - hill(V, K, n))",
+                 {sbml::ModifierReference{"V"}});
+  m.add_reaction("GFP_deg", {{"GFP", 1.0}}, {}, "delta * GFP");
+  return m;
+}
+
+sbml::Model repressilator_model() {
+  sbml::Model m;
+  m.id = "repressilator";
+  m.name = "Elowitz-Leibler repressilator (ring oscillator)";
+  m.add_compartment("cell");
+
+  m.add_species("dummy_in", 0.0, /*boundary=*/true);
+  m.add_species("TetR", 30.0);  // asymmetric start kicks the oscillation
+  m.add_species("LacI", 0.0);
+  m.add_species("CI", 0.0);
+  m.add_species("GFP", 0.0);
+
+  m.add_parameter("beta", 1.2);
+  m.add_parameter("leak", 0.012);
+  m.add_parameter("K", 5.0);
+  m.add_parameter("n", 2.5);
+  m.add_parameter("delta", 0.02);
+
+  const auto ring = [&](const char* product, const char* repressor) {
+    const std::string p(product);
+    m.add_reaction(p + "_prod", {}, {{p, 1.0}},
+                   "leak + (beta - leak) * (1 - hill(" + std::string(repressor) +
+                       ", K, n))",
+                   {sbml::ModifierReference{repressor}});
+    m.add_reaction(p + "_deg", {{p, 1.0}}, {}, "delta * " + p);
+  };
+  ring("LacI", "TetR");
+  ring("CI", "LacI");
+  ring("TetR", "CI");
+  // GFP under the same promoter as LacI (repressed by TetR).
+  ring("GFP", "TetR");
+  return m;
+}
+
+}  // namespace glva::circuits

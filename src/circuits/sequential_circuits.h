@@ -1,0 +1,28 @@
+#pragma once
+
+#include "sbml/model.h"
+
+/// Sequential/dynamic genetic circuits from the Myers book, *outside* the
+/// paper's 15-circuit combinational benchmark. The DATE'17 algorithm
+/// assumes combinational behaviour; these models let GLVA demonstrate what
+/// its outputs look like when that assumption breaks (state-holding and
+/// oscillation), and how PFoBE/the stability filter flag it.
+namespace glva::circuits {
+
+/// The Gardner–Collins genetic toggle switch: two mutually repressing
+/// repressors U and V, with external set/reset inducers that force one
+/// side down, and GFP reading out the U side. An SR-latch: its "logic"
+/// depends on input history, so sweep order changes what the analyzer
+/// extracts.
+///
+/// Species: S_set, S_reset (boundary inputs), U, V, GFP.
+[[nodiscard]] sbml::Model toggle_switch_model();
+
+/// The Elowitz–Leibler repressilator: a three-repressor ring oscillator
+/// (TetR ⊣ LacI ⊣ CI ⊣ TetR) with GFP tracking one node. Its output never
+/// settles, so every input case is oscillatory and the variation filter
+/// rejects it — the PFoBE drops far below the combinational circuits'.
+/// A single dummy boundary input is included so the sweep machinery runs.
+[[nodiscard]] sbml::Model repressilator_model();
+
+}  // namespace glva::circuits

@@ -1,0 +1,33 @@
+#include "core/adc.h"
+
+#include "util/errors.h"
+
+namespace glva::core {
+
+std::vector<bool> adc(const std::vector<double>& analog, double threshold) {
+  if (threshold <= 0.0) {
+    throw InvalidArgument("adc: threshold must be positive");
+  }
+  std::vector<bool> digital(analog.size());
+  for (std::size_t k = 0; k < analog.size(); ++k) {
+    digital[k] = analog[k] >= threshold;
+  }
+  return digital;
+}
+
+DigitalData digitize(const sim::Trace& trace,
+                     const std::vector<std::string>& input_ids,
+                     const std::string& output_id, double threshold) {
+  if (input_ids.empty()) {
+    throw InvalidArgument("digitize: at least one input species is required");
+  }
+  DigitalData data;
+  data.inputs.reserve(input_ids.size());
+  for (const auto& id : input_ids) {
+    data.inputs.push_back(adc(trace.series(id), threshold));
+  }
+  data.output = adc(trace.series(output_id), threshold);
+  return data;
+}
+
+}  // namespace glva::core

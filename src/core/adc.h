@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+/// Analog-to-digital conversion — the ADC sub-procedure of Algorithm 1
+/// (line 4). Converts analog species amounts into logic levels using the
+/// threshold value, after which "the exact concentration of proteins are no
+/// longer needed to obtain the Boolean logic of a genetic circuit".
+namespace glva::core {
+
+/// Digitize one analog series: sample k is logic-1 iff analog[k] >= threshold.
+[[nodiscard]] std::vector<bool> adc(const std::vector<double>& analog,
+                                    double threshold);
+
+/// The digitized I/O streams Algorithm 1 works on: one bit stream per
+/// chosen input species (MSB first) plus the chosen output species.
+struct DigitalData {
+  std::vector<std::vector<bool>> inputs;  ///< [input][sample]
+  std::vector<bool> output;               ///< [sample]
+
+  [[nodiscard]] std::size_t input_count() const noexcept { return inputs.size(); }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return output.size(); }
+};
+
+/// Digitize the selected I/O species of a simulation trace. The caller
+/// chooses input and output species freely — the paper highlights that
+/// selectable IS/OS allows "Boolean logic analysis on the entire circuit as
+/// well as on the intermediate circuit components".
+///
+/// Throws glva::InvalidArgument for unknown ids, an empty input list, or a
+/// non-positive threshold.
+[[nodiscard]] DigitalData digitize(const sim::Trace& trace,
+                                   const std::vector<std::string>& input_ids,
+                                   const std::string& output_id,
+                                   double threshold);
+
+}  // namespace glva::core

@@ -1,0 +1,48 @@
+#include "core/baseline.h"
+
+#include "util/errors.h"
+
+namespace glva::core {
+
+std::string baseline_rule_name(BaselineRule rule) {
+  switch (rule) {
+    case BaselineRule::kAnyHigh: return "any-high (no filters)";
+    case BaselineRule::kMajorityOnly: return "majority-only (eq. 2 alone)";
+    case BaselineRule::kStabilityOnly: return "stability-only (eq. 1 alone)";
+    case BaselineRule::kBothFilters: return "both filters (paper)";
+  }
+  return "?";
+}
+
+logic::TruthTable extract_with_rule(const VariationAnalysis& variation,
+                                    BaselineRule rule, double fov_ud) {
+  logic::TruthTable table(variation.input_count);
+  for (const auto& record : variation.records) {
+    if (record.case_count == 0) continue;
+    const bool any_high = record.high_count > 0;
+    const bool majority = static_cast<double>(record.high_count) >
+                          static_cast<double>(record.case_count) / 2.0;
+    const bool stable = record.fov_est < fov_ud;
+    bool high = false;
+    switch (rule) {
+      case BaselineRule::kAnyHigh:
+        high = any_high;
+        break;
+      case BaselineRule::kMajorityOnly:
+        high = majority;
+        break;
+      case BaselineRule::kStabilityOnly:
+        // The stability filter only ever applies to candidate-high
+        // combinations ("at which the output is high at least once").
+        high = any_high && stable;
+        break;
+      case BaselineRule::kBothFilters:
+        high = majority && stable;
+        break;
+    }
+    table.set_output(record.combination, high);
+  }
+  return table;
+}
+
+}  // namespace glva::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/variation_analyzer.h"
+#include "logic/truth_table.h"
+
+/// Baseline extractors the paper's two-filter design is compared against.
+/// The paper argues (Figures 2 and 3) that naive rules mis-extract logic:
+/// "one may end up estimating the logical behavior of this circuit to be an
+/// XNOR gate if the simulation data is not filtered out correctly", and
+/// "this filtration technique may also produce wrong results if not applied
+/// together with the first technique".
+namespace glva::core {
+
+/// Which filtering discipline a baseline applies.
+enum class BaselineRule {
+  /// A combination is high if the output was ever high during it — the
+  /// unfiltered reading that turns the Figure 2 AND-gate data into XNOR.
+  kAnyHigh,
+  /// Majority rule only (equation (2) alone) — accepts the oscillatory
+  /// Figure 3 stream the stability filter exists to reject.
+  kMajorityOnly,
+  /// Stability rule only (equation (1) alone) — accepts stable-but-low
+  /// glitch streams, the other half of the Figure 2 failure.
+  kStabilityOnly,
+  /// Both filters: the paper's algorithm (for side-by-side ablation runs).
+  kBothFilters,
+};
+
+[[nodiscard]] std::string baseline_rule_name(BaselineRule rule);
+
+/// Extract a truth table from variation statistics under the given rule
+/// (fov_ud is only consulted by rules that use the stability filter).
+[[nodiscard]] logic::TruthTable extract_with_rule(
+    const VariationAnalysis& variation, BaselineRule rule, double fov_ud);
+
+}  // namespace glva::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/variation_analyzer.h"
+#include "logic/bool_expr.h"
+#include "logic/truth_table.h"
+
+/// The ConstBoolExpr sub-procedure of Algorithm 1 (line 7): applies the two
+/// filters and constructs the Boolean expression plus the percentage
+/// fitness (PFoBE, equation (3)).
+namespace glva::core {
+
+/// How a combination was classified by the filters.
+enum class CaseVerdict {
+  kLow,          ///< output not high by majority → logic-0
+  kHigh,         ///< both filters passed → minterm of the expression
+  kUnstable,     ///< majority-high but Filter 1 failed (too oscillatory)
+  kUnobserved,   ///< combination never occurred in the simulation data
+};
+
+/// One combination's filter outcome.
+struct FilterOutcome {
+  std::size_t combination = 0;
+  bool filter1_pass = false;  ///< equation (1): FOV_EST < FOV_UD
+  bool filter2_pass = false;  ///< equation (2): HIGH_O > Case_I / 2
+  CaseVerdict verdict = CaseVerdict::kUnobserved;
+};
+
+/// Result of expression construction.
+struct BoolConstruction {
+  std::vector<FilterOutcome> outcomes;   ///< indexed by combination
+  logic::TruthTable extracted;           ///< accepted-high combinations
+  logic::SopExpr canonical;              ///< sum of accepted minterms
+  logic::SopExpr minimized;              ///< Quine–McCluskey minimized
+  double fitness_percent = 100.0;        ///< PFoBE, equation (3)
+  std::vector<std::size_t> unobserved;   ///< combinations never applied
+  std::vector<std::size_t> unstable;     ///< Filter-1-rejected majority-highs
+};
+
+/// Apply both filters to the variation analysis and build the expression.
+///
+/// Filter 1 (eq. 1) accepts a candidate when FOV_EST[i] = O_Var[i]/Case_I[i]
+/// is strictly below `fov_ud` (the paper allows up to 25%: FOV_UD = 0.25).
+/// Filter 2 (eq. 2) accepts when HIGH_O[i] > Case_I[i]/2. A combination
+/// becomes a minterm only if both pass — the paper's Figures 2 and 3 show
+/// either filter alone mis-classifies (XNOR instead of AND; oscillatory
+/// streams with plausible duty cycles).
+///
+/// PFoBE (eq. 3) = 100 − (Σ_i FOV_EST_i / nc) × 100, summed over the
+/// accepted-high combinations, nc = 2^N.
+///
+/// `input_names` label the expression variables (one per input, MSB first).
+[[nodiscard]] BoolConstruction construct_bool_expr(
+    const VariationAnalysis& variation, double fov_ud,
+    std::vector<std::string> input_names);
+
+}  // namespace glva::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/adc.h"
+
+/// The CaseAnalyzer sub-procedure of Algorithm 1 (line 5): "analyzes the
+/// number of times each input combination occurs and logs their
+/// corresponding output binary data streams".
+namespace glva::core {
+
+/// Per-input-combination observation record.
+struct CaseRecord {
+  std::size_t combination = 0;  ///< index, input 0 = MSB (paper's "case")
+  std::size_t case_count = 0;   ///< Case_I[i]: samples with this combination
+  /// The output data stream logged while this combination was applied, in
+  /// sample order (its length always equals case_count).
+  std::vector<bool> output_stream;
+};
+
+/// Case analysis over all 2^N combinations (records with case_count == 0
+/// are kept so downstream stages can report unobserved combinations).
+struct CaseAnalysis {
+  std::size_t input_count = 0;
+  std::vector<CaseRecord> cases;  ///< size 2^input_count, indexed by combination
+};
+
+/// Classify every sample by its digitized input combination and collect the
+/// per-combination output streams. Throws glva::InvalidArgument when input
+/// streams have mismatched lengths or there are no inputs.
+[[nodiscard]] CaseAnalysis analyze_cases(const DigitalData& data);
+
+}  // namespace glva::core

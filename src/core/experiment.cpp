@@ -1,0 +1,54 @@
+#include "core/experiment.h"
+
+#include <chrono>
+
+namespace glva::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
+                                const ExperimentConfig& config) {
+  sim::LabOptions lab_options;
+  lab_options.sampling_period = config.sampling_period;
+  lab_options.seed = config.seed;
+  lab_options.method = config.method;
+
+  sim::VirtualLab lab(spec.model, lab_options);
+  lab.declare_inputs(spec.input_ids);
+
+  const auto sim_start = std::chrono::steady_clock::now();
+  sim::SweepResult sweep =
+      lab.run_combination_sweep(config.total_time, config.high_level());
+  const double sim_seconds = seconds_since(sim_start);
+
+  ExperimentResult result = reanalyze(spec, config, sweep);
+  result.sweep = std::move(sweep);
+  result.simulate_seconds = sim_seconds;
+  return result;
+}
+
+ExperimentResult reanalyze(const circuits::CircuitSpec& spec,
+                           const ExperimentConfig& config,
+                           const sim::SweepResult& sweep) {
+  ExperimentResult result;
+  result.circuit_name = spec.name;
+  result.config = config;
+
+  LogicAnalyzer analyzer(AnalyzerConfig{config.threshold, config.fov_ud});
+  const auto analyze_start = std::chrono::steady_clock::now();
+  result.extraction =
+      analyzer.analyze(sweep.trace, spec.input_ids, spec.output_id);
+  result.analyze_seconds = seconds_since(analyze_start);
+
+  result.verification = verify(result.extraction, spec.expected);
+  return result;
+}
+
+}  // namespace glva::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/adc.h"
+#include "core/bool_constructor.h"
+#include "core/case_analyzer.h"
+#include "core/variation_analyzer.h"
+#include "sim/trace.h"
+
+/// Algorithm 1 — the paper's logic analysis and verification procedure.
+/// Wires the sub-procedures in order: ADC → CaseAnalyzer →
+/// VariationAnalyzer → ConstBoolExpr, over user-selected input and output
+/// species.
+namespace glva::core {
+
+/// The algorithm's initial parameters (the paper's N, ThVAL, FOV_UD, IS,
+/// OS; N is implied by IS, and SDAn is the trace argument).
+struct AnalyzerConfig {
+  double threshold = 15.0;  ///< ThVAL (molecules); paper uses 15 nominally
+  double fov_ud = 0.25;     ///< FOV_UD; paper allows up to 25% variation
+};
+
+/// Everything the analysis produces, per combination and aggregated.
+struct ExtractionResult {
+  std::size_t input_count = 0;
+  std::vector<std::string> input_names;
+  std::string output_name;
+  AnalyzerConfig config;
+
+  CaseAnalysis cases;             ///< Case_I + logged output streams
+  VariationAnalysis variation;    ///< HIGH_O / O_Var / FOV_EST
+  BoolConstruction construction;  ///< filters, expression, PFoBE
+
+  /// The extracted logic function (accepted-high combinations).
+  [[nodiscard]] const logic::TruthTable& extracted() const noexcept {
+    return construction.extracted;
+  }
+  /// Minimized Boolean expression text ("C·(A' + B)").
+  [[nodiscard]] std::string expression() const {
+    return construction.minimized.to_string();
+  }
+  /// PFoBE percentage fitness.
+  [[nodiscard]] double fitness() const noexcept {
+    return construction.fitness_percent;
+  }
+};
+
+class LogicAnalyzer {
+public:
+  explicit LogicAnalyzer(AnalyzerConfig config = {});
+
+  /// Analyze a simulation trace, choosing `input_ids` (MSB first) as IS and
+  /// `output_id` as OS. Selecting an internal species as OS analyzes an
+  /// intermediate circuit component, exactly as the paper describes.
+  [[nodiscard]] ExtractionResult analyze(const sim::Trace& trace,
+                                         const std::vector<std::string>& input_ids,
+                                         const std::string& output_id) const;
+
+  /// Analyze pre-digitized streams (used by unit tests and the Figure 3
+  /// reproduction, which starts from constructed binary streams).
+  [[nodiscard]] ExtractionResult analyze_digital(
+      const DigitalData& data, std::vector<std::string> input_names,
+      std::string output_name) const;
+
+  [[nodiscard]] const AnalyzerConfig& config() const noexcept { return config_; }
+
+private:
+  AnalyzerConfig config_;
+};
+
+}  // namespace glva::core

@@ -1,0 +1,112 @@
+#include "core/report.h"
+
+#include "core/verifier.h"
+#include "util/ascii_chart.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace glva::core {
+
+namespace {
+
+const char* verdict_name(CaseVerdict verdict) {
+  switch (verdict) {
+    case CaseVerdict::kLow: return "low";
+    case CaseVerdict::kHigh: return "HIGH";
+    case CaseVerdict::kUnstable: return "unstable";
+    case CaseVerdict::kUnobserved: return "unobserved";
+  }
+  return "?";
+}
+
+std::string combination_label(const ExtractionResult& extraction,
+                              std::size_t combination) {
+  return extraction.extracted().combination_label(combination);
+}
+
+}  // namespace
+
+std::string render_analytics_table(const ExtractionResult& extraction) {
+  util::TextTable table({"case", "Case_I", "High_O", "Var_O", "FOV_EST",
+                         "eq(1)", "eq(2)", "verdict"});
+  for (std::size_t c = 1; c <= 6; ++c) {
+    table.set_align(c, util::TextTable::Align::kRight);
+  }
+  for (std::size_t c = 0; c < extraction.variation.records.size(); ++c) {
+    const auto& record = extraction.variation.records[c];
+    const auto& outcome = extraction.construction.outcomes[c];
+    table.add_row({combination_label(extraction, c),
+                   std::to_string(record.case_count),
+                   std::to_string(record.high_count),
+                   std::to_string(record.variation_count),
+                   util::format_double(record.fov_est, 4),
+                   record.case_count ? (outcome.filter1_pass ? "pass" : "FAIL") : "-",
+                   record.case_count ? (outcome.filter2_pass ? "pass" : "FAIL") : "-",
+                   verdict_name(outcome.verdict)});
+  }
+  return table.str();
+}
+
+std::string render_analytics_bars(const ExtractionResult& extraction) {
+  std::vector<std::string> labels;
+  std::vector<double> case_counts;
+  std::vector<double> high_counts;
+  std::vector<double> variation_counts;
+  for (std::size_t c = 0; c < extraction.variation.records.size(); ++c) {
+    const auto& record = extraction.variation.records[c];
+    std::string label = combination_label(extraction, c);
+    if (extraction.construction.outcomes[c].verdict == CaseVerdict::kHigh) {
+      label += " *";  // the paper highlights expected-high combinations
+    }
+    labels.push_back(label);
+    case_counts.push_back(static_cast<double>(record.case_count));
+    high_counts.push_back(static_cast<double>(record.high_count));
+    variation_counts.push_back(static_cast<double>(record.variation_count));
+  }
+  std::string out;
+  out += util::render_bar_chart("Case_I (occurrences per input combination)",
+                                labels, case_counts);
+  out += util::render_bar_chart("High_O (logic-1 output samples)", labels,
+                                high_counts);
+  out += util::render_bar_chart("Var_O (output variations)", labels,
+                                variation_counts);
+  return out;
+}
+
+std::string render_experiment_summary(const ExperimentResult& result,
+                                      const logic::TruthTable& expected) {
+  std::string out;
+  out += "circuit:    " + result.circuit_name + "\n";
+  out += "threshold:  " +
+         util::format_double(result.config.threshold, 6) + " molecules, FOV_UD " +
+         util::format_double(result.config.fov_ud, 4) + "\n";
+  out += "expression: " + result.extraction.output_name + " = " +
+         result.extraction.expression() + "\n";
+  out += "fitness:    " + util::format_double(result.extraction.fitness(), 6) +
+         " %\n";
+  out += "verify:     " + summarize(result.verification, expected) + "\n";
+  out += "timing:     simulate " +
+         util::format_double(result.simulate_seconds, 3) + " s, analyze " +
+         util::format_double(result.analyze_seconds, 3) + " s\n";
+  return out;
+}
+
+std::string analytics_csv(const ExtractionResult& extraction) {
+  util::CsvWriter csv;
+  csv.row("case", "case_count", "high_count", "variation_count", "fov_est",
+          "filter1_pass", "filter2_pass", "verdict");
+  for (std::size_t c = 0; c < extraction.variation.records.size(); ++c) {
+    const auto& record = extraction.variation.records[c];
+    const auto& outcome = extraction.construction.outcomes[c];
+    csv.row(combination_label(extraction, c),
+            static_cast<unsigned long long>(record.case_count),
+            static_cast<unsigned long long>(record.high_count),
+            static_cast<unsigned long long>(record.variation_count),
+            record.fov_est, outcome.filter1_pass ? "1" : "0",
+            outcome.filter2_pass ? "1" : "0", verdict_name(outcome.verdict));
+  }
+  return csv.str();
+}
+
+}  // namespace glva::core

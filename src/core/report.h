@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "core/experiment.h"
+#include "core/logic_analyzer.h"
+
+/// Rendering of analysis results in the paper's reporting formats: the
+/// Figure-4 analytics (Case_I / High_O / Var_O per input combination with
+/// the Boolean expression and percentage fitness) as text tables, bar
+/// charts, and CSV.
+namespace glva::core {
+
+/// The per-combination analytics table (Figure 4's numeric content), one
+/// row per input combination: label, Case_I, High_O, Var_O, FOV_EST,
+/// filter outcomes, verdict.
+[[nodiscard]] std::string render_analytics_table(const ExtractionResult& extraction);
+
+/// Figure-4-style bar charts of Case_I, High_O, and Var_O by combination.
+[[nodiscard]] std::string render_analytics_bars(const ExtractionResult& extraction);
+
+/// One-paragraph summary: extracted expression, PFoBE, verification
+/// verdict, timings.
+[[nodiscard]] std::string render_experiment_summary(
+    const ExperimentResult& result, const logic::TruthTable& expected);
+
+/// CSV with one row per combination (machine-readable Figure 4 data).
+[[nodiscard]] std::string analytics_csv(const ExtractionResult& extraction);
+
+}  // namespace glva::core

@@ -1,0 +1,38 @@
+#include "core/threshold_sweep.h"
+
+namespace glva::core {
+
+ThresholdSweepResult threshold_sweep(const circuits::CircuitSpec& spec,
+                                     const ExperimentConfig& base_config,
+                                     const std::vector<double>& thresholds) {
+  ThresholdSweepResult sweep;
+  for (double threshold : thresholds) {
+    ExperimentConfig config = base_config;
+    config.threshold = threshold;
+    config.input_high_level = -1.0;  // re-apply inputs at the threshold
+    sweep.points.push_back(
+        ThresholdPoint{threshold, run_experiment(spec, config)});
+  }
+  return sweep;
+}
+
+ThresholdSweepResult threshold_sweep_redigitize(
+    const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
+    const std::vector<double>& thresholds) {
+  // One simulation at the base input level...
+  ExperimentResult base = run_experiment(spec, base_config);
+
+  ThresholdSweepResult sweep;
+  for (double threshold : thresholds) {
+    ExperimentConfig config = base_config;
+    config.threshold = threshold;
+    config.input_high_level = base_config.high_level();  // drive unchanged
+    // ...re-digitized per threshold.
+    ExperimentResult point = reanalyze(spec, config, base.sweep);
+    point.simulate_seconds = 0.0;  // shared simulation, not re-run
+    sweep.points.push_back(ThresholdPoint{threshold, std::move(point)});
+  }
+  return sweep;
+}
+
+}  // namespace glva::core

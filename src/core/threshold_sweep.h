@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.h"
+
+/// Threshold-robustness analysis — the paper's Figure 5 experiment: re-run
+/// the same circuit with the threshold (and hence the applied input level)
+/// set to different values and compare the logic each extracts. "It is
+/// shown experimentally that the circuit may not behave as expected if the
+/// circuit parameter(s), like threshold value, are varied."
+namespace glva::core {
+
+/// One threshold's outcome.
+struct ThresholdPoint {
+  double threshold = 0.0;
+  ExperimentResult result;
+};
+
+struct ThresholdSweepResult {
+  std::vector<ThresholdPoint> points;
+};
+
+/// Run the full experiment once per threshold. Each run re-applies the
+/// inputs at that threshold value (the paper's methodology couples the
+/// two), so the circuit is re-simulated, not merely re-digitized.
+[[nodiscard]] ThresholdSweepResult threshold_sweep(
+    const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
+    const std::vector<double>& thresholds);
+
+/// Variant that keeps one simulation (at the base config's input level)
+/// and only re-digitizes at each threshold — an ablation that isolates the
+/// ADC's contribution to Figure 5's effect from the input-drive
+/// contribution.
+[[nodiscard]] ThresholdSweepResult threshold_sweep_redigitize(
+    const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
+    const std::vector<double>& thresholds);
+
+}  // namespace glva::core

@@ -1,0 +1,32 @@
+#include "core/variation_analyzer.h"
+
+namespace glva::core {
+
+VariationAnalysis analyze_variation(const CaseAnalysis& cases) {
+  VariationAnalysis analysis;
+  analysis.input_count = cases.input_count;
+  analysis.records.resize(cases.cases.size());
+
+  for (std::size_t c = 0; c < cases.cases.size(); ++c) {
+    const CaseRecord& record = cases.cases[c];
+    VariationRecord& out = analysis.records[c];
+    out.combination = record.combination;
+    out.case_count = record.case_count;
+
+    bool previous = false;
+    bool first = true;
+    for (const bool bit : record.output_stream) {
+      if (bit) ++out.high_count;
+      if (!first && bit != previous) ++out.variation_count;
+      previous = bit;
+      first = false;
+    }
+    out.fov_est = record.case_count > 0
+                      ? static_cast<double>(out.variation_count) /
+                            static_cast<double>(record.case_count)
+                      : 0.0;
+  }
+  return analysis;
+}
+
+}  // namespace glva::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/case_analyzer.h"
+
+/// The VariationAnalyzer sub-procedure of Algorithm 1 (line 6): for each
+/// input combination it "calculates the number of times a logic-1 appears"
+/// (HIGH_O) and "how many times the output varies, i.e. changing 0-to-1 and
+/// 1-to-0" (O_Var).
+namespace glva::core {
+
+/// Per-combination stability statistics.
+struct VariationRecord {
+  std::size_t combination = 0;
+  std::size_t case_count = 0;       ///< Case_I[i], copied for convenience
+  std::size_t high_count = 0;       ///< HIGH_O[i]: logic-1 samples
+  std::size_t variation_count = 0;  ///< O_Var[i]: 0->1 and 1->0 transitions
+  /// FOV_EST[i] = O_Var[i] / Case_I[i] (equation (1)); 0 when unobserved.
+  double fov_est = 0.0;
+};
+
+struct VariationAnalysis {
+  std::size_t input_count = 0;
+  std::vector<VariationRecord> records;  ///< indexed by combination
+};
+
+/// Count highs and transitions within each per-combination output stream.
+/// Transitions are counted inside the logged stream exactly as the paper's
+/// example does (Figure 2(b): stream "0...010...01..1" for case 00 has
+/// O_Var = 2).
+[[nodiscard]] VariationAnalysis analyze_variation(const CaseAnalysis& cases);
+
+}  // namespace glva::core

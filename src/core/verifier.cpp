@@ -1,0 +1,54 @@
+#include "core/verifier.h"
+
+#include "util/errors.h"
+
+namespace glva::core {
+
+VerificationReport verify(const ExtractionResult& extraction,
+                          const logic::TruthTable& expected) {
+  if (expected.input_count() != extraction.input_count) {
+    throw InvalidArgument("verify: input counts differ");
+  }
+  VerificationReport report;
+  report.fitness_percent = extraction.fitness();
+
+  const logic::TruthTable& extracted = extraction.extracted();
+  for (std::size_t c = 0; c < expected.row_count(); ++c) {
+    if (extracted.output(c) == expected.output(c)) continue;
+    WrongState wrong;
+    wrong.combination = c;
+    wrong.expected_high = expected.output(c);
+    wrong.verdict = extraction.construction.outcomes[c].verdict;
+    report.wrong_states.push_back(wrong);
+  }
+  report.matches = report.wrong_states.empty();
+  report.error_percent = 100.0 *
+                         static_cast<double>(report.wrong_states.size()) /
+                         static_cast<double>(expected.row_count());
+  return report;
+}
+
+std::string summarize(const VerificationReport& report,
+                      const logic::TruthTable& expected) {
+  if (report.matches) return "MATCH";
+  std::string out = std::to_string(report.wrong_state_count()) +
+                    " wrong state(s):";
+  for (const auto& wrong : report.wrong_states) {
+    out += ' ';
+    out += expected.combination_label(wrong.combination);
+    out += wrong.expected_high ? "->0" : "->1";
+    switch (wrong.verdict) {
+      case CaseVerdict::kUnstable:
+        out += "(unstable)";
+        break;
+      case CaseVerdict::kUnobserved:
+        out += "(unobserved)";
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace glva::core

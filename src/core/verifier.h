@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/logic_analyzer.h"
+#include "logic/truth_table.h"
+
+/// Verification of extracted logic against the intended function — the
+/// "verify complex genetic logic circuits" use of the paper's algorithm.
+/// Mismatching combinations are the paper's "wrong states" (Figure 5
+/// reports two wrong states for circuit 0x0B at threshold 40).
+namespace glva::core {
+
+/// One disagreement between extracted and expected logic.
+struct WrongState {
+  std::size_t combination = 0;
+  bool expected_high = false;   ///< intended output for this combination
+  /// Why the extracted value differs: the verdict the filters produced.
+  CaseVerdict verdict = CaseVerdict::kLow;
+};
+
+/// The outcome of verifying one extraction.
+struct VerificationReport {
+  bool matches = false;                ///< extracted == expected everywhere
+  std::vector<WrongState> wrong_states;
+  /// Wrong states / total combinations, in percent.
+  double error_percent = 0.0;
+  /// PFoBE carried over from the extraction, for one-stop reporting.
+  double fitness_percent = 0.0;
+
+  [[nodiscard]] std::size_t wrong_state_count() const noexcept {
+    return wrong_states.size();
+  }
+};
+
+/// Compare an extraction against the intended truth table.
+/// Throws glva::InvalidArgument when input counts differ.
+[[nodiscard]] VerificationReport verify(const ExtractionResult& extraction,
+                                        const logic::TruthTable& expected);
+
+/// Human-readable one-line summary ("MATCH" or "2 wrong state(s): 011->0,
+/// 110->1").
+[[nodiscard]] std::string summarize(const VerificationReport& report,
+                                    const logic::TruthTable& expected);
+
+}  // namespace glva::core

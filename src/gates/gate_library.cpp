@@ -1,0 +1,81 @@
+#include "gates/gate_library.h"
+
+#include "util/errors.h"
+
+namespace glva::gates {
+
+namespace {
+
+std::vector<GateParams> standard_gates() {
+  // Response spreads follow the character of Cello's UCF library: shared
+  // machinery (decay, translation) but individual half-points, Hill
+  // coefficients, and dynamic ranges. Plateaus sit near 55–65 molecules so
+  // the paper's nominal 15-molecule threshold cleanly separates the floor
+  // (~1–2 molecules) from the plateau.
+  const auto gate = [](const char* name, double y_max, double y_min,
+                       double hill_k, double hill_n) {
+    GateParams p;
+    p.name = name;
+    p.y_max = y_max;
+    p.y_min = y_min;
+    p.hill_k = hill_k;
+    p.hill_n = hill_n;
+    return p;
+  };
+  // Half-points sit well below the 15-molecule input level (so an asserted
+  // input fully represses its gate) and well above the summed leak floor of
+  // two OFF fan-ins (~1.2 molecules), keeping residual-repressor leak from
+  // cascading through NOR chains. Production and decay are paired so the
+  // unrepressed plateau stays near 55–65 molecules while the per-level fall
+  // time (~ln(plateau/K)/delta ≈ 130 time units) keeps even the deepest
+  // catalog circuit's propagation delay inside the paper's 1000-time-unit
+  // hold window.
+  return {
+      gate("AmtR", 1.20, 0.012, 4.0, 3.0),
+      gate("BetI", 1.16, 0.014, 4.5, 3.4),
+      gate("BM3R1", 1.24, 0.016, 5.0, 3.8),
+      // HlyIIR's lower dynamic range (plateau ~42 molecules) is what makes
+      // circuit 0x0B's output "not clearly distinguishable" from a
+      // 40-molecule threshold in the Figure 5 experiment, while still
+      // standing ~4 sigma above the nominal 15-molecule threshold.
+      gate("HlyIIR", 0.88, 0.012, 3.8, 2.8),
+      gate("IcaRA", 1.20, 0.016, 5.5, 3.0),
+      gate("LitR", 1.14, 0.014, 4.2, 3.2),
+      gate("LmrA", 1.26, 0.014, 5.2, 3.1),
+      gate("PhlF", 1.30, 0.012, 4.8, 4.2),
+      gate("PsrA", 1.12, 0.012, 3.6, 2.9),
+      gate("QacR", 1.22, 0.016, 6.0, 3.5),
+      gate("SrpR", 1.28, 0.014, 4.4, 4.0),
+      gate("TarA", 1.18, 0.014, 4.6, 3.3),
+  };
+}
+
+}  // namespace
+
+GateLibrary::GateLibrary(std::vector<GateParams> gates)
+    : gates_(std::move(gates)) {
+  if (gates_.empty()) {
+    throw InvalidArgument("GateLibrary: at least one gate is required");
+  }
+}
+
+const GateLibrary& GateLibrary::standard() {
+  static const GateLibrary library(standard_gates());
+  return library;
+}
+
+const GateParams& GateLibrary::gate(const std::string& name) const {
+  for (const auto& g : gates_) {
+    if (g.name == name) return g;
+  }
+  throw InvalidArgument("GateLibrary: unknown gate '" + name + "'");
+}
+
+bool GateLibrary::contains(const std::string& name) const noexcept {
+  for (const auto& g : gates_) {
+    if (g.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace glva::gates

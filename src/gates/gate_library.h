@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// The genetic gate library: Cello-style repressor gates [Nielsen et al.,
+/// Science 2016]. Each gate is a promoter repressed by its input
+/// protein(s); its response is a declining Hill function
+///
+///   rate(x) = y_min + (y_max - y_min) · K^n / (K^n + x^n),
+///
+/// where x is the summed input-repressor amount (Cello sums input promoter
+/// activities), K the repression half-point, and n the cooperativity. A
+/// NOT gate has one input; a NOR gate feeds the sum of two inputs through
+/// the same response.
+namespace glva::gates {
+
+/// Kinetic/response parameters of one library gate.
+struct GateParams {
+  std::string name;          ///< repressor name, e.g. "PhlF"
+  double y_max = 1.2;        ///< max production rate (molecules / time unit)
+  double y_min = 0.012;      ///< leaky production rate (molecules / time unit)
+  double hill_k = 4.5;       ///< repression half-point (molecules)
+  double hill_n = 3.0;       ///< Hill coefficient
+  double protein_decay = 0.02;  ///< first-order decay (1 / time unit)
+  // Two-stage (transcription + translation) expansion parameters.
+  double mrna_decay = 0.1;      ///< mRNA first-order decay (1 / time unit)
+  double translation = 0.5;     ///< proteins per mRNA per time unit
+
+  /// Steady-state output plateau when unrepressed: y_max / protein_decay.
+  [[nodiscard]] double plateau() const noexcept { return y_max / protein_decay; }
+  /// Steady-state leak floor when fully repressed.
+  [[nodiscard]] double floor() const noexcept { return y_min / protein_decay; }
+};
+
+/// A named collection of characterized gates, mirroring Cello's UCF gate
+/// library. Distinct circuits draw different repressors so cascaded gates
+/// never share a repressor (Cello's same-repressor constraint).
+class GateLibrary {
+public:
+  /// The built-in library: twelve repressors with a realistic spread of
+  /// response parameters (half-points 6..12 molecules, Hill 1.8..4.0).
+  static const GateLibrary& standard();
+
+  /// Construct from explicit parameter sets.
+  explicit GateLibrary(std::vector<GateParams> gates);
+
+  /// Look up by repressor name; throws glva::InvalidArgument when unknown.
+  [[nodiscard]] const GateParams& gate(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<GateParams>& gates() const noexcept {
+    return gates_;
+  }
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+private:
+  std::vector<GateParams> gates_;
+};
+
+}  // namespace glva::gates

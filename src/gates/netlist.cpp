@@ -1,0 +1,108 @@
+#include "gates/netlist.h"
+
+#include <set>
+
+#include "util/errors.h"
+
+namespace glva::gates {
+
+Netlist::Netlist(std::vector<std::string> input_names)
+    : input_names_(std::move(input_names)) {
+  if (input_names_.empty()) {
+    throw InvalidArgument("Netlist: at least one input is required");
+  }
+}
+
+Net Netlist::add_not(const std::string& repressor, Net in) {
+  gates_.push_back(GateInstance{repressor, {in}});
+  return Net::gate(gates_.size() - 1);
+}
+
+Net Netlist::add_nor(const std::string& repressor, Net a, Net b) {
+  gates_.push_back(GateInstance{repressor, {a, b}});
+  return Net::gate(gates_.size() - 1);
+}
+
+void Netlist::set_output(Net net) {
+  if (net.kind != Net::Kind::kGate) {
+    throw InvalidArgument("Netlist: output must be a gate net");
+  }
+  output_ = net;
+  output_set_ = true;
+}
+
+Net Netlist::output() const {
+  if (!output_set_) throw InvalidArgument("Netlist: output not set");
+  return output_;
+}
+
+bool Netlist::eval_net(Net net, std::size_t combination) const {
+  if (net.kind == Net::Kind::kInput) {
+    const std::size_t n = input_names_.size();
+    return ((combination >> (n - 1 - net.index)) & 1U) != 0;
+  }
+  const GateInstance& g = gates_[net.index];
+  // NOT/NOR: output high iff every fan-in is low.
+  for (const Net& in : g.fanin) {
+    if (eval_net(in, combination)) return false;
+  }
+  return true;
+}
+
+logic::TruthTable Netlist::ideal_truth_table() const {
+  check();
+  logic::TruthTable table(input_names_.size());
+  for (std::size_t c = 0; c < table.row_count(); ++c) {
+    table.set_output(c, eval_net(output_, c));
+  }
+  return table;
+}
+
+PartsSummary Netlist::parts_summary() const {
+  PartsSummary parts;
+  for (const auto& g : gates_) {
+    parts.promoters += g.fanin.size();  // one promoter region per fan-in
+    parts.rbs += 1;
+    parts.cds += 1;
+    parts.terminators += 1;
+  }
+  // Reporter transcription unit under the output gate's promoter.
+  parts.promoters += 1;
+  parts.rbs += 1;
+  parts.cds += 1;
+  parts.terminators += 1;
+  return parts;
+}
+
+void Netlist::check() const {
+  if (!output_set_) throw ValidationError("netlist: output is not set");
+  std::set<std::string> used;
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    const GateInstance& gate = gates_[g];
+    if (gate.fanin.empty() || gate.fanin.size() > 2) {
+      throw ValidationError("netlist: gate " + std::to_string(g) +
+                            " must have 1 or 2 fan-ins");
+    }
+    for (const Net& in : gate.fanin) {
+      if (in.kind == Net::Kind::kInput) {
+        if (in.index >= input_names_.size()) {
+          throw ValidationError("netlist: gate " + std::to_string(g) +
+                                " references unknown input");
+        }
+      } else if (in.index >= g) {
+        throw ValidationError(
+            "netlist: gate " + std::to_string(g) +
+            " references a later gate (combinational cycle)");
+      }
+    }
+    if (!used.insert(gate.repressor).second) {
+      throw ValidationError("netlist: repressor '" + gate.repressor +
+                            "' is used by more than one gate");
+    }
+  }
+  if (output_.index >= gates_.size()) {
+    throw ValidationError("netlist: output references an unknown gate");
+  }
+}
+
+}  // namespace glva::gates

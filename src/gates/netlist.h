@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.h"
+
+/// Gate-level circuit netlists: the structural form in which Cello emits
+/// circuits (as SBOL) before behavioural conversion. GLVA's netlist plays
+/// the SBOL role — a parts-level description that the model generator
+/// turns into behavioural SBML (substituting for the Roehner et al.
+/// SBOL→SBML converter the paper uses).
+namespace glva::gates {
+
+/// A signal source inside a netlist: either a primary input or the output
+/// protein of another gate.
+struct Net {
+  enum class Kind { kInput, kGate };
+  Kind kind = Kind::kInput;
+  std::size_t index = 0;  ///< input index or gate index
+
+  static Net input(std::size_t i) { return {Kind::kInput, i}; }
+  static Net gate(std::size_t g) { return {Kind::kGate, g}; }
+  [[nodiscard]] bool operator==(const Net&) const = default;
+};
+
+/// One gate instance: a library repressor wired to 1 (NOT) or 2 (NOR)
+/// fan-ins.
+struct GateInstance {
+  std::string repressor;   ///< name in the GateLibrary
+  std::vector<Net> fanin;  ///< 1 or 2 sources
+};
+
+/// Structural genetic parts of the compiled circuit, for the paper's
+/// "3-26 genetic components" bookkeeping.
+struct PartsSummary {
+  std::size_t promoters = 0;
+  std::size_t rbs = 0;
+  std::size_t cds = 0;
+  std::size_t terminators = 0;
+  [[nodiscard]] std::size_t total() const noexcept {
+    return promoters + rbs + cds + terminators;
+  }
+};
+
+/// A combinational genetic circuit over NOT/NOR gates with one reporter
+/// output.
+class Netlist {
+public:
+  /// `input_names[0]` is the MSB of input-combination labels.
+  explicit Netlist(std::vector<std::string> input_names);
+
+  /// Append a NOT gate; returns its net.
+  Net add_not(const std::string& repressor, Net in);
+  /// Append a NOR gate; returns its net.
+  Net add_nor(const std::string& repressor, Net a, Net b);
+
+  /// Designate the net whose promoter drives the reporter (GFP). Must be a
+  /// gate net; call after wiring.
+  void set_output(Net net);
+
+  [[nodiscard]] const std::vector<std::string>& input_names() const noexcept {
+    return input_names_;
+  }
+  [[nodiscard]] const std::vector<GateInstance>& gates() const noexcept {
+    return gates_;
+  }
+  [[nodiscard]] Net output() const;
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return input_names_.size();
+  }
+  [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
+
+  /// The ideal Boolean function of the netlist (NOT/NOR semantics),
+  /// evaluated exhaustively. This is the *expected* logic the paper's
+  /// algorithm verifies extracted logic against.
+  [[nodiscard]] logic::TruthTable ideal_truth_table() const;
+
+  /// Structural parts of the compiled circuit: per gate one promoter
+  /// region per fan-in, one RBS, one CDS, one terminator; plus the
+  /// reporter's RBS/CDS/terminator driven by the output gate's promoter.
+  [[nodiscard]] PartsSummary parts_summary() const;
+
+  /// Topological sanity: every fan-in references an existing net, no
+  /// combinational cycles (gates only reference earlier gates), every gate
+  /// has 1..2 fan-ins, the output is set, and no repressor is used twice
+  /// (Cello's same-repressor constraint). Throws glva::ValidationError
+  /// otherwise.
+  void check() const;
+
+private:
+  /// Evaluate one gate's ideal output under `combination`.
+  [[nodiscard]] bool eval_net(Net net, std::size_t combination) const;
+
+  std::vector<std::string> input_names_;
+  std::vector<GateInstance> gates_;
+  Net output_{};
+  bool output_set_ = false;
+};
+
+}  // namespace glva::gates

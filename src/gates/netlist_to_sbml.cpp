@@ -1,0 +1,97 @@
+#include "gates/netlist_to_sbml.h"
+
+#include "util/errors.h"
+#include "util/string_util.h"
+
+namespace glva::gates {
+
+namespace {
+
+/// The species id carrying a net's signal.
+std::string net_species(const Netlist& netlist, const ModelOptions& options,
+                        Net net) {
+  if (net.kind == Net::Kind::kInput) {
+    return netlist.input_names()[net.index];
+  }
+  if (netlist.output().kind == Net::Kind::kGate &&
+      net.index == netlist.output().index) {
+    return options.reporter_id;  // output gate's protein is the reporter
+  }
+  return netlist.gates()[net.index].repressor;
+}
+
+}  // namespace
+
+sbml::Model netlist_to_model(const Netlist& netlist, const GateLibrary& library,
+                             const ModelOptions& options) {
+  netlist.check();
+
+  sbml::Model model;
+  model.id = options.model_id;
+  model.name = "generated from gate netlist";
+  model.add_compartment("cell", 1.0);
+
+  // Inputs: clamped boundary species, initially absent.
+  for (const auto& input : netlist.input_names()) {
+    model.add_species(input, 0.0, /*boundary=*/true);
+  }
+
+  for (std::size_t g = 0; g < netlist.gate_count(); ++g) {
+    const GateInstance& gate = netlist.gates()[g];
+    const GateParams& params = library.gate(gate.repressor);
+    const std::string protein = net_species(netlist, options, Net::gate(g));
+
+    // Per-gate response parameters, exposed for retuning.
+    const std::string p = gate.repressor;  // parameter prefix
+    model.add_parameter(p + "_ymax", params.y_max);
+    model.add_parameter(p + "_ymin", params.y_min);
+    model.add_parameter(p + "_K", params.hill_k);
+    model.add_parameter(p + "_n", params.hill_n);
+    model.add_parameter(p + "_delta", params.protein_decay);
+
+    // Summed fan-in repression: x = sum of fan-in proteins.
+    std::string x;
+    std::vector<sbml::ModifierReference> modifiers;
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      const std::string fanin_species =
+          net_species(netlist, options, gate.fanin[i]);
+      if (i != 0) x += " + ";
+      x += fanin_species;
+      modifiers.push_back(sbml::ModifierReference{fanin_species});
+    }
+    const std::string response = p + "_ymin + (" + p + "_ymax - " + p +
+                                 "_ymin) * (1 - hill(" + x + ", " + p +
+                                 "_K, " + p + "_n))";
+
+    if (options.two_stage) {
+      const std::string mrna = protein + "_mRNA";
+      model.add_parameter(p + "_mdelta", params.mrna_decay);
+      model.add_parameter(p + "_tl", params.translation);
+      model.add_species(mrna, 0.0);
+      model.add_species(protein, 0.0);
+      // Transcription rate scaled so the protein plateau matches the
+      // reduced model: tx = ymax * mdelta / tl.
+      const double scale = params.mrna_decay / params.translation;
+      model.add_parameter(p + "_txscale", scale);
+      model.add_reaction(p + "_tx", {}, {{mrna, 1.0}},
+                         p + "_txscale * (" + response + ")", modifiers);
+      model.add_reaction(p + "_mdeg", {{mrna, 1.0}}, {},
+                         p + "_mdelta * " + mrna);
+      model.add_reaction(p + "_tlr", {}, {{protein, 1.0}},
+                         p + "_tl * " + mrna,
+                         {sbml::ModifierReference{mrna}});
+      model.add_reaction(p + "_pdeg", {{protein, 1.0}}, {},
+                         p + "_delta * " + protein);
+    } else {
+      model.add_species(protein, 0.0);
+      model.add_reaction(p + "_prod", {}, {{protein, 1.0}}, response,
+                         modifiers);
+      model.add_reaction(p + "_deg", {{protein, 1.0}}, {},
+                         p + "_delta * " + protein);
+    }
+  }
+
+  return model;
+}
+
+}  // namespace glva::gates

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "gates/gate_library.h"
+#include "gates/netlist.h"
+#include "sbml/model.h"
+
+namespace glva::gates {
+
+/// Behavioural-model generation options.
+struct ModelOptions {
+  /// Model id (SBML SId); also used in reaction id prefixes.
+  std::string model_id = "circuit";
+  /// Reporter species id for the circuit output (the paper's GFP).
+  std::string reporter_id = "GFP";
+  /// When true, expand each gate into transcription + translation
+  /// (promoter → mRNA → protein) instead of the reduced one-step model.
+  /// Doubles the species count and adds realistic expression delay.
+  bool two_stage = false;
+};
+
+/// Compile a gate netlist into a behavioural SBML model — GLVA's
+/// substitute for the SBOL→SBML conversion step the paper performs with
+/// the Roehner et al. converter [14].
+///
+/// Mapping: every input becomes a boundary-condition species (clamped by
+/// the virtual lab); every gate becomes a production reaction with a
+/// declining Hill kinetic law over the *sum* of its fan-in proteins, plus
+/// a first-order decay reaction. The output gate's protein is the
+/// reporter (`reporter_id`). Gate response parameters are emitted as
+/// global SBML parameters named `<Repressor>_{ymax,ymin,K,n,delta}` so a
+/// downstream user can retune a circuit without regenerating it.
+///
+/// Throws glva::ValidationError for malformed netlists and
+/// glva::InvalidArgument for repressors missing from `library`.
+[[nodiscard]] sbml::Model netlist_to_model(const Netlist& netlist,
+                                           const GateLibrary& library,
+                                           const ModelOptions& options = {});
+
+}  // namespace glva::gates

@@ -1,0 +1,112 @@
+#include "logic/bool_expr.h"
+
+#include <bit>
+
+#include "util/errors.h"
+
+namespace glva::logic {
+
+bool Cube::covers(std::size_t combination, std::size_t input_count) const noexcept {
+  // Combination bit for variable i (i = 0 is the MSB of the label).
+  std::uint32_t value_bits = 0;
+  for (std::size_t i = 0; i < input_count; ++i) {
+    if ((combination >> (input_count - 1 - i)) & 1U) {
+      value_bits |= (1U << i);
+    }
+  }
+  return (value_bits & mask) == (polarity & mask);
+}
+
+std::size_t Cube::literal_count() const noexcept {
+  return static_cast<std::size_t>(std::popcount(mask));
+}
+
+SopExpr::SopExpr(std::size_t input_count, std::vector<std::string> input_names)
+    : input_count_(input_count), input_names_(std::move(input_names)) {
+  if (input_count == 0 || input_count > 32) {
+    throw InvalidArgument("SopExpr supports 1..32 inputs");
+  }
+  if (input_names_.size() != input_count_) {
+    throw InvalidArgument("SopExpr: name count does not match input count");
+  }
+}
+
+SopExpr SopExpr::canonical(const TruthTable& table,
+                           std::vector<std::string> input_names) {
+  SopExpr expr(table.input_count(), std::move(input_names));
+  const auto n = table.input_count();
+  for (std::size_t m : table.minterms()) {
+    Cube cube;
+    cube.mask = (n >= 32) ? ~0U : ((1U << n) - 1U);
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((m >> (n - 1 - i)) & 1U) cube.polarity |= (1U << i);
+    }
+    expr.add_cube(cube);
+  }
+  return expr;
+}
+
+void SopExpr::add_cube(const Cube& cube) { cubes_.push_back(cube); }
+
+bool SopExpr::evaluate(std::size_t combination) const noexcept {
+  for (const auto& cube : cubes_) {
+    if (cube.covers(combination, input_count_)) return true;
+  }
+  return false;
+}
+
+TruthTable SopExpr::to_truth_table() const {
+  TruthTable table(input_count_);
+  for (std::size_t c = 0; c < table.row_count(); ++c) {
+    table.set_output(c, evaluate(c));
+  }
+  return table;
+}
+
+bool SopExpr::equivalent_to(const TruthTable& table) const {
+  if (table.input_count() != input_count_) return false;
+  return to_truth_table() == table;
+}
+
+std::string SopExpr::to_string(const ExprStyle& style) const {
+  if (cubes_.empty()) return style.false_text;
+  std::string out;
+  for (std::size_t t = 0; t < cubes_.size(); ++t) {
+    if (t != 0) out += style.or_sep;
+    const Cube& cube = cubes_[t];
+    if (cube.mask == 0) {
+      out += style.true_text;
+      continue;
+    }
+    bool first = true;
+    for (std::size_t i = 0; i < input_count_; ++i) {
+      if (((cube.mask >> i) & 1U) == 0) continue;
+      if (!first) out += style.and_sep;
+      first = false;
+      out += input_names_[i];
+      if (((cube.polarity >> i) & 1U) == 0) out += style.not_suffix;
+    }
+  }
+  return out;
+}
+
+std::size_t SopExpr::literal_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& cube : cubes_) total += cube.literal_count();
+  return total;
+}
+
+std::vector<std::string> default_input_names(std::size_t count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i < 26) {
+      names.emplace_back(1, static_cast<char>('A' + i));
+    } else {
+      names.push_back("X" + std::to_string(i));
+    }
+  }
+  return names;
+}
+
+}  // namespace glva::logic

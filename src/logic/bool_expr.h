@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.h"
+
+/// Sum-of-products Boolean expressions — the form in which the paper
+/// reports extracted circuit logic ("The Boolean expression is then
+/// constructed for each filtered result").
+namespace glva::logic {
+
+/// A product term (cube) over n variables: variable i participates when
+/// bit i of `mask` is set (bit 0 = input 0 = MSB of combination labels) and
+/// must equal bit i of `polarity`.
+struct Cube {
+  std::uint32_t mask = 0;
+  std::uint32_t polarity = 0;
+
+  /// True when the cube covers the given input combination (combination
+  /// encoded with input 0 as MSB, per TruthTable convention).
+  [[nodiscard]] bool covers(std::size_t combination,
+                            std::size_t input_count) const noexcept;
+
+  /// Literal count of the cube.
+  [[nodiscard]] std::size_t literal_count() const noexcept;
+
+  [[nodiscard]] bool operator==(const Cube& other) const = default;
+};
+
+/// Rendering style for expressions.
+struct ExprStyle {
+  std::string and_sep = "·";   ///< between literals
+  std::string or_sep = " + ";  ///< between product terms
+  std::string not_suffix = "'"; ///< after a complemented variable
+  std::string true_text = "1";
+  std::string false_text = "0";
+};
+
+/// A disjunction of cubes over named variables.
+class SopExpr {
+public:
+  SopExpr(std::size_t input_count, std::vector<std::string> input_names);
+
+  /// Default: a 1-input constant-0 placeholder (see TruthTable's default).
+  SopExpr() : SopExpr(1, {"A"}) {}
+
+  /// Canonical (unminimized) sum of minterms of a truth table.
+  static SopExpr canonical(const TruthTable& table,
+                           std::vector<std::string> input_names);
+
+  void add_cube(const Cube& cube);
+
+  [[nodiscard]] std::size_t input_count() const noexcept { return input_count_; }
+  [[nodiscard]] const std::vector<Cube>& cubes() const noexcept { return cubes_; }
+  [[nodiscard]] const std::vector<std::string>& input_names() const noexcept {
+    return input_names_;
+  }
+
+  /// Evaluate on one combination (input 0 = MSB).
+  [[nodiscard]] bool evaluate(std::size_t combination) const noexcept;
+
+  /// Expand to a complete truth table.
+  [[nodiscard]] TruthTable to_truth_table() const;
+
+  /// True iff this expression computes the same function as `table`.
+  [[nodiscard]] bool equivalent_to(const TruthTable& table) const;
+
+  /// Render ("A·B' + C"); an empty cube list renders as "0", a cube with no
+  /// literals as "1".
+  [[nodiscard]] std::string to_string(const ExprStyle& style = {}) const;
+
+  /// Total literals across all cubes (the standard minimization cost).
+  [[nodiscard]] std::size_t literal_count() const noexcept;
+
+private:
+  std::size_t input_count_;
+  std::vector<std::string> input_names_;
+  std::vector<Cube> cubes_;
+};
+
+/// Default variable names "A", "B", ... used when a caller has none.
+[[nodiscard]] std::vector<std::string> default_input_names(std::size_t count);
+
+}  // namespace glva::logic

@@ -1,0 +1,197 @@
+#include "logic/quine_mccluskey.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "util/errors.h"
+
+namespace glva::logic {
+
+namespace {
+
+/// An implicant in combination-index space: covers every combination c with
+/// (c & ~dashes) == value. `dashes` marks the eliminated variables.
+struct Implicant {
+  std::uint32_t value = 0;
+  std::uint32_t dashes = 0;
+
+  [[nodiscard]] bool covers(std::uint32_t combination) const noexcept {
+    return (combination & ~dashes) == value;
+  }
+  [[nodiscard]] auto operator<=>(const Implicant&) const = default;
+};
+
+/// Convert a combination-space implicant to a variable-indexed Cube
+/// (variable i is the MSB-first input i, i.e. combination bit n-1-i).
+Cube to_cube(const Implicant& imp, std::size_t n) {
+  Cube cube;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t combo_bit = 1U << (n - 1 - i);
+    if ((imp.dashes & combo_bit) == 0) {
+      cube.mask |= (1U << i);
+      if (imp.value & combo_bit) cube.polarity |= (1U << i);
+    }
+  }
+  return cube;
+}
+
+/// Branch-and-bound minimum cover: pick the uncovered minterm with the
+/// fewest candidate primes and branch on its candidates. Cost is the cube
+/// count with literal count as tie-break.
+struct CoverSearch {
+  const std::vector<Implicant>& primes;
+  const std::vector<std::uint32_t>& minterms;
+  std::size_t n = 0;
+
+  std::vector<std::size_t> best;
+  std::size_t best_literals = 0;
+  bool have_best = false;
+
+  [[nodiscard]] std::size_t literals_of(const std::vector<std::size_t>& chosen) const {
+    std::size_t total = 0;
+    for (std::size_t p : chosen) {
+      total += n - static_cast<std::size_t>(std::popcount(primes[p].dashes));
+    }
+    return total;
+  }
+
+  void search(std::vector<std::size_t>& chosen, std::vector<bool>& covered,
+              std::size_t covered_count) {
+    if (have_best && chosen.size() >= best.size()) {
+      // Equal size can still win on literals only when fully covered now.
+      if (chosen.size() > best.size() || covered_count < minterms.size()) return;
+    }
+    if (covered_count == minterms.size()) {
+      const std::size_t lits = literals_of(chosen);
+      if (!have_best || chosen.size() < best.size() ||
+          (chosen.size() == best.size() && lits < best_literals)) {
+        best = chosen;
+        best_literals = lits;
+        have_best = true;
+      }
+      return;
+    }
+    // Most-constrained uncovered minterm.
+    std::size_t pick = minterms.size();
+    std::size_t pick_options = primes.size() + 1;
+    for (std::size_t m = 0; m < minterms.size(); ++m) {
+      if (covered[m]) continue;
+      std::size_t options = 0;
+      for (const auto& prime : primes) {
+        if (prime.covers(minterms[m])) ++options;
+      }
+      if (options < pick_options) {
+        pick_options = options;
+        pick = m;
+      }
+    }
+    if (pick == minterms.size() || pick_options == 0) return;  // uncoverable
+
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (!primes[p].covers(minterms[pick])) continue;
+      std::vector<std::size_t> newly;
+      for (std::size_t m = 0; m < minterms.size(); ++m) {
+        if (!covered[m] && primes[p].covers(minterms[m])) {
+          covered[m] = true;
+          newly.push_back(m);
+        }
+      }
+      chosen.push_back(p);
+      search(chosen, covered, covered_count + newly.size());
+      chosen.pop_back();
+      for (std::size_t m : newly) covered[m] = false;
+    }
+  }
+};
+
+std::vector<Implicant> compute_primes(std::size_t n,
+                                      const std::vector<std::uint32_t>& ones) {
+  std::set<Implicant> current;
+  for (std::uint32_t c : ones) current.insert(Implicant{c, 0});
+
+  std::vector<Implicant> primes;
+  while (!current.empty()) {
+    std::set<Implicant> next;
+    std::set<Implicant> combined;
+    const std::vector<Implicant> list(current.begin(), current.end());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        if (list[i].dashes != list[j].dashes) continue;
+        const std::uint32_t diff = list[i].value ^ list[j].value;
+        if (std::popcount(diff) != 1) continue;
+        next.insert(Implicant{list[i].value & ~diff, list[i].dashes | diff});
+        combined.insert(list[i]);
+        combined.insert(list[j]);
+      }
+    }
+    for (const auto& imp : list) {
+      if (combined.count(imp) == 0) primes.push_back(imp);
+    }
+    current = std::move(next);
+  }
+  (void)n;
+  return primes;
+}
+
+}  // namespace
+
+std::vector<Cube> prime_implicants(const TruthTable& table,
+                                   const std::vector<std::size_t>& dont_cares) {
+  const std::size_t n = table.input_count();
+  std::set<std::uint32_t> ones_set;
+  for (std::size_t m : table.minterms()) {
+    ones_set.insert(static_cast<std::uint32_t>(m));
+  }
+  for (std::size_t d : dont_cares) {
+    if (d >= table.row_count()) {
+      throw InvalidArgument("prime_implicants: don't-care out of range");
+    }
+    ones_set.insert(static_cast<std::uint32_t>(d));
+  }
+  const std::vector<std::uint32_t> ones(ones_set.begin(), ones_set.end());
+  std::vector<Cube> cubes;
+  for (const auto& imp : compute_primes(n, ones)) {
+    cubes.push_back(to_cube(imp, n));
+  }
+  return cubes;
+}
+
+SopExpr minimize(const TruthTable& table, std::vector<std::string> input_names,
+                 const std::vector<std::size_t>& dont_cares) {
+  const std::size_t n = table.input_count();
+  SopExpr expr(n, std::move(input_names));
+
+  std::set<std::uint32_t> dc_set;
+  for (std::size_t d : dont_cares) {
+    if (d >= table.row_count()) {
+      throw InvalidArgument("minimize: don't-care out of range");
+    }
+    dc_set.insert(static_cast<std::uint32_t>(d));
+  }
+  std::vector<std::uint32_t> required;
+  std::set<std::uint32_t> ones_set(dc_set);
+  for (std::size_t m : table.minterms()) {
+    const auto c = static_cast<std::uint32_t>(m);
+    if (dc_set.count(c) == 0) required.push_back(c);
+    ones_set.insert(c);
+  }
+  if (required.empty()) return expr;  // constant 0 (dont-cares default low)
+
+  const std::vector<std::uint32_t> ones(ones_set.begin(), ones_set.end());
+  const std::vector<Implicant> primes = compute_primes(n, ones);
+
+  CoverSearch searcher{primes, required, n, {}, 0, false};
+  std::vector<std::size_t> chosen;
+  std::vector<bool> covered(required.size(), false);
+  searcher.search(chosen, covered, 0);
+  if (!searcher.have_best) {
+    throw InvalidArgument("minimize: internal cover failure");
+  }
+  std::vector<std::size_t> picked = searcher.best;
+  std::sort(picked.begin(), picked.end());
+  for (std::size_t p : picked) expr.add_cube(to_cube(primes[p], n));
+  return expr;
+}
+
+}  // namespace glva::logic

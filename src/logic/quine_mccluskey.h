@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "logic/bool_expr.h"
+#include "logic/truth_table.h"
+
+/// Two-level minimization of extracted Boolean functions. The paper prints
+/// extracted logic as Boolean expressions; GLVA additionally minimizes them
+/// (exact Quine–McCluskey with a branch-and-bound minimum cover — feasible
+/// because genetic circuits have few inputs).
+namespace glva::logic {
+
+/// Minimize `table` (with optional don't-care combinations) into a
+/// minimum-cube, then minimum-literal, sum-of-products expression.
+///
+/// Don't-cares may be covered but need not be; they arise in GLVA when the
+/// analyzer's filters reject a combination as *undetermined* rather than
+/// low (see core::ExtractionResult::undetermined_combinations).
+[[nodiscard]] SopExpr minimize(const TruthTable& table,
+                               std::vector<std::string> input_names,
+                               const std::vector<std::size_t>& dont_cares = {});
+
+/// The prime implicants of `table` (+ don't-cares), unsorted. Exposed for
+/// tests and for ablation benches.
+[[nodiscard]] std::vector<Cube> prime_implicants(
+    const TruthTable& table, const std::vector<std::size_t>& dont_cares = {});
+
+}  // namespace glva::logic

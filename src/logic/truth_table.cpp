@@ -1,0 +1,172 @@
+#include "logic/truth_table.h"
+
+#include <bit>
+
+#include "util/errors.h"
+
+namespace glva::logic {
+
+TruthTable::TruthTable(std::size_t input_count) : input_count_(input_count) {
+  if (input_count == 0 || input_count > 16) {
+    throw InvalidArgument("TruthTable supports 1..16 inputs, got " +
+                          std::to_string(input_count));
+  }
+  outputs_.assign(row_count(), false);
+}
+
+TruthTable TruthTable::from_minterms(std::size_t input_count,
+                                     const std::vector<std::size_t>& minterms) {
+  TruthTable table(input_count);
+  for (std::size_t m : minterms) table.set_output(m, true);
+  return table;
+}
+
+TruthTable TruthTable::from_bits(std::size_t input_count, std::uint64_t bits) {
+  TruthTable table(input_count);
+  for (std::size_t i = 0; i < table.row_count() && i < 64; ++i) {
+    table.set_output(i, ((bits >> i) & 1U) != 0);
+  }
+  return table;
+}
+
+bool TruthTable::output(std::size_t combination) const {
+  if (combination >= outputs_.size()) {
+    throw InvalidArgument("TruthTable: combination out of range");
+  }
+  return outputs_[combination];
+}
+
+void TruthTable::set_output(std::size_t combination, bool value) {
+  if (combination >= outputs_.size()) {
+    throw InvalidArgument("TruthTable: combination out of range");
+  }
+  outputs_[combination] = value;
+}
+
+std::vector<std::size_t> TruthTable::minterms() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::uint64_t TruthTable::to_bits() const {
+  if (input_count_ > 6) {
+    throw InvalidArgument("TruthTable::to_bits requires <= 6 inputs");
+  }
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i]) bits |= (1ULL << i);
+  }
+  return bits;
+}
+
+std::string TruthTable::combination_label(std::size_t combination) const {
+  std::string label(input_count_, '0');
+  for (std::size_t bit = 0; bit < input_count_; ++bit) {
+    if ((combination >> (input_count_ - 1 - bit)) & 1U) label[bit] = '1';
+  }
+  return label;
+}
+
+std::string TruthTable::to_string(const std::vector<std::string>& input_names,
+                                  const std::string& output_name) const {
+  std::string out;
+  for (std::size_t i = 0; i < input_count_; ++i) {
+    out += i < input_names.size() ? input_names[i] : "?";
+    out += ' ';
+  }
+  out += "| ";
+  out += output_name;
+  out += '\n';
+  for (std::size_t c = 0; c < row_count(); ++c) {
+    const std::string label = combination_label(c);
+    for (std::size_t i = 0; i < input_count_; ++i) {
+      const std::size_t width = i < input_names.size() ? input_names[i].size() : 1;
+      out += label[i];
+      out.append(width > 0 ? width - 1 : 0, ' ');
+      out += ' ';
+    }
+    out += "| ";
+    out += outputs_[c] ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::size_t> TruthTable::differing_rows(const TruthTable& other) const {
+  if (other.input_count_ != input_count_) {
+    throw InvalidArgument("differing_rows: input counts differ");
+  }
+  std::vector<std::size_t> rows;
+  for (std::size_t c = 0; c < row_count(); ++c) {
+    if (outputs_[c] != other.outputs_[c]) rows.push_back(c);
+  }
+  return rows;
+}
+
+TruthTable TruthTable::and_gate(std::size_t inputs) {
+  TruthTable t(inputs);
+  t.set_output(t.row_count() - 1, true);
+  return t;
+}
+
+TruthTable TruthTable::or_gate(std::size_t inputs) {
+  TruthTable t(inputs);
+  for (std::size_t c = 1; c < t.row_count(); ++c) t.set_output(c, true);
+  return t;
+}
+
+TruthTable TruthTable::nand_gate(std::size_t inputs) {
+  TruthTable t(inputs);
+  for (std::size_t c = 0; c + 1 < t.row_count(); ++c) t.set_output(c, true);
+  return t;
+}
+
+TruthTable TruthTable::nor_gate(std::size_t inputs) {
+  TruthTable t(inputs);
+  t.set_output(0, true);
+  return t;
+}
+
+TruthTable TruthTable::xor_gate(std::size_t inputs) {
+  TruthTable t(inputs);
+  for (std::size_t c = 0; c < t.row_count(); ++c) {
+    t.set_output(c, (std::popcount(c) % 2) == 1);
+  }
+  return t;
+}
+
+TruthTable TruthTable::xnor_gate(std::size_t inputs) {
+  TruthTable t(inputs);
+  for (std::size_t c = 0; c < t.row_count(); ++c) {
+    t.set_output(c, (std::popcount(c) % 2) == 0);
+  }
+  return t;
+}
+
+TruthTable TruthTable::not_gate() {
+  TruthTable t(1);
+  t.set_output(0, true);
+  return t;
+}
+
+TruthTable TruthTable::majority(std::size_t inputs) {
+  TruthTable t(inputs);
+  for (std::size_t c = 0; c < t.row_count(); ++c) {
+    t.set_output(c, 2 * static_cast<std::size_t>(std::popcount(c)) > inputs);
+  }
+  return t;
+}
+
+TruthTable TruthTable::minority(std::size_t inputs) {
+  TruthTable t(inputs);
+  for (std::size_t c = 0; c < t.row_count(); ++c) {
+    t.set_output(c, 2 * static_cast<std::size_t>(std::popcount(c)) <= inputs &&
+                        !(2 * static_cast<std::size_t>(std::popcount(c)) == inputs));
+  }
+  return t;
+}
+
+}  // namespace glva::logic

@@ -1,0 +1,183 @@
+#include "math/expr_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+
+#include "util/errors.h"
+
+namespace glva::math {
+
+namespace {
+
+class ExprParser {
+public:
+  explicit ExprParser(std::string_view input) : input_(input) {}
+
+  ExprPtr parse() {
+    ExprPtr e = parse_expr();
+    skip_ws();
+    if (pos_ != input_.size()) fail("unexpected trailing input");
+    return e;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("expression: " + message, 1, pos_ + 1);
+  }
+
+  void skip_ws() {
+    while (pos_ < input_.size() &&
+           (input_[pos_] == ' ' || input_[pos_] == '\t' ||
+            input_[pos_] == '\n' || input_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::optional<char> peek() {
+    skip_ws();
+    if (pos_ >= input_.size()) return std::nullopt;
+    return input_[pos_];
+  }
+
+  ExprPtr parse_expr() {
+    ExprPtr lhs = parse_term();
+    for (;;) {
+      if (consume('+')) {
+        lhs = Expr::add(lhs, parse_term());
+      } else if (consume('-')) {
+        lhs = Expr::sub(lhs, parse_term());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr lhs = parse_factor();
+    for (;;) {
+      if (consume('*')) {
+        lhs = Expr::mul(lhs, parse_factor());
+      } else if (consume('/')) {
+        lhs = Expr::div(lhs, parse_factor());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_factor() {
+    // Unary signs stack: "--x" is x, "-+-x" is x.
+    bool negative = false;
+    for (;;) {
+      if (consume('-')) {
+        negative = !negative;
+      } else if (consume('+')) {
+        // no-op
+      } else {
+        break;
+      }
+    }
+    ExprPtr e = parse_power();
+    return negative ? Expr::negate(e) : e;
+  }
+
+  ExprPtr parse_power() {
+    ExprPtr base = parse_primary();
+    if (consume('^')) {
+      // Right-associative: recurse through factor so "-" binds looser.
+      return Expr::pow(base, parse_factor());
+    }
+    return base;
+  }
+
+  ExprPtr parse_primary() {
+    skip_ws();
+    if (pos_ >= input_.size()) fail("unexpected end of expression");
+    const char c = input_[pos_];
+    if (c == '(') {
+      ++pos_;
+      ExprPtr e = parse_expr();
+      if (!consume(')')) fail("missing ')'");
+      return e;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return parse_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return parse_identifier();
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  ExprPtr parse_number() {
+    const char* first = input_.data() + pos_;
+    const char* last = input_.data() + input_.size();
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{}) fail("malformed number");
+    pos_ += static_cast<std::size_t>(ptr - first);
+    return Expr::number(value);
+  }
+
+  ExprPtr parse_identifier() {
+    std::size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string name(input_.substr(start, pos_ - start));
+    if (!consume('(')) return Expr::symbol(std::move(name));
+
+    // Function call.
+    std::vector<ExprPtr> args;
+    if (peek() != ')') {
+      args.push_back(parse_expr());
+      while (consume(',')) args.push_back(parse_expr());
+    }
+    if (!consume(')')) fail("missing ')' after function arguments");
+
+    static const struct {
+      const char* name;
+      Function f;
+    } kFunctions[] = {
+        {"exp", Function::kExp},     {"ln", Function::kLn},
+        {"log10", Function::kLog10}, {"sqrt", Function::kSqrt},
+        {"abs", Function::kAbs},     {"floor", Function::kFloor},
+        {"ceil", Function::kCeil},   {"min", Function::kMin},
+        {"max", Function::kMax},     {"hill", Function::kHill},
+    };
+    for (const auto& entry : kFunctions) {
+      if (name == entry.name) {
+        try {
+          return Expr::call(entry.f, std::move(args));
+        } catch (const InvalidArgument& e) {
+          fail(e.what());
+        }
+      }
+    }
+    fail("unknown function '" + name + "'");
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_expression(std::string_view input) {
+  ExprParser parser(input);
+  return parser.parse();
+}
+
+}  // namespace glva::math

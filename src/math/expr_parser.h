@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string_view>
+
+#include "math/expr.h"
+
+namespace glva::math {
+
+/// Parse an infix arithmetic expression into an AST.
+///
+/// Grammar (standard precedence; `^` binds tightest and is
+/// right-associative):
+///
+///   expr    := term (('+' | '-') term)*
+///   term    := factor (('*' | '/') factor)*
+///   factor  := ('-' | '+')* power
+///   power   := primary ('^' factor)?
+///   primary := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+///
+/// Recognized functions: exp, ln, log10, sqrt, abs, floor, ceil, min, max,
+/// hill. Throws glva::ParseError on malformed input.
+[[nodiscard]] ExprPtr parse_expression(std::string_view input);
+
+}  // namespace glva::math

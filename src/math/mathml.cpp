@@ -1,0 +1,249 @@
+#include "math/mathml.h"
+
+#include <cmath>
+
+#include "util/errors.h"
+#include "util/string_util.h"
+
+namespace glva::math {
+
+namespace {
+
+ExprPtr read_node(const xml::XmlNode& node);
+
+ExprPtr read_cn(const xml::XmlNode& node) {
+  const std::string type = node.attribute("type").value_or("real");
+  if (type == "e-notation") {
+    // <cn type="e-notation"> mantissa <sep/> exponent </cn>
+    std::string mantissa;
+    std::string exponent;
+    bool after_sep = false;
+    for (const auto& child : node.children()) {
+      if (child->kind() == xml::XmlNode::Kind::kElement &&
+          child->name() == "sep") {
+        after_sep = true;
+      } else if (child->kind() == xml::XmlNode::Kind::kText) {
+        (after_sep ? exponent : mantissa) += child->content();
+      }
+    }
+    const auto m = util::parse_double(mantissa);
+    const auto e = util::parse_double(exponent);
+    if (!m || !e) throw ParseError("MathML: malformed e-notation <cn>");
+    return Expr::number(*m * std::pow(10.0, *e));
+  }
+  const auto value = util::parse_double(node.text_content());
+  if (!value) {
+    throw ParseError("MathML: malformed <cn> value '" + node.text_content() +
+                     "'");
+  }
+  return Expr::number(*value);
+}
+
+ExprPtr fold_nary(BinaryOp op, const std::vector<const xml::XmlNode*>& args,
+                  std::size_t first) {
+  ExprPtr acc = read_node(*args[first]);
+  for (std::size_t i = first + 1; i < args.size(); ++i) {
+    acc = Expr::binary(op, acc, read_node(*args[i]));
+  }
+  return acc;
+}
+
+ExprPtr read_apply(const xml::XmlNode& node) {
+  const auto children = node.element_children();
+  if (children.empty()) throw ParseError("MathML: empty <apply>");
+  const std::string& op = children[0]->name();
+  const std::size_t argc = children.size() - 1;
+  const auto require_args = [&](std::size_t n) {
+    if (argc != n) {
+      throw ParseError("MathML: <" + op + "> expects " + std::to_string(n) +
+                       " operand(s), got " + std::to_string(argc));
+    }
+  };
+
+  if (op == "plus") {
+    if (argc == 0) return Expr::number(0.0);
+    return fold_nary(BinaryOp::kAdd, children, 1);
+  }
+  if (op == "times") {
+    if (argc == 0) return Expr::number(1.0);
+    return fold_nary(BinaryOp::kMul, children, 1);
+  }
+  if (op == "minus") {
+    if (argc == 1) return Expr::negate(read_node(*children[1]));
+    require_args(2);
+    return Expr::sub(read_node(*children[1]), read_node(*children[2]));
+  }
+  if (op == "divide") {
+    require_args(2);
+    return Expr::div(read_node(*children[1]), read_node(*children[2]));
+  }
+  if (op == "power") {
+    require_args(2);
+    return Expr::pow(read_node(*children[1]), read_node(*children[2]));
+  }
+  if (op == "root") {
+    // <root> [<degree>..</degree>] x </root>; default degree 2.
+    if (argc == 1) {
+      return Expr::call(Function::kSqrt, {read_node(*children[1])});
+    }
+    if (argc == 2 && children[1]->name() == "degree") {
+      const auto degree_children = children[1]->element_children();
+      if (degree_children.size() != 1) {
+        throw ParseError("MathML: malformed <degree>");
+      }
+      return Expr::pow(read_node(*children[2]),
+                       Expr::div(Expr::number(1.0),
+                                 read_node(*degree_children[0])));
+    }
+    throw ParseError("MathML: unsupported <root> form");
+  }
+  if (op == "log") {
+    // <log> [<logbase>..</logbase>] x </log>; default base 10.
+    if (argc == 1) {
+      return Expr::call(Function::kLog10, {read_node(*children[1])});
+    }
+    if (argc == 2 && children[1]->name() == "logbase") {
+      const auto base_children = children[1]->element_children();
+      if (base_children.size() != 1) {
+        throw ParseError("MathML: malformed <logbase>");
+      }
+      // log_b(x) = ln(x) / ln(b)
+      return Expr::div(Expr::call(Function::kLn, {read_node(*children[2])}),
+                       Expr::call(Function::kLn, {read_node(*base_children[0])}));
+    }
+    throw ParseError("MathML: unsupported <log> form");
+  }
+
+  static const struct {
+    const char* name;
+    Function f;
+    std::size_t args;
+  } kUnary[] = {
+      {"exp", Function::kExp, 1},      {"ln", Function::kLn, 1},
+      {"abs", Function::kAbs, 1},      {"floor", Function::kFloor, 1},
+      {"ceiling", Function::kCeil, 1},
+  };
+  for (const auto& entry : kUnary) {
+    if (op == entry.name) {
+      require_args(entry.args);
+      return Expr::call(entry.f, {read_node(*children[1])});
+    }
+  }
+  if (op == "min" || op == "max") {
+    if (argc < 2) throw ParseError("MathML: <" + op + "> expects >= 2 operands");
+    std::vector<ExprPtr> args;
+    for (std::size_t i = 1; i < children.size(); ++i) {
+      args.push_back(read_node(*children[i]));
+    }
+    return Expr::call(op == "min" ? Function::kMin : Function::kMax,
+                      std::move(args));
+  }
+  throw ParseError("MathML: unsupported operator <" + op + ">");
+}
+
+ExprPtr read_node(const xml::XmlNode& node) {
+  if (node.name() == "cn") return read_cn(node);
+  if (node.name() == "ci") {
+    const std::string name = node.text_content();
+    if (name.empty()) throw ParseError("MathML: empty <ci>");
+    return Expr::symbol(name);
+  }
+  if (node.name() == "apply") return read_apply(node);
+  throw ParseError("MathML: unsupported element <" + node.name() + ">");
+}
+
+void write_node(const Expr& expr, xml::XmlNode& parent) {
+  switch (expr.kind()) {
+    case Expr::Kind::kNumber: {
+      auto& cn = parent.add_element("cn");
+      const double v = expr.value();
+      if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        cn.set_attribute("type", "integer");
+      }
+      cn.add_text(util::format_double(v));
+      return;
+    }
+    case Expr::Kind::kSymbol: {
+      parent.add_element("ci").add_text(expr.name());
+      return;
+    }
+    case Expr::Kind::kNegate: {
+      auto& apply = parent.add_element("apply");
+      apply.add_element("minus");
+      write_node(*expr.children()[0], apply);
+      return;
+    }
+    case Expr::Kind::kBinary: {
+      auto& apply = parent.add_element("apply");
+      const char* names[] = {"plus", "minus", "times", "divide", "power"};
+      apply.add_element(names[static_cast<int>(expr.op())]);
+      write_node(*expr.children()[0], apply);
+      write_node(*expr.children()[1], apply);
+      return;
+    }
+    case Expr::Kind::kCall: {
+      if (expr.function() == Function::kHill) {
+        // Expand hill(x, k, n) to x^n / (k^n + x^n) so the emitted MathML is
+        // plain SBML-compatible.
+        const ExprPtr x = expr.children()[0];
+        const ExprPtr k = expr.children()[1];
+        const ExprPtr n = expr.children()[2];
+        const ExprPtr expanded =
+            Expr::div(Expr::pow(x, n),
+                      Expr::add(Expr::pow(k, n), Expr::pow(x, n)));
+        write_node(*expanded, parent);
+        return;
+      }
+      if (expr.function() == Function::kSqrt) {
+        auto& apply = parent.add_element("apply");
+        apply.add_element("root");
+        write_node(*expr.children()[0], apply);
+        return;
+      }
+      if (expr.function() == Function::kLog10) {
+        auto& apply = parent.add_element("apply");
+        apply.add_element("log");
+        write_node(*expr.children()[0], apply);
+        return;
+      }
+      auto& apply = parent.add_element("apply");
+      const char* name = "exp";
+      switch (expr.function()) {
+        case Function::kExp: name = "exp"; break;
+        case Function::kLn: name = "ln"; break;
+        case Function::kAbs: name = "abs"; break;
+        case Function::kFloor: name = "floor"; break;
+        case Function::kCeil: name = "ceiling"; break;
+        case Function::kMin: name = "min"; break;
+        case Function::kMax: name = "max"; break;
+        default: break;
+      }
+      apply.add_element(name);
+      for (const auto& child : expr.children()) write_node(*child, apply);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ExprPtr from_mathml(const xml::XmlNode& math_element) {
+  const xml::XmlNode* node = &math_element;
+  if (node->name() == "math") {
+    const auto children = node->element_children();
+    if (children.size() != 1) {
+      throw ParseError("MathML: <math> must contain exactly one expression");
+    }
+    node = children[0];
+  }
+  return read_node(*node);
+}
+
+xml::XmlNodePtr to_mathml(const Expr& expr) {
+  auto math = xml::XmlNode::element("math");
+  math->set_attribute("xmlns", kMathMLNamespace);
+  write_node(expr, *math);
+  return math;
+}
+
+}  // namespace glva::math

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "math/expr.h"
+#include "xml/xml_node.h"
+
+namespace glva::math {
+
+/// The MathML namespace URI SBML kinetic laws use.
+inline constexpr const char* kMathMLNamespace =
+    "http://www.w3.org/1998/Math/MathML";
+
+/// Read the MathML subset used by SBML kinetic laws into an expression
+/// tree.
+///
+/// Supported constructs: <cn> (integer, real, e-notation with <sep/>),
+/// <ci>, and <apply> with plus (n-ary), minus (unary and binary), times
+/// (n-ary), divide, power, exp, ln, log (base 10), root (square), abs,
+/// floor, ceiling, min, max.
+///
+/// `math_element` may be the <math> wrapper or the operator element itself.
+/// Throws glva::ParseError on unsupported or malformed content.
+[[nodiscard]] ExprPtr from_mathml(const xml::XmlNode& math_element);
+
+/// Serialize an expression to a <math> element (with the MathML namespace
+/// declared). GLVA's hill(x, k, n) extension is expanded to
+/// x^n / (k^n + x^n) so emitted documents are plain SBML-compatible MathML.
+[[nodiscard]] xml::XmlNodePtr to_mathml(const Expr& expr);
+
+}  // namespace glva::math

@@ -1,0 +1,94 @@
+#include "sbml/model.h"
+
+#include "math/expr_parser.h"
+#include "util/errors.h"
+
+namespace glva::sbml {
+
+Compartment& Model::add_compartment(const std::string& compartment_id,
+                                    double size) {
+  compartments.push_back(Compartment{compartment_id, size, true});
+  return compartments.back();
+}
+
+Species& Model::add_species(const std::string& species_id,
+                            double initial_amount, bool boundary) {
+  if (compartments.empty()) {
+    throw InvalidArgument("add_species: model has no compartment yet");
+  }
+  Species s;
+  s.id = species_id;
+  s.compartment = compartments.front().id;
+  s.initial_amount = initial_amount;
+  s.boundary_condition = boundary;
+  species.push_back(std::move(s));
+  return species.back();
+}
+
+Parameter& Model::add_parameter(const std::string& parameter_id, double value) {
+  parameters.push_back(Parameter{parameter_id, value, true});
+  return parameters.back();
+}
+
+Reaction& Model::add_reaction(const std::string& reaction_id,
+                              const std::vector<SpeciesReference>& reactants,
+                              const std::vector<SpeciesReference>& products,
+                              const std::string& kinetic_law_infix,
+                              const std::vector<ModifierReference>& modifiers) {
+  Reaction r;
+  r.id = reaction_id;
+  r.reactants = reactants;
+  r.products = products;
+  r.modifiers = modifiers;
+  r.kinetic_law.math = math::parse_expression(kinetic_law_infix);
+  reactions.push_back(std::move(r));
+  return reactions.back();
+}
+
+const Species* Model::find_species(const std::string& species_id) const noexcept {
+  for (const auto& s : species) {
+    if (s.id == species_id) return &s;
+  }
+  return nullptr;
+}
+
+Species* Model::find_species(const std::string& species_id) noexcept {
+  for (auto& s : species) {
+    if (s.id == species_id) return &s;
+  }
+  return nullptr;
+}
+
+const Parameter* Model::find_parameter(
+    const std::string& parameter_id) const noexcept {
+  for (const auto& p : parameters) {
+    if (p.id == parameter_id) return &p;
+  }
+  return nullptr;
+}
+
+const Reaction* Model::find_reaction(
+    const std::string& reaction_id) const noexcept {
+  for (const auto& r : reactions) {
+    if (r.id == reaction_id) return &r;
+  }
+  return nullptr;
+}
+
+const Compartment* Model::find_compartment(
+    const std::string& compartment_id) const noexcept {
+  for (const auto& c : compartments) {
+    if (c.id == compartment_id) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Model::boundary_species_ids() const {
+  std::vector<std::string> out;
+  for (const auto& s : species) {
+    if (s.boundary_condition) out.push_back(s.id);
+  }
+  return out;
+}
+
+}  // namespace glva::sbml

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "math/expr.h"
+
+/// An SBML Level 3 Version 1 core subset sufficient for genetic logic
+/// circuit models: compartments, species, global parameters, and
+/// irreversible reactions with kinetic-law mathematics.
+///
+/// This mirrors how D-VASim consumes SBML [Baig & Madsen, Bioinformatics
+/// 2016]: species amounts are discrete molecule counts, kinetic laws are
+/// propensity functions, and boundary-condition species act as externally
+/// clamped inputs.
+namespace glva::sbml {
+
+/// A reaction compartment. Genetic circuit models typically use a single
+/// unit-sized "cell" compartment.
+struct Compartment {
+  std::string id;
+  double size = 1.0;
+  bool constant = true;
+};
+
+/// A molecular species.
+struct Species {
+  std::string id;
+  std::string name;          ///< human-readable name; may be empty
+  std::string compartment;   ///< id of the owning compartment
+  double initial_amount = 0.0;
+  /// Boundary species are not changed by reaction firings — the virtual lab
+  /// clamps circuit inputs by marking them as boundary species.
+  bool boundary_condition = false;
+  bool constant = false;
+  bool has_only_substance_units = true;
+};
+
+/// A global constant used by kinetic laws.
+struct Parameter {
+  std::string id;
+  double value = 0.0;
+  bool constant = true;
+};
+
+/// One reactant/product entry: `stoichiometry` copies of `species`.
+struct SpeciesReference {
+  std::string species;
+  double stoichiometry = 1.0;
+};
+
+/// A species that appears in a kinetic law without being consumed or
+/// produced (e.g. a repressor regulating a promoter).
+struct ModifierReference {
+  std::string species;
+};
+
+/// The rate mathematics of a reaction, with optional reaction-local
+/// parameters that shadow global ones inside `math`.
+struct KineticLaw {
+  math::ExprPtr math;
+  std::vector<Parameter> local_parameters;
+};
+
+/// An irreversible reaction. (Reversible reactions must be split before
+/// stochastic simulation; the validator rejects `reversible = true`.)
+struct Reaction {
+  std::string id;
+  std::string name;
+  bool reversible = false;
+  std::vector<SpeciesReference> reactants;
+  std::vector<SpeciesReference> products;
+  std::vector<ModifierReference> modifiers;
+  KineticLaw kinetic_law;
+};
+
+/// An SBML model: the unit loaded into the virtual lab and compiled into a
+/// reaction network.
+class Model {
+public:
+  std::string id;
+  std::string name;
+  std::vector<Compartment> compartments;
+  std::vector<Species> species;
+  std::vector<Parameter> parameters;
+  std::vector<Reaction> reactions;
+
+  // -- builders (return references into the model's vectors) --------------
+
+  /// Add a compartment (defaults: size 1, constant).
+  Compartment& add_compartment(const std::string& compartment_id,
+                               double size = 1.0);
+  /// Add a species with the given initial amount, in the first compartment
+  /// (which must exist).
+  Species& add_species(const std::string& species_id, double initial_amount,
+                       bool boundary = false);
+  /// Add a global constant parameter.
+  Parameter& add_parameter(const std::string& parameter_id, double value);
+  /// Add an irreversible reaction with a kinetic law given in GLVA's infix
+  /// syntax (parsed immediately; throws glva::ParseError on bad input).
+  Reaction& add_reaction(const std::string& reaction_id,
+                         const std::vector<SpeciesReference>& reactants,
+                         const std::vector<SpeciesReference>& products,
+                         const std::string& kinetic_law_infix,
+                         const std::vector<ModifierReference>& modifiers = {});
+
+  // -- lookups -------------------------------------------------------------
+
+  [[nodiscard]] const Species* find_species(const std::string& species_id) const noexcept;
+  [[nodiscard]] Species* find_species(const std::string& species_id) noexcept;
+  [[nodiscard]] const Parameter* find_parameter(const std::string& parameter_id) const noexcept;
+  [[nodiscard]] const Reaction* find_reaction(const std::string& reaction_id) const noexcept;
+  [[nodiscard]] const Compartment* find_compartment(const std::string& compartment_id) const noexcept;
+
+  /// Ids of all species with `boundary_condition = true` (the circuit's
+  /// clampable inputs).
+  [[nodiscard]] std::vector<std::string> boundary_species_ids() const;
+};
+
+}  // namespace glva::sbml

@@ -1,0 +1,158 @@
+#include "sbml/reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "math/mathml.h"
+#include "util/errors.h"
+#include "util/string_util.h"
+#include "xml/xml_parser.h"
+
+namespace glva::sbml {
+
+namespace {
+
+double read_double_attribute(const xml::XmlNode& node, std::string_view name,
+                             double fallback) {
+  const auto raw = node.attribute(name);
+  if (!raw) return fallback;
+  const auto value = util::parse_double(*raw);
+  if (!value) {
+    throw ParseError("SBML: attribute '" + std::string(name) + "' of <" +
+                     node.name() + "> is not a number: '" + *raw + "'");
+  }
+  return *value;
+}
+
+bool read_bool_attribute(const xml::XmlNode& node, std::string_view name,
+                         bool fallback) {
+  const auto raw = node.attribute(name);
+  if (!raw) return fallback;
+  if (*raw == "true" || *raw == "1") return true;
+  if (*raw == "false" || *raw == "0") return false;
+  throw ParseError("SBML: attribute '" + std::string(name) + "' of <" +
+                   node.name() + "> is not a boolean: '" + *raw + "'");
+}
+
+Compartment read_compartment(const xml::XmlNode& node) {
+  Compartment c;
+  c.id = node.required_attribute("id");
+  c.size = read_double_attribute(node, "size", 1.0);
+  c.constant = read_bool_attribute(node, "constant", true);
+  return c;
+}
+
+Species read_species(const xml::XmlNode& node) {
+  Species s;
+  s.id = node.required_attribute("id");
+  s.name = node.attribute("name").value_or("");
+  s.compartment = node.attribute("compartment").value_or("");
+  s.initial_amount = read_double_attribute(node, "initialAmount", 0.0);
+  s.boundary_condition = read_bool_attribute(node, "boundaryCondition", false);
+  s.constant = read_bool_attribute(node, "constant", false);
+  s.has_only_substance_units =
+      read_bool_attribute(node, "hasOnlySubstanceUnits", true);
+  return s;
+}
+
+Parameter read_parameter(const xml::XmlNode& node) {
+  Parameter p;
+  p.id = node.required_attribute("id");
+  p.value = read_double_attribute(node, "value", 0.0);
+  p.constant = read_bool_attribute(node, "constant", true);
+  return p;
+}
+
+SpeciesReference read_species_reference(const xml::XmlNode& node) {
+  SpeciesReference ref;
+  ref.species = node.required_attribute("species");
+  ref.stoichiometry = read_double_attribute(node, "stoichiometry", 1.0);
+  return ref;
+}
+
+Reaction read_reaction(const xml::XmlNode& node) {
+  Reaction r;
+  r.id = node.required_attribute("id");
+  r.name = node.attribute("name").value_or("");
+  r.reversible = read_bool_attribute(node, "reversible", false);
+
+  if (const auto* list = node.find_child("listOfReactants")) {
+    for (const auto* ref : list->find_children("speciesReference")) {
+      r.reactants.push_back(read_species_reference(*ref));
+    }
+  }
+  if (const auto* list = node.find_child("listOfProducts")) {
+    for (const auto* ref : list->find_children("speciesReference")) {
+      r.products.push_back(read_species_reference(*ref));
+    }
+  }
+  if (const auto* list = node.find_child("listOfModifiers")) {
+    for (const auto* ref : list->find_children("modifierSpeciesReference")) {
+      r.modifiers.push_back(ModifierReference{ref->required_attribute("species")});
+    }
+  }
+
+  const auto* law = node.find_child("kineticLaw");
+  if (law == nullptr) {
+    throw ParseError("SBML: reaction '" + r.id + "' has no <kineticLaw>");
+  }
+  const auto* math = law->find_child("math");
+  if (math == nullptr) {
+    throw ParseError("SBML: kinetic law of reaction '" + r.id +
+                     "' has no <math>");
+  }
+  r.kinetic_law.math = math::from_mathml(*math);
+  if (const auto* locals = law->find_child("listOfLocalParameters")) {
+    for (const auto* p : locals->find_children("localParameter")) {
+      r.kinetic_law.local_parameters.push_back(read_parameter(*p));
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Model read_sbml(std::string_view document_text) {
+  const xml::XmlNodePtr root = xml::parse_document(document_text);
+  if (root->name() != "sbml") {
+    throw ParseError("SBML: document root is <" + root->name() +
+                     ">, expected <sbml>");
+  }
+  const xml::XmlNode& model_node = root->required_child("model");
+
+  Model model;
+  model.id = model_node.attribute("id").value_or("");
+  model.name = model_node.attribute("name").value_or("");
+
+  if (const auto* list = model_node.find_child("listOfCompartments")) {
+    for (const auto* c : list->find_children("compartment")) {
+      model.compartments.push_back(read_compartment(*c));
+    }
+  }
+  if (const auto* list = model_node.find_child("listOfSpecies")) {
+    for (const auto* s : list->find_children("species")) {
+      model.species.push_back(read_species(*s));
+    }
+  }
+  if (const auto* list = model_node.find_child("listOfParameters")) {
+    for (const auto* p : list->find_children("parameter")) {
+      model.parameters.push_back(read_parameter(*p));
+    }
+  }
+  if (const auto* list = model_node.find_child("listOfReactions")) {
+    for (const auto* r : list->find_children("reaction")) {
+      model.reactions.push_back(read_reaction(*r));
+    }
+  }
+  return model;
+}
+
+Model read_sbml_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open SBML file: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return read_sbml(buffer.str());
+}
+
+}  // namespace glva::sbml

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sbml/model.h"
+
+namespace glva::sbml {
+
+/// Parse an SBML Level 3 Version 1 document into a Model.
+///
+/// Recognized structure: <sbml><model> with listOfCompartments,
+/// listOfSpecies, listOfParameters, and listOfReactions (each reaction with
+/// listOfReactants / listOfProducts / listOfModifiers and a <kineticLaw>
+/// whose <math> is the MathML subset from glva::math::from_mathml, plus
+/// listOfLocalParameters). Unknown elements are ignored, matching how
+/// D-VASim tolerates annotation-rich documents from other tools.
+///
+/// Throws glva::ParseError on malformed XML/MathML. The result is
+/// structurally complete but not semantically checked — run
+/// glva::sbml::validate() before simulating.
+[[nodiscard]] Model read_sbml(std::string_view document_text);
+
+/// Read and parse the SBML file at `path`.
+[[nodiscard]] Model read_sbml_file(const std::string& path);
+
+}  // namespace glva::sbml

@@ -1,0 +1,188 @@
+#include "sbml/validate.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/errors.h"
+#include "util/string_util.h"
+
+namespace glva::sbml {
+
+namespace {
+
+void check_sid(const std::string& id, const std::string& what,
+               std::vector<ValidationIssue>& issues) {
+  if (!util::is_valid_sid(id)) {
+    issues.push_back({ValidationIssue::Severity::kError,
+                      what + " id '" + id + "' is not a valid SBML SId"});
+  }
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validate(const Model& model) {
+  std::vector<ValidationIssue> issues;
+  const auto error = [&](const std::string& message) {
+    issues.push_back({ValidationIssue::Severity::kError, message});
+  };
+  const auto warning = [&](const std::string& message) {
+    issues.push_back({ValidationIssue::Severity::kWarning, message});
+  };
+
+  // Unique ids across all namespaces that share the SId scope.
+  std::set<std::string> ids;
+  const auto check_unique = [&](const std::string& id, const std::string& what) {
+    if (!ids.insert(id).second) {
+      error("duplicate id '" + id + "' (" + what + ")");
+    }
+  };
+
+  if (model.compartments.empty()) {
+    error("model has no compartment");
+  }
+  for (const auto& c : model.compartments) {
+    check_sid(c.id, "compartment", issues);
+    check_unique(c.id, "compartment");
+    if (c.size <= 0.0) {
+      error("compartment '" + c.id + "' has non-positive size");
+    }
+  }
+  for (const auto& s : model.species) {
+    check_sid(s.id, "species", issues);
+    check_unique(s.id, "species");
+    if (model.find_compartment(s.compartment) == nullptr) {
+      error("species '" + s.id + "' references unknown compartment '" +
+            s.compartment + "'");
+    }
+    if (s.initial_amount < 0.0) {
+      error("species '" + s.id + "' has negative initial amount");
+    }
+  }
+  for (const auto& p : model.parameters) {
+    check_sid(p.id, "parameter", issues);
+    check_unique(p.id, "parameter");
+  }
+
+  std::set<std::string> referenced_species;
+  for (const auto& r : model.reactions) {
+    check_sid(r.id, "reaction", issues);
+    check_unique(r.id, "reaction");
+    if (r.reversible) {
+      error("reaction '" + r.id +
+            "' is reversible; split it into two irreversible reactions for "
+            "stochastic simulation");
+    }
+
+    const auto check_refs = [&](const std::vector<SpeciesReference>& refs,
+                                const char* role) {
+      for (const auto& ref : refs) {
+        referenced_species.insert(ref.species);
+        if (model.find_species(ref.species) == nullptr) {
+          error("reaction '" + r.id + "' " + role +
+                " references unknown species '" + ref.species + "'");
+        }
+        if (ref.stoichiometry < 0.0) {
+          error("reaction '" + r.id + "' has negative stoichiometry for '" +
+                ref.species + "'");
+        }
+        if (ref.stoichiometry != std::floor(ref.stoichiometry)) {
+          error("reaction '" + r.id + "' has non-integer stoichiometry for '" +
+                ref.species + "' (molecule counts are discrete)");
+        }
+      }
+    };
+    check_refs(r.reactants, "reactant");
+    check_refs(r.products, "product");
+    for (const auto& m : r.modifiers) {
+      referenced_species.insert(m.species);
+      if (model.find_species(m.species) == nullptr) {
+        error("reaction '" + r.id + "' modifier references unknown species '" +
+              m.species + "'");
+      }
+    }
+
+    if (r.kinetic_law.math == nullptr) {
+      error("reaction '" + r.id + "' has no kinetic law math");
+      continue;
+    }
+    // Every kinetic-law symbol must resolve somewhere.
+    std::set<std::string> local_ids;
+    for (const auto& lp : r.kinetic_law.local_parameters) {
+      if (!local_ids.insert(lp.id).second) {
+        error("reaction '" + r.id + "' has duplicate local parameter '" +
+              lp.id + "'");
+      }
+    }
+    bool uses_any_reactant = r.reactants.empty();
+    for (const auto& symbol : r.kinetic_law.math->symbols()) {
+      const bool resolves = local_ids.count(symbol) != 0 ||
+                            model.find_species(symbol) != nullptr ||
+                            model.find_parameter(symbol) != nullptr ||
+                            model.find_compartment(symbol) != nullptr;
+      if (!resolves) {
+        error("kinetic law of reaction '" + r.id +
+              "' references unknown symbol '" + symbol + "'");
+      }
+      for (const auto& reactant : r.reactants) {
+        if (reactant.species == symbol) uses_any_reactant = true;
+      }
+    }
+    if (!uses_any_reactant) {
+      warning("kinetic law of reaction '" + r.id +
+              "' ignores all of its reactants; the reaction can fire with "
+              "zero reactant molecules");
+    }
+  }
+
+  for (const auto& s : model.species) {
+    if (referenced_species.count(s.id) == 0) {
+      // Inputs clamped by the virtual lab legitimately appear only as
+      // kinetic-law symbols; check those too before warning.
+      bool in_any_law = false;
+      for (const auto& r : model.reactions) {
+        if (r.kinetic_law.math == nullptr) continue;
+        for (const auto& symbol : r.kinetic_law.math->symbols()) {
+          if (symbol == s.id) {
+            in_any_law = true;
+            break;
+          }
+        }
+        if (in_any_law) break;
+      }
+      if (!in_any_law) {
+        warning("species '" + s.id + "' is not referenced by any reaction");
+      }
+    }
+  }
+
+  return issues;
+}
+
+bool is_valid(const std::vector<ValidationIssue>& issues) noexcept {
+  for (const auto& issue : issues) {
+    if (issue.severity == ValidationIssue::Severity::kError) return false;
+  }
+  return true;
+}
+
+std::vector<ValidationIssue> validate_or_throw(const Model& model) {
+  auto issues = validate(model);
+  if (!is_valid(issues)) {
+    std::string message = "SBML model '" + model.id + "' is invalid:";
+    for (const auto& issue : issues) {
+      if (issue.severity == ValidationIssue::Severity::kError) {
+        message += "\n  - " + issue.message;
+      }
+    }
+    throw ValidationError(message);
+  }
+  std::vector<ValidationIssue> warnings;
+  for (auto& issue : issues) {
+    if (issue.severity == ValidationIssue::Severity::kWarning) {
+      warnings.push_back(std::move(issue));
+    }
+  }
+  return warnings;
+}
+
+}  // namespace glva::sbml

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sbml/model.h"
+
+namespace glva::sbml {
+
+/// One validation finding.
+struct ValidationIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity;
+  std::string message;
+};
+
+/// Semantic validation of a structurally parsed model. Errors make a model
+/// unsimulatable; warnings flag suspicious but runnable constructs.
+///
+/// Checks (errors): duplicate ids across compartments/species/parameters/
+/// reactions; species referencing unknown compartments; reactions
+/// referencing unknown species; kinetic-law symbols that resolve to neither
+/// a species, a global parameter, a local parameter, nor a compartment;
+/// reversible reactions (must be split for SSA); negative or non-integer
+/// stoichiometries; negative initial amounts; invalid SBML SIds.
+///
+/// Checks (warnings): species never referenced by any reaction; reactions
+/// whose kinetic law ignores all of their reactants.
+[[nodiscard]] std::vector<ValidationIssue> validate(const Model& model);
+
+/// True when `issues` contains no errors.
+[[nodiscard]] bool is_valid(const std::vector<ValidationIssue>& issues) noexcept;
+
+/// Validate and throw glva::ValidationError listing every error if any
+/// exist; returns the warnings otherwise.
+std::vector<ValidationIssue> validate_or_throw(const Model& model);
+
+}  // namespace glva::sbml

@@ -1,0 +1,124 @@
+#include "sbml/writer.h"
+
+#include <fstream>
+
+#include "math/mathml.h"
+#include "util/errors.h"
+#include "util/string_util.h"
+#include "xml/xml_node.h"
+#include "xml/xml_writer.h"
+
+namespace glva::sbml {
+
+namespace {
+
+constexpr const char* kSbmlNamespace = "http://www.sbml.org/sbml/level3/version1/core";
+
+const char* bool_str(bool b) { return b ? "true" : "false"; }
+
+void write_parameter(const Parameter& p, const char* element_name,
+                     xml::XmlNode& parent) {
+  auto& node = parent.add_element(element_name);
+  node.set_attribute("id", p.id);
+  node.set_attribute("value", util::format_double(p.value));
+  node.set_attribute("constant", bool_str(p.constant));
+}
+
+void write_species_reference(const SpeciesReference& ref, xml::XmlNode& parent) {
+  auto& node = parent.add_element("speciesReference");
+  node.set_attribute("species", ref.species);
+  node.set_attribute("stoichiometry", util::format_double(ref.stoichiometry));
+  node.set_attribute("constant", "true");
+}
+
+void write_reaction(const Reaction& r, xml::XmlNode& parent) {
+  auto& node = parent.add_element("reaction");
+  node.set_attribute("id", r.id);
+  if (!r.name.empty()) node.set_attribute("name", r.name);
+  node.set_attribute("reversible", bool_str(r.reversible));
+
+  if (!r.reactants.empty()) {
+    auto& list = node.add_element("listOfReactants");
+    for (const auto& ref : r.reactants) write_species_reference(ref, list);
+  }
+  if (!r.products.empty()) {
+    auto& list = node.add_element("listOfProducts");
+    for (const auto& ref : r.products) write_species_reference(ref, list);
+  }
+  if (!r.modifiers.empty()) {
+    auto& list = node.add_element("listOfModifiers");
+    for (const auto& ref : r.modifiers) {
+      list.add_element("modifierSpeciesReference")
+          .set_attribute("species", ref.species);
+    }
+  }
+
+  auto& law = node.add_element("kineticLaw");
+  if (r.kinetic_law.math == nullptr) {
+    throw InvalidArgument("write_sbml: reaction '" + r.id +
+                          "' has no kinetic law math");
+  }
+  law.add_child(math::to_mathml(*r.kinetic_law.math));
+  if (!r.kinetic_law.local_parameters.empty()) {
+    auto& list = law.add_element("listOfLocalParameters");
+    for (const auto& p : r.kinetic_law.local_parameters) {
+      write_parameter(p, "localParameter", list);
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_sbml(const Model& model) {
+  auto root = xml::XmlNode::element("sbml");
+  root->set_attribute("xmlns", kSbmlNamespace);
+  root->set_attribute("level", "3");
+  root->set_attribute("version", "1");
+
+  auto& model_node = root->add_element("model");
+  if (!model.id.empty()) model_node.set_attribute("id", model.id);
+  if (!model.name.empty()) model_node.set_attribute("name", model.name);
+
+  if (!model.compartments.empty()) {
+    auto& list = model_node.add_element("listOfCompartments");
+    for (const auto& c : model.compartments) {
+      auto& node = list.add_element("compartment");
+      node.set_attribute("id", c.id);
+      node.set_attribute("size", util::format_double(c.size));
+      node.set_attribute("constant", bool_str(c.constant));
+    }
+  }
+  if (!model.species.empty()) {
+    auto& list = model_node.add_element("listOfSpecies");
+    for (const auto& s : model.species) {
+      auto& node = list.add_element("species");
+      node.set_attribute("id", s.id);
+      if (!s.name.empty()) node.set_attribute("name", s.name);
+      node.set_attribute("compartment", s.compartment);
+      node.set_attribute("initialAmount", util::format_double(s.initial_amount));
+      node.set_attribute("boundaryCondition", bool_str(s.boundary_condition));
+      node.set_attribute("constant", bool_str(s.constant));
+      node.set_attribute("hasOnlySubstanceUnits",
+                         bool_str(s.has_only_substance_units));
+    }
+  }
+  if (!model.parameters.empty()) {
+    auto& list = model_node.add_element("listOfParameters");
+    for (const auto& p : model.parameters) write_parameter(p, "parameter", list);
+  }
+  if (!model.reactions.empty()) {
+    auto& list = model_node.add_element("listOfReactions");
+    for (const auto& r : model.reactions) write_reaction(r, list);
+  }
+
+  return xml::write_document(*root);
+}
+
+void write_sbml_file(const Model& model, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open SBML output file: " + path);
+  f << write_sbml(model);
+  if (!f) throw Error("failed writing SBML output file: " + path);
+}
+
+}  // namespace glva::sbml

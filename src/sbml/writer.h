@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "sbml/model.h"
+
+namespace glva::sbml {
+
+/// Serialize a Model as an SBML Level 3 Version 1 document. The output
+/// round-trips through read_sbml() (kinetic laws are compared by value, not
+/// by tree shape, since hill() is expanded on write).
+[[nodiscard]] std::string write_sbml(const Model& model);
+
+/// Write the document to `path`. Throws glva::Error on I/O failure.
+void write_sbml_file(const Model& model, const std::string& path);
+
+}  // namespace glva::sbml

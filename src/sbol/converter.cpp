@@ -1,0 +1,173 @@
+#include "sbol/converter.h"
+
+#include <map>
+#include <set>
+
+#include "util/errors.h"
+
+namespace glva::sbol {
+
+namespace {
+
+/// The species carried by a netlist net (input name, repressor name, or
+/// the reporter for the output gate).
+std::string net_species(const gates::Netlist& netlist,
+                        const std::string& reporter_id, gates::Net net) {
+  if (net.kind == gates::Net::Kind::kInput) {
+    return netlist.input_names()[net.index];
+  }
+  if (net.index == netlist.output().index) return reporter_id;
+  return netlist.gates()[net.index].repressor;
+}
+
+}  // namespace
+
+Design design_from_netlist(const gates::Netlist& netlist,
+                           const std::string& design_id,
+                           const std::string& reporter_id) {
+  netlist.check();
+
+  Design design;
+  design.id = design_id;
+  design.description = "structural design generated from a gate netlist";
+
+  std::set<std::string> declared;
+  const auto declare = [&](const std::string& id, PartType type,
+                           const std::string& description = "") {
+    if (declared.insert(id).second) {
+      design.parts.push_back(Part{id, type, description});
+    }
+  };
+
+  for (const auto& input : netlist.input_names()) {
+    declare(input, PartType::kSmallMolecule, "circuit input signal");
+    design.inputs.push_back(input);
+  }
+
+  std::set<std::pair<std::string, std::string>> repressions;
+  for (std::size_t g = 0; g < netlist.gate_count(); ++g) {
+    const gates::GateInstance& gate = netlist.gates()[g];
+    const std::string protein =
+        net_species(netlist, reporter_id, gates::Net::gate(g));
+    declare(protein, PartType::kProtein,
+            protein == reporter_id ? "reporter protein" : "repressor protein");
+
+    TranscriptionUnit unit;
+    unit.id = "tu_" + protein;
+    unit.product = protein;
+    unit.gate = gate.repressor;
+
+    for (const gates::Net& fanin : gate.fanin) {
+      const std::string signal = net_species(netlist, reporter_id, fanin);
+      const std::string promoter = "p" + signal;
+      declare(promoter, PartType::kPromoter,
+              "promoter repressed by " + signal);
+      unit.dna_parts.push_back(promoter);
+      if (repressions.insert({signal, promoter}).second) {
+        design.interactions.push_back(Interaction{
+            "rep_" + signal + "_" + promoter, InteractionKind::kRepression,
+            signal, promoter});
+      }
+    }
+    const std::string rbs = "rbs_" + protein;
+    const std::string cds = "cds_" + protein;
+    const std::string terminator = "ter_" + protein;
+    declare(rbs, PartType::kRbs);
+    declare(cds, PartType::kCds);
+    declare(terminator, PartType::kTerminator);
+    unit.dna_parts.push_back(rbs);
+    unit.dna_parts.push_back(cds);
+    unit.dna_parts.push_back(terminator);
+
+    design.interactions.push_back(
+        Interaction{"prod_" + protein, InteractionKind::kGeneticProduction,
+                    unit.id, protein});
+    design.units.push_back(std::move(unit));
+  }
+
+  design.output = reporter_id;
+  design.check();
+  return design;
+}
+
+gates::Netlist netlist_from_design(const Design& design) {
+  design.check();
+  if (design.inputs.empty()) {
+    throw ValidationError("SBOL design '" + design.id + "' declares no inputs");
+  }
+
+  gates::Netlist netlist(design.inputs);
+
+  // Signal name -> net, seeded with the primary inputs.
+  std::map<std::string, gates::Net> net_of;
+  for (std::size_t i = 0; i < design.inputs.size(); ++i) {
+    net_of[design.inputs[i]] = gates::Net::input(i);
+  }
+
+  // Fan-in signals per unit.
+  std::map<std::string, std::vector<std::string>> fanins_of;
+  for (const auto& unit : design.units) {
+    std::vector<std::string> fanins;
+    for (const auto& promoter : design.unit_promoters(unit)) {
+      for (const auto& repressor : design.promoter_repressors(promoter)) {
+        fanins.push_back(repressor);
+      }
+    }
+    if (fanins.empty() || fanins.size() > 2) {
+      throw ValidationError("SBOL design '" + design.id + "': unit '" +
+                            unit.id + "' has " +
+                            std::to_string(fanins.size()) +
+                            " fan-ins; NOT/NOR gates need 1 or 2");
+    }
+    fanins_of[unit.id] = std::move(fanins);
+  }
+
+  // Kahn-style scheduling: emit a unit once all its fan-in signals exist.
+  std::set<std::string> pending;
+  for (const auto& unit : design.units) pending.insert(unit.id);
+  while (!pending.empty()) {
+    bool progress = false;
+    for (const auto& unit : design.units) {
+      if (pending.count(unit.id) == 0) continue;
+      const auto& fanins = fanins_of[unit.id];
+      bool ready = true;
+      for (const auto& signal : fanins) {
+        ready = ready && net_of.count(signal) != 0;
+      }
+      if (!ready) continue;
+
+      const std::string repressor =
+          unit.gate.empty() ? unit.product : unit.gate;
+      gates::Net net = fanins.size() == 1
+                           ? netlist.add_not(repressor, net_of.at(fanins[0]))
+                           : netlist.add_nor(repressor, net_of.at(fanins[0]),
+                                             net_of.at(fanins[1]));
+      net_of[unit.product] = net;
+      pending.erase(unit.id);
+      progress = true;
+    }
+    if (!progress) {
+      throw ValidationError(
+          "SBOL design '" + design.id +
+          "' is not a combinational circuit (feedback cycle or a repressor "
+          "with no producing unit)");
+    }
+  }
+
+  const auto output_net = net_of.find(design.output);
+  if (output_net == net_of.end()) {
+    throw ValidationError("SBOL design '" + design.id + "': output '" +
+                          design.output + "' is not produced by any unit");
+  }
+  netlist.set_output(output_net->second);
+  netlist.check();
+  return netlist;
+}
+
+sbml::Model design_to_model(const Design& design,
+                            const gates::GateLibrary& library,
+                            const gates::ModelOptions& options) {
+  return gates::netlist_to_model(netlist_from_design(design), library, options);
+}
+
+}  // namespace glva::sbol

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "gates/gate_library.h"
+#include "gates/netlist.h"
+#include "gates/netlist_to_sbml.h"
+#include "sbml/model.h"
+#include "sbol/design.h"
+
+/// Structural ↔ behavioural conversion: GLVA's reimplementation of the
+/// SBOL→SBML step the paper performs with the Roehner et al. converter
+/// [14] ("Unlike SBML, the SBOL representation does not describe the
+/// behavior of a biological model"). A Cello-style netlist can be emitted
+/// as structure (design_from_netlist), exchanged as SBOL-lite XML, and
+/// turned back into a simulatable SBML model (design_to_model).
+namespace glva::sbol {
+
+/// Emit the structural design of a gate netlist: one transcription unit
+/// per gate (promoters named after their repressing species and shared
+/// across units, one RBS/CDS/terminator each), repression and
+/// genetic-production interactions, small-molecule inputs, and the
+/// reporter protein as output.
+[[nodiscard]] Design design_from_netlist(const gates::Netlist& netlist,
+                                         const std::string& design_id,
+                                         const std::string& reporter_id = "GFP");
+
+/// Reconstruct the gate netlist from a structural design: each
+/// transcription unit becomes a NOT/NOR gate whose fan-ins are the
+/// repressors of its promoters; units are ordered topologically. Throws
+/// glva::ValidationError for designs that are not a NOT/NOR combinational
+/// circuit (cycles, >2 fan-ins, missing reporter).
+[[nodiscard]] gates::Netlist netlist_from_design(const Design& design);
+
+/// The full conversion: structure → behaviour. Response parameters come
+/// from `library`, looked up by each unit's `gate` name (falling back to
+/// its product protein name).
+[[nodiscard]] sbml::Model design_to_model(
+    const Design& design, const gates::GateLibrary& library,
+    const gates::ModelOptions& options = {});
+
+}  // namespace glva::sbol

@@ -1,0 +1,154 @@
+#include "sbol/design.h"
+
+#include <set>
+
+#include "util/errors.h"
+
+namespace glva::sbol {
+
+const char* part_type_name(PartType type) noexcept {
+  switch (type) {
+    case PartType::kPromoter: return "promoter";
+    case PartType::kRbs: return "rbs";
+    case PartType::kCds: return "cds";
+    case PartType::kTerminator: return "terminator";
+    case PartType::kProtein: return "protein";
+    case PartType::kSmallMolecule: return "small-molecule";
+  }
+  return "?";
+}
+
+PartType parse_part_type(const std::string& name) {
+  for (const PartType type :
+       {PartType::kPromoter, PartType::kRbs, PartType::kCds,
+        PartType::kTerminator, PartType::kProtein, PartType::kSmallMolecule}) {
+    if (name == part_type_name(type)) return type;
+  }
+  throw ParseError("SBOL: unknown part type '" + name + "'");
+}
+
+const Part* Design::find_part(const std::string& part_id) const noexcept {
+  for (const auto& part : parts) {
+    if (part.id == part_id) return &part;
+  }
+  return nullptr;
+}
+
+const TranscriptionUnit* Design::find_unit(
+    const std::string& unit_id) const noexcept {
+  for (const auto& unit : units) {
+    if (unit.id == unit_id) return &unit;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Design::unit_promoters(
+    const TranscriptionUnit& unit) const {
+  std::vector<std::string> promoters;
+  for (const auto& part_id : unit.dna_parts) {
+    const Part* part = find_part(part_id);
+    if (part != nullptr && part->type == PartType::kPromoter) {
+      promoters.push_back(part_id);
+    }
+  }
+  return promoters;
+}
+
+std::vector<std::string> Design::promoter_repressors(
+    const std::string& promoter_id) const {
+  std::vector<std::string> repressors;
+  for (const auto& interaction : interactions) {
+    if (interaction.kind == InteractionKind::kRepression &&
+        interaction.object == promoter_id) {
+      repressors.push_back(interaction.subject);
+    }
+  }
+  return repressors;
+}
+
+void Design::check() const {
+  const auto fail = [&](const std::string& message) {
+    throw ValidationError("SBOL design '" + id + "': " + message);
+  };
+
+  std::set<std::string> ids;
+  for (const auto& part : parts) {
+    if (part.id.empty()) fail("part with empty id");
+    if (!ids.insert(part.id).second) fail("duplicate part id '" + part.id + "'");
+  }
+
+  std::set<std::string> unit_ids;
+  for (const auto& unit : units) {
+    if (!unit_ids.insert(unit.id).second) {
+      fail("duplicate transcription unit '" + unit.id + "'");
+    }
+    // Cassette shape: one or more promoters, then RBS, CDS, terminator.
+    std::size_t promoter_count = 0;
+    std::vector<PartType> tail;
+    for (const auto& part_id : unit.dna_parts) {
+      const Part* part = find_part(part_id);
+      if (part == nullptr) {
+        fail("unit '" + unit.id + "' references unknown part '" + part_id + "'");
+      }
+      if (part->type == PartType::kPromoter && tail.empty()) {
+        ++promoter_count;
+      } else {
+        tail.push_back(part->type);
+      }
+    }
+    if (promoter_count == 0) {
+      fail("unit '" + unit.id + "' has no promoter");
+    }
+    const std::vector<PartType> expected_tail{PartType::kRbs, PartType::kCds,
+                                              PartType::kTerminator};
+    if (tail != expected_tail) {
+      fail("unit '" + unit.id +
+           "' must be promoter+, rbs, cds, terminator in order");
+    }
+    const Part* product = find_part(unit.product);
+    if (product == nullptr || product->type != PartType::kProtein) {
+      fail("unit '" + unit.id + "' product must be a declared protein part");
+    }
+  }
+
+  for (const auto& interaction : interactions) {
+    const Part* subject = find_part(interaction.subject);
+    const Part* object = find_part(interaction.object);
+    switch (interaction.kind) {
+      case InteractionKind::kRepression:
+        if (subject == nullptr || (subject->type != PartType::kProtein &&
+                                   subject->type != PartType::kSmallMolecule)) {
+          fail("repression '" + interaction.id +
+               "' subject must be a protein or small molecule");
+        }
+        if (object == nullptr || object->type != PartType::kPromoter) {
+          fail("repression '" + interaction.id +
+               "' object must be a promoter");
+        }
+        break;
+      case InteractionKind::kGeneticProduction:
+        if (find_unit(interaction.subject) == nullptr) {
+          fail("production '" + interaction.id +
+               "' subject must be a transcription unit");
+        }
+        if (object == nullptr || object->type != PartType::kProtein) {
+          fail("production '" + interaction.id +
+               "' object must be a protein");
+        }
+        break;
+    }
+  }
+
+  for (const auto& input : inputs) {
+    const Part* part = find_part(input);
+    if (part == nullptr || part->type != PartType::kSmallMolecule) {
+      fail("input '" + input + "' must be a declared small-molecule part");
+    }
+  }
+  if (output.empty() || find_part(output) == nullptr ||
+      find_part(output)->type != PartType::kProtein) {
+    fail("output must be a declared protein part");
+  }
+}
+
+}  // namespace glva::sbol

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// A structural circuit description after the Synthetic Biology Open
+/// Language (SBOL 2) [Bartley et al. 2015] — the format Cello emits and
+/// the paper converts to SBML via Roehner et al. [14]. GLVA's "SBOL-lite"
+/// keeps the concepts the conversion actually needs: typed genetic parts
+/// (component definitions), transcription units (ordered sub-components),
+/// and molecular interactions (repression / genetic production), and drops
+/// RDF machinery.
+namespace glva::sbol {
+
+/// Sequence-ontology-style part roles.
+enum class PartType {
+  kPromoter,
+  kRbs,
+  kCds,
+  kTerminator,
+  kProtein,   // a functional (non-DNA) component: the expressed repressor
+  kSmallMolecule,  // an external inducer signal (circuit input)
+};
+
+[[nodiscard]] const char* part_type_name(PartType type) noexcept;
+/// Inverse of part_type_name; throws glva::ParseError for unknown names.
+[[nodiscard]] PartType parse_part_type(const std::string& name);
+
+/// A component definition.
+struct Part {
+  std::string id;
+  PartType type = PartType::kCds;
+  std::string description;
+};
+
+/// One transcription unit: an ordered cassette of DNA parts
+/// (promoters..., RBS, CDS, terminator) expressing one protein.
+struct TranscriptionUnit {
+  std::string id;
+  std::vector<std::string> dna_parts;  ///< part ids, 5'→3' order
+  std::string product;                 ///< protein part id it expresses
+  /// Gate-library repressor implementing this unit (Cello gate name); used
+  /// by the SBML converter to look up response parameters. May be empty
+  /// for hand-written designs, in which case `product` is tried.
+  std::string gate;
+};
+
+/// Interaction kinds the converter understands.
+enum class InteractionKind {
+  kRepression,        ///< protein/small molecule represses a promoter
+  kGeneticProduction, ///< transcription unit produces its protein
+};
+
+/// A molecular interaction between named parts.
+struct Interaction {
+  std::string id;
+  InteractionKind kind = InteractionKind::kRepression;
+  std::string subject;  ///< the acting species (repressor) or TU id
+  std::string object;   ///< the promoter acted on, or the protein produced
+};
+
+/// A module definition: the whole circuit design.
+class Design {
+public:
+  std::string id;
+  std::string description;
+  std::vector<Part> parts;
+  std::vector<TranscriptionUnit> units;
+  std::vector<Interaction> interactions;
+  std::vector<std::string> inputs;   ///< part ids of input signals, MSB first
+  std::string output;                ///< part id of the reporter protein
+
+  [[nodiscard]] const Part* find_part(const std::string& part_id) const noexcept;
+  [[nodiscard]] const TranscriptionUnit* find_unit(
+      const std::string& unit_id) const noexcept;
+
+  /// Promoters of `unit` (its repression targets), in cassette order.
+  [[nodiscard]] std::vector<std::string> unit_promoters(
+      const TranscriptionUnit& unit) const;
+
+  /// Repressors acting on a given promoter part.
+  [[nodiscard]] std::vector<std::string> promoter_repressors(
+      const std::string& promoter_id) const;
+
+  /// Structural sanity: unique part ids; units reference declared DNA parts
+  /// in promoter*,RBS,CDS,terminator order; products and interaction
+  /// endpoints resolve; inputs/output declared; every unit has at least one
+  /// promoter. Throws glva::ValidationError on violations.
+  void check() const;
+};
+
+}  // namespace glva::sbol

@@ -1,0 +1,128 @@
+#include "sbol/sbol_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.h"
+#include "util/string_util.h"
+#include "xml/xml_node.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace glva::sbol {
+
+namespace {
+
+const char* interaction_kind_name(InteractionKind kind) {
+  return kind == InteractionKind::kRepression ? "repression"
+                                              : "genetic-production";
+}
+
+InteractionKind parse_interaction_kind(const std::string& name) {
+  if (name == "repression") return InteractionKind::kRepression;
+  if (name == "genetic-production") return InteractionKind::kGeneticProduction;
+  throw ParseError("SBOL: unknown interaction kind '" + name + "'");
+}
+
+}  // namespace
+
+std::string write_design(const Design& design) {
+  auto root = xml::XmlNode::element("sbolLite");
+  root->set_attribute("id", design.id);
+  if (!design.description.empty()) {
+    root->set_attribute("description", design.description);
+  }
+
+  for (const auto& part : design.parts) {
+    auto& node = root->add_element("part");
+    node.set_attribute("id", part.id);
+    node.set_attribute("type", part_type_name(part.type));
+    if (!part.description.empty()) {
+      node.set_attribute("description", part.description);
+    }
+  }
+  for (const auto& unit : design.units) {
+    auto& node = root->add_element("transcriptionUnit");
+    node.set_attribute("id", unit.id);
+    node.set_attribute("product", unit.product);
+    if (!unit.gate.empty()) node.set_attribute("gate", unit.gate);
+    for (const auto& part_id : unit.dna_parts) {
+      node.add_element("dnaPart").set_attribute("ref", part_id);
+    }
+  }
+  for (const auto& interaction : design.interactions) {
+    auto& node = root->add_element("interaction");
+    node.set_attribute("id", interaction.id);
+    node.set_attribute("kind", interaction_kind_name(interaction.kind));
+    node.set_attribute("subject", interaction.subject);
+    node.set_attribute("object", interaction.object);
+  }
+  auto& io = root->add_element("io");
+  io.set_attribute("inputs", util::join(design.inputs, ","));
+  io.set_attribute("output", design.output);
+
+  return xml::write_document(*root);
+}
+
+Design read_design(std::string_view document_text) {
+  const xml::XmlNodePtr root = xml::parse_document(document_text);
+  if (root->name() != "sbolLite") {
+    throw ParseError("SBOL: document root is <" + root->name() +
+                     ">, expected <sbolLite>");
+  }
+  Design design;
+  design.id = root->attribute("id").value_or("");
+  design.description = root->attribute("description").value_or("");
+
+  for (const auto* node : root->find_children("part")) {
+    Part part;
+    part.id = node->required_attribute("id");
+    part.type = parse_part_type(node->required_attribute("type"));
+    part.description = node->attribute("description").value_or("");
+    design.parts.push_back(std::move(part));
+  }
+  for (const auto* node : root->find_children("transcriptionUnit")) {
+    TranscriptionUnit unit;
+    unit.id = node->required_attribute("id");
+    unit.product = node->required_attribute("product");
+    unit.gate = node->attribute("gate").value_or("");
+    for (const auto* ref : node->find_children("dnaPart")) {
+      unit.dna_parts.push_back(ref->required_attribute("ref"));
+    }
+    design.units.push_back(std::move(unit));
+  }
+  for (const auto* node : root->find_children("interaction")) {
+    Interaction interaction;
+    interaction.id = node->required_attribute("id");
+    interaction.kind = parse_interaction_kind(node->required_attribute("kind"));
+    interaction.subject = node->required_attribute("subject");
+    interaction.object = node->required_attribute("object");
+    design.interactions.push_back(std::move(interaction));
+  }
+  if (const auto* io = root->find_child("io")) {
+    for (const auto& field :
+         util::split(io->attribute("inputs").value_or(""), ',')) {
+      const auto trimmed = util::trim(field);
+      if (!trimmed.empty()) design.inputs.emplace_back(trimmed);
+    }
+    design.output = io->attribute("output").value_or("");
+  }
+  return design;
+}
+
+void write_design_file(const Design& design, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open SBOL output file: " + path);
+  f << write_design(design);
+  if (!f) throw Error("failed writing SBOL output file: " + path);
+}
+
+Design read_design_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open SBOL file: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return read_design(buffer.str());
+}
+
+}  // namespace glva::sbol

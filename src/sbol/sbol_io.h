@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sbol/design.h"
+
+namespace glva::sbol {
+
+/// Serialize a design as an SBOL-lite XML document:
+///
+/// ```xml
+/// <sbolLite id="...">
+///   <part id="pPhlF" type="promoter"/>
+///   <transcriptionUnit id="u_PhlF" product="PhlF">
+///     <dnaPart ref="pSrpR"/>...
+///   </transcriptionUnit>
+///   <interaction id="i1" kind="repression" subject="SrpR" object="pPhlF"/>
+///   <io inputs="A,B" output="GFP"/>
+/// </sbolLite>
+/// ```
+[[nodiscard]] std::string write_design(const Design& design);
+
+/// Parse an SBOL-lite document. Throws glva::ParseError on malformed input;
+/// run Design::check() afterwards for semantic validation.
+[[nodiscard]] Design read_design(std::string_view document_text);
+
+/// File variants; throw glva::Error on I/O failure.
+void write_design_file(const Design& design, const std::string& path);
+[[nodiscard]] Design read_design_file(const std::string& path);
+
+}  // namespace glva::sbol

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace glva::sim {
+
+/// A binary min-heap over a fixed set of keys 0..n-1 with O(log n)
+/// decrease/increase-key, as required by the Gibson–Bruck next-reaction
+/// method (each reaction's tentative firing time is updated in place after
+/// every firing).
+class IndexedPriorityQueue {
+public:
+  /// Build a heap of `size` keys, all initialized to +infinity.
+  explicit IndexedPriorityQueue(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// Current priority of `key`.
+  [[nodiscard]] double value(std::size_t key) const { return values_.at(key); }
+
+  /// Set `key`'s priority and restore the heap order.
+  void update(std::size_t key, double value);
+
+  /// Key with the minimum priority. Throws glva::InvalidArgument when empty.
+  [[nodiscard]] std::size_t top_key() const;
+
+  /// Minimum priority (+infinity when all keys are at infinity).
+  [[nodiscard]] double top_value() const;
+
+  /// Internal consistency check (used by tests): every parent <= children
+  /// and the position index is a true inverse of the heap array.
+  [[nodiscard]] bool check_invariants() const noexcept;
+
+private:
+  void sift_up(std::size_t slot) noexcept;
+  void sift_down(std::size_t slot) noexcept;
+  void swap_slots(std::size_t a, std::size_t b) noexcept;
+
+  std::vector<double> values_;     // by key
+  std::vector<std::size_t> heap_;  // slot -> key
+  std::vector<std::size_t> slot_;  // key -> slot
+};
+
+inline IndexedPriorityQueue::IndexedPriorityQueue(std::size_t size)
+    : values_(size, std::numeric_limits<double>::infinity()),
+      heap_(size),
+      slot_(size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    heap_[i] = i;
+    slot_[i] = i;
+  }
+}
+
+inline void IndexedPriorityQueue::swap_slots(std::size_t a,
+                                             std::size_t b) noexcept {
+  std::swap(heap_[a], heap_[b]);
+  slot_[heap_[a]] = a;
+  slot_[heap_[b]] = b;
+}
+
+inline void IndexedPriorityQueue::sift_up(std::size_t slot) noexcept {
+  while (slot > 0) {
+    const std::size_t parent = (slot - 1) / 2;
+    if (values_[heap_[parent]] <= values_[heap_[slot]]) return;
+    swap_slots(parent, slot);
+    slot = parent;
+  }
+}
+
+inline void IndexedPriorityQueue::sift_down(std::size_t slot) noexcept {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * slot + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = slot;
+    if (left < n && values_[heap_[left]] < values_[heap_[smallest]]) {
+      smallest = left;
+    }
+    if (right < n && values_[heap_[right]] < values_[heap_[smallest]]) {
+      smallest = right;
+    }
+    if (smallest == slot) return;
+    swap_slots(slot, smallest);
+    slot = smallest;
+  }
+}
+
+inline void IndexedPriorityQueue::update(std::size_t key, double value) {
+  if (key >= values_.size()) {
+    throw InvalidArgument("IndexedPriorityQueue: key out of range");
+  }
+  const double old = values_[key];
+  values_[key] = value;
+  if (value < old) {
+    sift_up(slot_[key]);
+  } else if (value > old) {
+    sift_down(slot_[key]);
+  }
+}
+
+inline std::size_t IndexedPriorityQueue::top_key() const {
+  if (heap_.empty()) throw InvalidArgument("IndexedPriorityQueue: empty");
+  return heap_[0];
+}
+
+inline double IndexedPriorityQueue::top_value() const {
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return values_[heap_[0]];
+}
+
+inline bool IndexedPriorityQueue::check_invariants() const noexcept {
+  const std::size_t n = heap_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    if (slot_[heap_[s]] != s) return false;
+    const std::size_t left = 2 * s + 1;
+    const std::size_t right = left + 1;
+    if (left < n && values_[heap_[left]] < values_[heap_[s]]) return false;
+    if (right < n && values_[heap_[right]] < values_[heap_[s]]) return false;
+  }
+  return true;
+}
+
+}  // namespace glva::sim

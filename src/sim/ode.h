@@ -1,0 +1,33 @@
+#pragma once
+
+#include "crn/network.h"
+#include "sim/input_schedule.h"
+#include "sim/trace.h"
+
+namespace glva::sim {
+
+/// Deterministic mean-field reference: integrates
+/// d x_s / dt = Σ_r ν_{s,r} · a_r(x) with classic fourth-order Runge–Kutta
+/// over the same compiled network the SSAs use.
+///
+/// The paper motivates *not* using ODEs for genetic circuits (molecule
+/// counts are too small for the continuum limit) — GLVA ships this
+/// integrator as the quantitative baseline that lets tests and benches show
+/// exactly that: SSA means converge to the ODE while single SSA runs
+/// fluctuate across the logic threshold.
+class OdeRk4 {
+public:
+  /// `step` is the fixed RK4 step size in simulation time units.
+  explicit OdeRk4(double step = 0.05) : step_(step) {}
+
+  /// Integrate over [0, duration] with the schedule's clamps applied at
+  /// phase boundaries, sampling every `sampling_period`.
+  [[nodiscard]] Trace run(const crn::ReactionNetwork& network,
+                          const InputSchedule& schedule, double duration,
+                          double sampling_period = 1.0) const;
+
+private:
+  double step_;
+};
+
+}  // namespace glva::sim

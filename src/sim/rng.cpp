@@ -1,0 +1,105 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace glva::sim {
+
+namespace {
+
+/// splitmix64 (Steele, Lea, Flood) — seeds the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  // xoshiro256** step.
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_positive() noexcept {
+  for (;;) {
+    const double u = uniform();
+    if (u > 0.0) return u;
+  }
+}
+
+double Rng::exponential(double rate) noexcept {
+  return -std::log(uniform_positive()) / rate;
+}
+
+double Rng::normal() noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until below exp(-mean).
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    std::uint64_t count = 0;
+    for (;;) {
+      product *= uniform_positive();
+      if (product <= limit) return count;
+      ++count;
+    }
+  }
+  // Normal approximation with continuity correction; adequate for
+  // tau-leaping where per-step channel means are moderate.
+  const double sample = mean + std::sqrt(mean) * normal() + 0.5;
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample);
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Rejection to remove modulo bias.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+Rng Rng::split() noexcept { return Rng(next_u64()); }
+
+}  // namespace glva::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crn/network.h"
+#include "sim/input_schedule.h"
+#include "sim/rng.h"
+#include "sim/trace.h"
+
+namespace glva::sim {
+
+/// Knobs shared by every simulation algorithm.
+struct SimulationOptions {
+  /// Trace sampling period (time units per recorded row). The paper samples
+  /// once per time unit over 10,000-unit runs.
+  double sampling_period = 1.0;
+  /// RNG seed; equal seeds give bit-identical traces for a given algorithm.
+  std::uint64_t seed = 1;
+};
+
+/// Records zero-order-hold samples of the state on a uniform time grid.
+/// Kernels call advance_before(t, values) immediately *before* applying an
+/// event at time t, so every grid point in [previous event, t) carries the
+/// state that was live across it.
+class TraceSampler {
+public:
+  TraceSampler(const crn::ReactionNetwork& network, double sampling_period);
+
+  /// Emit all unrecorded grid points strictly before `t` with `values`.
+  void advance_before(double t, const std::vector<double>& values);
+
+  /// Emit all remaining grid points up to and including `t_end`.
+  void finish(double t_end, const std::vector<double>& values);
+
+  /// Move the accumulated trace out.
+  [[nodiscard]] Trace take() noexcept { return std::move(trace_); }
+
+private:
+  double sampling_period_;
+  std::size_t next_index_ = 0;  // next grid point to record
+  Trace trace_;
+};
+
+/// Interface of the exact/approximate stochastic simulation algorithms.
+/// A simulator is stateless between runs; all mutable state lives on the
+/// stack of run(), so one instance can serve many (sequential) runs.
+class StochasticSimulator {
+public:
+  virtual ~StochasticSimulator() = default;
+
+  /// Human-readable algorithm name ("direct", "next-reaction", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Simulate `network` over [0, duration]: start from the network's
+  /// initial values, clamp the schedule's input species at each phase
+  /// boundary, and record every species at the sampling grid.
+  ///
+  /// Throws glva::SimulationError on invalid propensities and
+  /// glva::InvalidArgument for schedules referencing unknown species.
+  [[nodiscard]] Trace run(const crn::ReactionNetwork& network,
+                          const InputSchedule& schedule, double duration,
+                          const SimulationOptions& options) const;
+
+protected:
+  /// Advance `values` from `t_begin` to `t_end` with no clamp changes,
+  /// reporting state to `sampler` before each event. Implemented by each
+  /// algorithm.
+  virtual void simulate_interval(const crn::ReactionNetwork& network,
+                                 std::vector<double>& values, double t_begin,
+                                 double t_end, Rng& rng,
+                                 TraceSampler& sampler) const = 0;
+};
+
+/// Algorithm registry (for CLI/bench selection by name).
+enum class SsaMethod { kDirect, kNextReaction, kTauLeap };
+
+/// Construct a simulator by method.
+[[nodiscard]] std::unique_ptr<StochasticSimulator> make_simulator(SsaMethod method);
+
+/// Parse "direct" / "next-reaction" / "tau-leap"; throws
+/// glva::InvalidArgument otherwise.
+[[nodiscard]] SsaMethod parse_ssa_method(const std::string& name);
+
+}  // namespace glva::sim

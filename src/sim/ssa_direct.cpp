@@ -1,0 +1,56 @@
+#include "sim/ssa_direct.h"
+
+#include <cmath>
+
+namespace glva::sim {
+
+void DirectMethod::simulate_interval(const crn::ReactionNetwork& network,
+                                     std::vector<double>& values,
+                                     double t_begin, double t_end, Rng& rng,
+                                     TraceSampler& sampler) const {
+  const std::size_t m = network.reaction_count();
+  std::vector<double> propensities(m);
+  double total = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    propensities[r] = network.propensity(r, values);
+    total += propensities[r];
+  }
+
+  double t = t_begin;
+  std::size_t steps_since_resum = 0;
+  constexpr std::size_t kResumInterval = 8192;
+
+  while (total > 0.0) {
+    const double tau = rng.exponential(total);
+    if (t + tau >= t_end) break;  // state holds through the interval end
+    t += tau;
+    sampler.advance_before(t, values);
+
+    // Select reaction j with probability propensities[j] / total.
+    double target = rng.uniform() * total;
+    std::size_t j = 0;
+    for (; j + 1 < m; ++j) {
+      if (target < propensities[j]) break;
+      target -= propensities[j];
+    }
+    network.fire(j, values);
+
+    // Update only the reactions whose propensity can have changed.
+    for (std::size_t affected : network.affected_reactions(j)) {
+      const double fresh = network.propensity(affected, values);
+      total += fresh - propensities[affected];
+      propensities[affected] = fresh;
+    }
+
+    if (++steps_since_resum >= kResumInterval) {
+      // Re-sum to cancel accumulated floating-point drift.
+      total = 0.0;
+      for (std::size_t r = 0; r < m; ++r) total += propensities[r];
+      steps_since_resum = 0;
+    }
+    if (total < 0.0) total = 0.0;
+  }
+  sampler.advance_before(t_end, values);
+}
+
+}  // namespace glva::sim

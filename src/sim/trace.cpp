@@ -1,0 +1,73 @@
+#include "sim/trace.h"
+
+#include "util/csv.h"
+#include "util/errors.h"
+#include "util/string_util.h"
+
+namespace glva::sim {
+
+Trace::Trace(std::vector<std::string> species_names)
+    : species_names_(std::move(species_names)),
+      series_(species_names_.size()) {}
+
+void Trace::append(double time, const std::vector<double>& species_values) {
+  if (species_values.size() < species_names_.size()) {
+    throw InvalidArgument("Trace::append: value row narrower than species list");
+  }
+  times_.push_back(time);
+  for (std::size_t i = 0; i < species_names_.size(); ++i) {
+    series_[i].push_back(species_values[i]);
+  }
+}
+
+const std::vector<double>& Trace::series(std::size_t species) const {
+  if (species >= series_.size()) {
+    throw InvalidArgument("Trace::series: species index out of range");
+  }
+  return series_[species];
+}
+
+std::size_t Trace::species_index(const std::string& id) const {
+  for (std::size_t i = 0; i < species_names_.size(); ++i) {
+    if (species_names_[i] == id) return i;
+  }
+  throw InvalidArgument("Trace: unknown species '" + id + "'");
+}
+
+const std::vector<double>& Trace::series(const std::string& id) const {
+  return series_[species_index(id)];
+}
+
+void Trace::extend(const Trace& tail) {
+  if (tail.species_names_ != species_names_) {
+    throw InvalidArgument("Trace::extend: species lists differ");
+  }
+  if (!times_.empty() && !tail.times_.empty() &&
+      tail.times_.front() < times_.back()) {
+    throw InvalidArgument("Trace::extend: tail starts before this trace ends");
+  }
+  times_.insert(times_.end(), tail.times_.begin(), tail.times_.end());
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    series_[i].insert(series_[i].end(), tail.series_[i].begin(),
+                      tail.series_[i].end());
+  }
+}
+
+std::string Trace::to_csv() const {
+  util::CsvWriter csv;
+  std::vector<std::string> header{"time"};
+  header.insert(header.end(), species_names_.begin(), species_names_.end());
+  csv.add_row(header);
+  for (std::size_t k = 0; k < times_.size(); ++k) {
+    std::vector<std::string> row;
+    row.reserve(1 + species_names_.size());
+    row.push_back(glva::util::format_double(times_[k]));
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      row.push_back(glva::util::format_double(series_[i][k]));
+    }
+    csv.add_row(row);
+  }
+  return csv.str();
+}
+
+}  // namespace glva::sim

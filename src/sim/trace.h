@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// Uniformly sampled simulation traces. The logic-analysis algorithm
+/// consumes "simulation data of all I/O species" (SDAn in Algorithm 1) as a
+/// time grid plus one amount series per species; this type is that data.
+namespace glva::sim {
+
+class Trace {
+public:
+  Trace() = default;
+  /// Create an empty trace for the given species names.
+  explicit Trace(std::vector<std::string> species_names);
+
+  /// Append one sample row (values.size() must equal species count).
+  void append(double time, const std::vector<double>& species_values);
+
+  [[nodiscard]] std::size_t sample_count() const noexcept { return times_.size(); }
+  [[nodiscard]] std::size_t species_count() const noexcept {
+    return species_names_.size();
+  }
+  [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }
+  [[nodiscard]] const std::vector<std::string>& species_names() const noexcept {
+    return species_names_;
+  }
+
+  /// Series of one species (by index); series(i)[k] pairs with times()[k].
+  [[nodiscard]] const std::vector<double>& series(std::size_t species) const;
+  /// Series by species id; throws glva::InvalidArgument when unknown.
+  [[nodiscard]] const std::vector<double>& series(const std::string& id) const;
+  [[nodiscard]] std::size_t species_index(const std::string& id) const;
+
+  /// Concatenate another trace recorded on a later time interval (used by
+  /// the sweep runner to stitch per-combination segments).
+  void extend(const Trace& tail);
+
+  /// Write as CSV: header "time,<species...>" then one row per sample.
+  [[nodiscard]] std::string to_csv() const;
+
+private:
+  std::vector<std::string> species_names_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> series_;  // [species][sample]
+};
+
+}  // namespace glva::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/input_schedule.h"
+#include "sim/trace.h"
+
+/// Propagation-delay analysis (the second D-VASim capability the paper
+/// uses). The propagation delay bounds how long each input combination
+/// must be held: combinations changed faster than the delay produce wrong
+/// output states (Section II of the paper).
+namespace glva::timing {
+
+/// One observed output transition following an input-combination change.
+struct DelayEvent {
+  std::size_t phase_index = 0;  ///< schedule phase whose onset triggered it
+  double input_change_time = 0.0;
+  double crossing_time = 0.0;   ///< when the output settled past threshold
+  bool rising = false;          ///< low->high (true) or high->low
+  [[nodiscard]] double delay() const noexcept {
+    return crossing_time - input_change_time;
+  }
+};
+
+/// Aggregate delay statistics over a sweep.
+struct DelayAnalysis {
+  std::vector<DelayEvent> events;
+  double mean_rise_delay = 0.0;
+  double mean_fall_delay = 0.0;
+  double max_delay = 0.0;
+  /// Suggested hold time per combination: max observed delay with a 25%
+  /// safety margin (the paper holds each combination >= 1000 time units).
+  double recommended_hold_time = 0.0;
+};
+
+/// Scan a sweep trace for output transitions caused by input phase changes.
+///
+/// For each phase boundary where the output's settled digital level differs
+/// from its level at the boundary, the crossing time is the first sample
+/// after the boundary at which the output crosses `threshold` in the
+/// settled direction and stays there for `persistence` consecutive samples
+/// (filtering the stochastic flicker the paper's Figure 2 shows around the
+/// threshold).
+[[nodiscard]] DelayAnalysis estimate_delays(const sim::Trace& trace,
+                                            const sim::InputSchedule& schedule,
+                                            const std::string& output_id,
+                                            double threshold,
+                                            std::size_t persistence = 25);
+
+}  // namespace glva::timing

@@ -1,0 +1,44 @@
+#include "timing/threshold_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.h"
+#include "util/stats.h"
+
+namespace glva::timing {
+
+ThresholdAnalysis estimate_threshold(std::span<const double> samples) {
+  if (samples.empty()) {
+    throw InvalidArgument("estimate_threshold: empty sample");
+  }
+  ThresholdAnalysis analysis;
+  analysis.threshold = util::otsu_threshold(samples);
+
+  util::RunningStats off;
+  util::RunningStats on;
+  for (double x : samples) {
+    (x < analysis.threshold ? off : on).add(x);
+  }
+  analysis.off_mean = off.mean();
+  analysis.on_mean = on.count() > 0 ? on.mean() : off.mean();
+
+  // Separation: plateau gap normalized by gap + twice the pooled spread
+  // (roughly "how many ±1σ bands fit in the gap"). A clean bimodal signal
+  // scores near 1; a unimodal or overlapping one scores low.
+  const double gap = std::max(0.0, analysis.on_mean - analysis.off_mean);
+  const double spread = 2.0 * (off.stddev() + on.stddev());
+  analysis.separation = (gap + spread) > 0.0 ? gap / (gap + spread) : 0.0;
+  if (on.count() == 0 || off.count() == 0) analysis.separation = 0.0;
+  return analysis;
+}
+
+ThresholdAnalysis estimate_threshold(sim::VirtualLab& lab,
+                                     const std::string& species_id,
+                                     double probe_level, double total_time) {
+  const sim::SweepResult sweep = lab.run_combination_sweep(total_time, probe_level);
+  const auto& series = sweep.trace.series(species_id);
+  return estimate_threshold(std::span<const double>(series.data(), series.size()));
+}
+
+}  // namespace glva::timing

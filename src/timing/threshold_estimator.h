@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sim/virtual_lab.h"
+
+/// Threshold-value analysis, reproducing the D-VASim capability the paper
+/// leans on ("D-VASim supports the capability of analyzing the threshold
+/// value and propagation delays" — Baig & Madsen, IWBDA 2016). The
+/// threshold is the amount separating the OFF and ON expression plateaus of
+/// a species; the logic analyzer uses it to digitize analog traces.
+namespace glva::timing {
+
+/// Result of a threshold estimation.
+struct ThresholdAnalysis {
+  double threshold = 0.0;   ///< estimated logic threshold (molecules)
+  double off_mean = 0.0;    ///< mean amount over the OFF-classified samples
+  double on_mean = 0.0;     ///< mean amount over the ON-classified samples
+  /// Separation quality in [0, 1]: 0 when plateaus touch, toward 1 when the
+  /// gap dwarfs the plateau spread. Circuits near 0 will digitize noisily
+  /// (the paper's threshold-40 regime on circuit 0x0B).
+  double separation = 0.0;
+};
+
+/// Estimate the logic threshold of a sample distribution (Otsu's method on
+/// the amount histogram). Throws glva::InvalidArgument on an empty sample.
+[[nodiscard]] ThresholdAnalysis estimate_threshold(std::span<const double> samples);
+
+/// Run a full input-combination sweep on the lab at `probe_level` molecules
+/// per asserted input and estimate the threshold of `species_id` from the
+/// resulting trace. This is the push-button flow a D-VASim user performs
+/// before logic analysis.
+[[nodiscard]] ThresholdAnalysis estimate_threshold(sim::VirtualLab& lab,
+                                                   const std::string& species_id,
+                                                   double probe_level,
+                                                   double total_time);
+
+}  // namespace glva::timing

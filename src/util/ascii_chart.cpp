@@ -1,0 +1,144 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace glva::util {
+
+std::string render_time_series(const std::string& title,
+                               const std::vector<double>& times,
+                               const std::vector<double>& values,
+                               const ChartOptions& options) {
+  std::string out = title + "\n";
+  const std::size_t n = std::min(times.size(), values.size());
+  if (n == 0 || options.width == 0 || options.height == 0) {
+    out += "  (no data)\n";
+    return out;
+  }
+
+  double y_max = options.y_max;
+  if (y_max <= options.y_min) {
+    y_max = options.y_min;
+    for (std::size_t i = 0; i < n; ++i) y_max = std::max(y_max, values[i]);
+    y_max = std::max(y_max, options.threshold);
+    if (y_max <= options.y_min) y_max = options.y_min + 1.0;
+    y_max *= 1.05;
+  }
+  const double y_min = options.y_min;
+  const double t0 = times.front();
+  const double t1 = std::max(times[n - 1], t0 + 1e-12);
+
+  // Max-pool samples into columns so single-sample spikes stay visible.
+  std::vector<double> column_max(options.width,
+                                 -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto col = static_cast<std::size_t>((times[i] - t0) / (t1 - t0) *
+                                        static_cast<double>(options.width - 1));
+    col = std::min(col, options.width - 1);
+    column_max[col] = std::max(column_max[col], values[i]);
+  }
+  // Fill gaps (columns with no sample) with the previous column's value.
+  double last = 0.0;
+  for (double& v : column_max) {
+    if (std::isinf(v)) {
+      v = last;
+    } else {
+      last = v;
+    }
+  }
+
+  const auto row_of = [&](double v) -> std::ptrdiff_t {
+    const double frac = (v - y_min) / (y_max - y_min);
+    return static_cast<std::ptrdiff_t>(
+        std::floor(frac * static_cast<double>(options.height)));
+  };
+
+  const std::ptrdiff_t threshold_row =
+      options.threshold >= 0 ? row_of(options.threshold) : -1;
+
+  for (std::ptrdiff_t r = static_cast<std::ptrdiff_t>(options.height) - 1; r >= 0;
+       --r) {
+    // y-axis label: value at the top of this row band.
+    const double band_top = y_min + (y_max - y_min) *
+                                        (static_cast<double>(r) + 1.0) /
+                                        static_cast<double>(options.height);
+    char label[16];
+    std::snprintf(label, sizeof label, "%7.1f", band_top);
+    out += label;
+    out += " |";
+    for (std::size_t c = 0; c < options.width; ++c) {
+      const std::ptrdiff_t vr = row_of(column_max[c]);
+      char ch = ' ';
+      if (vr >= r) {
+        ch = (vr == r) ? '*' : '.';
+      }
+      if (r == threshold_row && ch == ' ') ch = '-';
+      out += ch;
+    }
+    out += '\n';
+  }
+  out += "        +";
+  out.append(options.width, '-');
+  out += "\n         ";
+  char left[32], right[32];
+  std::snprintf(left, sizeof left, "%-10.0f", t0);
+  std::snprintf(right, sizeof right, "%10.0f", t1);
+  out += left;
+  if (options.width > 20) out.append(options.width - 20, ' ');
+  out += right;
+  out += " (time)\n";
+  return out;
+}
+
+std::string render_bar_chart(const std::string& title,
+                             const std::vector<std::string>& labels,
+                             const std::vector<double>& values,
+                             std::size_t max_bar_width) {
+  std::string out = title + "\n";
+  const std::size_t n = std::min(labels.size(), values.size());
+  double v_max = 0.0;
+  std::size_t label_width = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v_max = std::max(v_max, values[i]);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  if (v_max <= 0.0) v_max = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out += "  ";
+    out += labels[i];
+    out.append(label_width - labels[i].size(), ' ');
+    out += " |";
+    const auto bar = static_cast<std::size_t>(
+        std::lround(values[i] / v_max * static_cast<double>(max_bar_width)));
+    out.append(bar, '#');
+    out += ' ';
+    out += format_double(values[i], 6);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_run_length(const std::vector<bool>& bits) {
+  if (bits.empty()) return "(empty)";
+  std::string out;
+  std::size_t i = 0;
+  while (i < bits.size()) {
+    const bool bit = bits[i];
+    std::size_t run = 0;
+    while (i < bits.size() && bits[i] == bit) {
+      ++run;
+      ++i;
+    }
+    if (!out.empty()) out += ' ';
+    out += bit ? '1' : '0';
+    out += 'x';
+    out += std::to_string(run);
+  }
+  return out;
+}
+
+}  // namespace glva::util

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// Terminal rendering of the paper's figure content: time-series strip
+/// charts (Figure 2a / Figure 5 simulation plots) and labelled bar charts
+/// (Figure 4 Case_I / High_O / Var_O analytics).
+namespace glva::util {
+
+/// Options for time-series rendering.
+struct ChartOptions {
+  std::size_t width = 100;   ///< characters across the plot area
+  std::size_t height = 12;   ///< character rows of the plot area
+  double y_min = 0.0;        ///< lower bound of the y axis
+  double y_max = -1.0;       ///< upper bound; <= y_min means auto-scale
+  double threshold = -1.0;   ///< draw a horizontal marker line; < 0 disables
+};
+
+/// Render one series (`values[k]` sampled at `times[k]`) as an ASCII strip
+/// chart titled `title`. Values are max-pooled into columns so short spikes
+/// remain visible. The optional threshold renders as a row of '-' markers.
+[[nodiscard]] std::string render_time_series(const std::string& title,
+                                             const std::vector<double>& times,
+                                             const std::vector<double>& values,
+                                             const ChartOptions& options = {});
+
+/// Render a horizontal bar chart: one row per label, bar length proportional
+/// to value, annotated with the numeric value.
+[[nodiscard]] std::string render_bar_chart(const std::string& title,
+                                           const std::vector<std::string>& labels,
+                                           const std::vector<double>& values,
+                                           std::size_t max_bar_width = 60);
+
+/// Render a binary stream compactly ("0x1850 1x3 0x212 ..."): run-length
+/// encoding used when printing per-combination output data streams.
+[[nodiscard]] std::string render_run_length(const std::vector<bool>& bits);
+
+}  // namespace glva::util

@@ -1,0 +1,96 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/errors.h"
+#include "util/string_util.h"
+
+namespace glva::util {
+
+void CsvWriter::add_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ += separator_;
+    out_ += escape(fields[i]);
+  }
+  out_ += '\n';
+}
+
+std::string CsvWriter::to_field(double v) { return format_double(v); }
+
+std::string CsvWriter::escape(const std::string& field) const {
+  const bool needs_quotes =
+      field.find(separator_) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos ||
+      field.find('\r') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open CSV output file: " + path);
+  f << out_;
+  if (!f) throw Error("failed writing CSV output file: " + path);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text,
+                                                char separator) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    row.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(row);
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == separator) {
+      end_field();
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV field");
+  if (field_started || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace glva::util

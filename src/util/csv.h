@@ -1,0 +1,54 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// Minimal RFC-4180-style CSV writing/reading used by the bench harness to
+/// dump figure data for external plotting.
+namespace glva::util {
+
+/// Incrementally builds a CSV document. Fields containing separators,
+/// quotes, or newlines are quoted and escaped.
+class CsvWriter {
+public:
+  explicit CsvWriter(char separator = ',') : separator_(separator) {}
+
+  /// Append one row; each element becomes one field.
+  void add_row(const std::vector<std::string>& fields);
+
+  /// Convenience: append a row of already-formatted values.
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    add_row(std::vector<std::string>{to_field(fields)...});
+  }
+
+  /// The document built so far.
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+  /// Write the document to `path`; throws glva::Error on I/O failure.
+  void save(const std::string& path) const;
+
+private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(double v);
+  static std::string to_field(int v) { return std::to_string(v); }
+  static std::string to_field(long v) { return std::to_string(v); }
+  static std::string to_field(long long v) { return std::to_string(v); }
+  static std::string to_field(unsigned v) { return std::to_string(v); }
+  static std::string to_field(unsigned long v) { return std::to_string(v); }
+  static std::string to_field(unsigned long long v) { return std::to_string(v); }
+
+  [[nodiscard]] std::string escape(const std::string& field) const;
+
+  char separator_;
+  std::string out_;
+};
+
+/// Parse a CSV document into rows of fields (quoted fields unescaped).
+/// Throws glva::ParseError on unterminated quotes.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    const std::string& text, char separator = ',');
+
+}  // namespace glva::util

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace glva {
+
+/// Root of the GLVA exception hierarchy. All errors thrown by the library
+/// derive from this type so callers can catch library failures uniformly.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A malformed input document (XML syntax, SBML structure, MathML, ...).
+class ParseError : public Error {
+public:
+  ParseError(const std::string& what_arg, std::size_t line, std::size_t column)
+      : Error(what_arg + " (line " + std::to_string(line) + ", column " +
+              std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  explicit ParseError(const std::string& what_arg)
+      : Error(what_arg), line_(0), column_(0) {}
+
+  /// 1-based line of the offending input, or 0 when unknown.
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  /// 1-based column of the offending input, or 0 when unknown.
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// A structurally valid document that violates a semantic rule
+/// (e.g. a reaction referencing an undeclared species).
+class ValidationError : public Error {
+public:
+  using Error::Error;
+};
+
+/// An operation invoked with arguments outside its domain
+/// (e.g. a negative threshold, an empty trace).
+class InvalidArgument : public Error {
+public:
+  using Error::Error;
+};
+
+/// A simulation that cannot proceed (e.g. a kinetic law evaluating to a
+/// negative propensity).
+class SimulationError : public Error {
+public:
+  using Error::Error;
+};
+
+}  // namespace glva

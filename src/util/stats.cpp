@@ -1,0 +1,132 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace glva::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean(std::span<const double> xs) noexcept {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double variance(std::span<const double> xs) noexcept {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.variance();
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw InvalidArgument("percentile of empty sample");
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins) {
+  if (bins == 0) throw InvalidArgument("histogram needs at least one bin");
+  if (hi <= lo) throw InvalidArgument("histogram range must be non-empty");
+  std::vector<std::size_t> counts(bins, 0);
+  for (double x : xs) {
+    auto b = static_cast<std::ptrdiff_t>((x - lo) / (hi - lo) *
+                                         static_cast<double>(bins));
+    b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(b)];
+  }
+  return counts;
+}
+
+double otsu_threshold(std::span<const double> xs, std::size_t bins) {
+  if (xs.empty()) throw InvalidArgument("otsu_threshold of empty sample");
+  double lo = xs[0];
+  double hi = xs[0];
+  for (double x : xs) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (hi <= lo) return lo;  // constant signal: any threshold works
+  const auto counts = histogram(xs, lo, hi, bins);
+  const double total = static_cast<double>(xs.size());
+
+  // Otsu: maximize between-class variance over candidate split bins.
+  double sum_all = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    sum_all += static_cast<double>(b) * static_cast<double>(counts[b]);
+  }
+  double w0 = 0.0;
+  double sum0 = 0.0;
+  double best_sigma = -1.0;
+  double best_bin_sum = 0.0;
+  double best_bin_count = 0.0;
+  for (std::size_t b = 0; b + 1 < bins; ++b) {
+    w0 += static_cast<double>(counts[b]);
+    if (w0 == 0.0) continue;
+    const double w1 = total - w0;
+    if (w1 == 0.0) break;
+    sum0 += static_cast<double>(b) * static_cast<double>(counts[b]);
+    const double mu0 = sum0 / w0;
+    const double mu1 = (sum_all - sum0) / w1;
+    const double sigma = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+    // Well-separated modes make a plateau of equally good splits; average
+    // all argmax bins so the threshold lands mid-gap, not at a mode's edge.
+    if (sigma > best_sigma * (1.0 + 1e-12)) {
+      best_sigma = sigma;
+      best_bin_sum = static_cast<double>(b);
+      best_bin_count = 1.0;
+    } else if (sigma >= best_sigma * (1.0 - 1e-12)) {
+      best_bin_sum += static_cast<double>(b);
+      best_bin_count += 1.0;
+    }
+  }
+  const double best_bin =
+      best_bin_count > 0.0 ? best_bin_sum / best_bin_count
+                           : static_cast<double>(bins) / 2.0;
+  // Threshold at the upper edge of the (averaged) best split bin.
+  return lo + (hi - lo) * (best_bin + 1.0) / static_cast<double>(bins);
+}
+
+}  // namespace glva::util

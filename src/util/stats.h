@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// Descriptive statistics used by the timing estimators and by the SSA
+/// statistical tests.
+namespace glva::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm), numerically
+/// stable for long traces.
+class RunningStats {
+public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other) noexcept;
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+/// p in [0,1]; linear interpolation between order statistics. Throws
+/// glva::InvalidArgument on an empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Histogram with `bins` equal-width bins over [lo, hi]; out-of-range
+/// samples clamp to the boundary bins.
+[[nodiscard]] std::vector<std::size_t> histogram(std::span<const double> xs,
+                                                 double lo, double hi,
+                                                 std::size_t bins);
+
+/// The valley threshold between the two modes of a bimodal histogram
+/// (Otsu's method on a 1-D sample). Used by ThresholdEstimator to separate
+/// the OFF and ON expression plateaus. Throws on an empty input.
+[[nodiscard]] double otsu_threshold(std::span<const double> xs,
+                                    std::size_t bins = 64);
+
+}  // namespace glva::util

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Small string helpers shared across modules. All functions are pure and
+/// allocate only when the result requires it.
+namespace glva::util {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split `s` on every occurrence of `sep`. Adjacent separators produce empty
+/// fields; an empty input yields a single empty field.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on runs of ASCII whitespace, discarding empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Join `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII lower-casing (locale independent).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Replace every occurrence of `from` (must be non-empty) with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
+                                      std::string_view to);
+
+/// Parse a double; returns nullopt on any trailing garbage or empty input.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s) noexcept;
+
+/// Parse a non-negative integer; returns nullopt on overflow or garbage.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view s) noexcept;
+
+/// Render `value` with `digits` significant digits, trimming trailing zeros
+/// ("1.25", "3", "0.004").  Used by report and SBML writers so output is
+/// stable across platforms.
+[[nodiscard]] std::string format_double(double value, int digits = 12);
+
+/// True iff `name` is a valid SBML SId: [A-Za-z_][A-Za-z0-9_]*.
+[[nodiscard]] bool is_valid_sid(std::string_view name) noexcept;
+
+}  // namespace glva::util

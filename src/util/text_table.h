@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// Aligned plain-text tables, used by the bench binaries to print the
+/// Figure-4-style analytics tables (Case_I / High_O / Var_O per input
+/// combination) the paper reports.
+namespace glva::util {
+
+class TextTable {
+public:
+  /// Per-column alignment.
+  enum class Align { kLeft, kRight };
+
+  /// Create a table with the given header row. Column count is fixed by the
+  /// header; shorter data rows are padded with empty cells.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Set the alignment of column `col` (default: left).
+  void set_align(std::size_t col, Align align);
+
+  /// Append a data row (extra cells beyond the header width are dropped).
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline and two-space column gaps.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return header_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace glva::util

@@ -1,0 +1,114 @@
+#include "xml/xml_node.h"
+
+#include "util/errors.h"
+#include "util/string_util.h"
+
+namespace glva::xml {
+
+XmlNode::XmlNode(Kind kind, std::string name_or_text) : kind_(kind) {
+  if (kind == Kind::kElement) {
+    name_ = std::move(name_or_text);
+  } else {
+    text_ = std::move(name_or_text);
+  }
+}
+
+XmlNodePtr XmlNode::element(std::string name) {
+  return XmlNodePtr(new XmlNode(Kind::kElement, std::move(name)));
+}
+
+XmlNodePtr XmlNode::text(std::string content) {
+  return XmlNodePtr(new XmlNode(Kind::kText, std::move(content)));
+}
+
+XmlNodePtr XmlNode::comment(std::string content) {
+  return XmlNodePtr(new XmlNode(Kind::kComment, std::move(content)));
+}
+
+std::optional<std::string> XmlNode::attribute(std::string_view name) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return attr.value;
+  }
+  return std::nullopt;
+}
+
+std::string XmlNode::required_attribute(std::string_view name) const {
+  if (auto v = attribute(name)) return *v;
+  throw ParseError("element <" + name_ + "> is missing required attribute '" +
+                   std::string(name) + "'");
+}
+
+void XmlNode::set_attribute(std::string name, std::string value) {
+  for (auto& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back(XmlAttribute{std::move(name), std::move(value)});
+}
+
+XmlNode& XmlNode::add_child(XmlNodePtr child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+XmlNode& XmlNode::add_element(std::string name) {
+  return add_child(element(std::move(name)));
+}
+
+void XmlNode::add_text(std::string content) {
+  add_child(text(std::move(content)));
+}
+
+const XmlNode* XmlNode::find_child(std::string_view name) const noexcept {
+  for (const auto& child : children_) {
+    if (child->kind_ == Kind::kElement && child->name_ == name) {
+      return child.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::find_children(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children_) {
+    if (child->kind_ == Kind::kElement && child->name_ == name) {
+      out.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+std::vector<const XmlNode*> XmlNode::element_children() const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children_) {
+    if (child->kind_ == Kind::kElement) out.push_back(child.get());
+  }
+  return out;
+}
+
+const XmlNode& XmlNode::required_child(std::string_view name) const {
+  if (const XmlNode* child = find_child(name)) return *child;
+  throw ParseError("element <" + name_ + "> is missing required child <" +
+                   std::string(name) + ">");
+}
+
+std::string XmlNode::text_content() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->kind_ == Kind::kText) out += child->text_;
+  }
+  return std::string(util::trim(out));
+}
+
+XmlNodePtr XmlNode::clone() const {
+  XmlNodePtr copy(new XmlNode(kind_, kind_ == Kind::kElement ? name_ : text_));
+  copy->attributes_ = attributes_;
+  for (const auto& child : children_) {
+    copy->children_.push_back(child->clone());
+  }
+  return copy;
+}
+
+}  // namespace glva::xml

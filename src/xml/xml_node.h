@@ -1,0 +1,92 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// A deliberately small XML document model: elements with attributes,
+/// character data, and comments. Namespaces are carried as literal prefixes
+/// in names (SBML documents in practice use a fixed default namespace plus
+/// the MathML namespace on <math>, which this model preserves verbatim).
+namespace glva::xml {
+
+class XmlNode;
+using XmlNodePtr = std::unique_ptr<XmlNode>;
+
+/// One attribute, in document order.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// An XML tree node. `kElement` nodes own children; `kText` and `kComment`
+/// nodes carry character data in `text`.
+class XmlNode {
+public:
+  enum class Kind { kElement, kText, kComment };
+
+  /// Create an element node with the given tag name.
+  static XmlNodePtr element(std::string name);
+  /// Create a character-data node.
+  static XmlNodePtr text(std::string content);
+  /// Create a comment node.
+  static XmlNodePtr comment(std::string content);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& content() const noexcept { return text_; }
+
+  // -- attributes ---------------------------------------------------------
+
+  [[nodiscard]] const std::vector<XmlAttribute>& attributes() const noexcept {
+    return attributes_;
+  }
+  /// Attribute value by name, or nullopt when absent.
+  [[nodiscard]] std::optional<std::string> attribute(std::string_view name) const;
+  /// Attribute value by name; throws glva::ParseError when absent
+  /// (used by readers for required attributes).
+  [[nodiscard]] std::string required_attribute(std::string_view name) const;
+  /// Set (or overwrite) an attribute.
+  void set_attribute(std::string name, std::string value);
+
+  // -- children -----------------------------------------------------------
+
+  [[nodiscard]] const std::vector<XmlNodePtr>& children() const noexcept {
+    return children_;
+  }
+  /// Append a child and return a reference to it.
+  XmlNode& add_child(XmlNodePtr child);
+  /// Convenience: append a new element child.
+  XmlNode& add_element(std::string name);
+  /// Convenience: append a text child.
+  void add_text(std::string content);
+
+  /// First element child with the given tag name, or nullptr.
+  [[nodiscard]] const XmlNode* find_child(std::string_view name) const noexcept;
+  /// All element children with the given tag name, in order.
+  [[nodiscard]] std::vector<const XmlNode*> find_children(std::string_view name) const;
+  /// All element children regardless of name.
+  [[nodiscard]] std::vector<const XmlNode*> element_children() const;
+  /// First element child with the given name; throws glva::ParseError when
+  /// absent.
+  [[nodiscard]] const XmlNode& required_child(std::string_view name) const;
+
+  /// Concatenated character data of direct text children, whitespace-trimmed.
+  [[nodiscard]] std::string text_content() const;
+
+  /// Deep copy of this subtree.
+  [[nodiscard]] XmlNodePtr clone() const;
+
+private:
+  XmlNode(Kind kind, std::string name_or_text);
+
+  Kind kind_;
+  std::string name_;  // element tag name
+  std::string text_;  // character data / comment body
+  std::vector<XmlAttribute> attributes_;
+  std::vector<XmlNodePtr> children_;
+};
+
+}  // namespace glva::xml

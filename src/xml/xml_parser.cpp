@@ -1,0 +1,296 @@
+#include "xml/xml_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/errors.h"
+#include "util/string_util.h"
+
+namespace glva::xml {
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view with line/column
+/// tracking for error messages.
+class Parser {
+public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  XmlNodePtr parse() {
+    skip_prolog();
+    XmlNodePtr root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("trailing content after document root");
+    return root;
+  }
+
+private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= input_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return input_[pos_];
+  }
+
+  [[nodiscard]] bool lookahead(std::string_view s) const noexcept {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(std::string_view s) {
+    if (!lookahead(s)) fail("expected '" + std::string(s) + "'");
+    for (std::size_t i = 0; i < s.size(); ++i) advance();
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = input_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("XML: " + message, line_, column_);
+  }
+
+  static bool is_name_start(char c) noexcept {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  }
+
+  static bool is_name_char(char c) noexcept {
+    return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    if (at_end() || !is_name_start(peek())) fail("expected a name");
+    std::string name;
+    while (!at_end() && is_name_char(input_[pos_])) {
+      name += advance();
+    }
+    return name;
+  }
+
+  void skip_prolog() {
+    skip_misc();
+    // <?xml ... ?> and <!DOCTYPE ...> may appear before the root element.
+    while (!at_end() && lookahead("<!DOCTYPE")) {
+      // Skip to the matching '>' (no internal subset support).
+      while (!at_end() && peek() != '>') {
+        if (peek() == '[') fail("DOCTYPE internal subsets are not supported");
+        advance();
+      }
+      expect(">");
+      skip_misc();
+    }
+  }
+
+  /// Skip whitespace, comments, and processing instructions.
+  void skip_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (lookahead("<?")) {
+        skip_processing_instruction();
+      } else if (lookahead("<!--")) {
+        parse_comment();  // discard between-document comments
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_processing_instruction() {
+    expect("<?");
+    while (!at_end() && !lookahead("?>")) advance();
+    expect("?>");
+  }
+
+  XmlNodePtr parse_comment() {
+    expect("<!--");
+    std::string body;
+    while (!at_end() && !lookahead("-->")) body += advance();
+    expect("-->");
+    return XmlNode::comment(std::move(body));
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected a quoted attribute value");
+    advance();
+    std::string raw;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '<') fail("'<' is not allowed in attribute values");
+      raw += advance();
+    }
+    expect(std::string_view(&quote, 1));
+    return decode_entities(raw);
+  }
+
+  XmlNodePtr parse_element() {
+    expect("<");
+    XmlNodePtr node = XmlNode::element(parse_name());
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      if (at_end()) fail("unterminated start tag <" + node->name() + ">");
+      if (peek() == '>' || lookahead("/>")) break;
+      const std::string attr_name = parse_name();
+      skip_whitespace();
+      expect("=");
+      skip_whitespace();
+      if (node->attribute(attr_name)) {
+        fail("duplicate attribute '" + attr_name + "' on <" + node->name() + ">");
+      }
+      node->set_attribute(attr_name, parse_attribute_value());
+    }
+    if (lookahead("/>")) {
+      expect("/>");
+      return node;
+    }
+    expect(">");
+    parse_content(*node);
+    expect("</");
+    const std::string closing = parse_name();
+    if (closing != node->name()) {
+      fail("mismatched closing tag </" + closing + "> for <" + node->name() + ">");
+    }
+    skip_whitespace();
+    expect(">");
+    return node;
+  }
+
+  void parse_content(XmlNode& parent) {
+    std::string pending_text;
+    const auto flush_text = [&] {
+      // Whitespace-only runs between elements are layout, not data.
+      if (!util::trim(pending_text).empty()) {
+        parent.add_text(decode_entities(pending_text));
+      }
+      pending_text.clear();
+    };
+    for (;;) {
+      if (at_end()) fail("unterminated element <" + parent.name() + ">");
+      if (lookahead("</")) {
+        flush_text();
+        return;
+      }
+      if (lookahead("<!--")) {
+        flush_text();
+        parent.add_child(parse_comment());
+      } else if (lookahead("<![CDATA[")) {
+        expect("<![CDATA[");
+        std::string body;
+        while (!at_end() && !lookahead("]]>")) body += advance();
+        expect("]]>");
+        parent.add_text(std::move(body));  // CDATA is literal
+      } else if (lookahead("<?")) {
+        flush_text();
+        skip_processing_instruction();
+      } else if (peek() == '<') {
+        flush_text();
+        parent.add_child(parse_element());
+      } else {
+        pending_text += advance();
+      }
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+std::string decode_entities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    if (raw[i] != '&') {
+      out += raw[i++];
+      continue;
+    }
+    const std::size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos) {
+      throw ParseError("XML: unterminated entity reference");
+    }
+    const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "lt") {
+      out += '<';
+    } else if (entity == "gt") {
+      out += '>';
+    } else if (entity == "amp") {
+      out += '&';
+    } else if (entity == "quot") {
+      out += '"';
+    } else if (entity == "apos") {
+      out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      // Numeric character reference; only ASCII code points are emitted
+      // directly, larger ones are encoded as UTF-8.
+      long code = 0;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code <= 0 || code > 0x10FFFF) {
+        throw ParseError("XML: invalid character reference &" +
+                         std::string(entity) + ";");
+      }
+      const auto cp = static_cast<unsigned long>(code);
+      if (cp < 0x80) {
+        out += static_cast<char>(cp);
+      } else if (cp < 0x800) {
+        out += static_cast<char>(0xC0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else if (cp < 0x10000) {
+        out += static_cast<char>(0xE0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else {
+        out += static_cast<char>(0xF0 | (cp >> 18));
+        out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+      }
+    } else {
+      throw ParseError("XML: unknown entity &" + std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+XmlNodePtr parse_document(std::string_view input) {
+  Parser parser(input);
+  return parser.parse();
+}
+
+XmlNodePtr parse_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open XML file: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return parse_document(buffer.str());
+}
+
+}  // namespace glva::xml

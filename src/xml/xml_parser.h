@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xml/xml_node.h"
+
+namespace glva::xml {
+
+/// Parse an XML document into a node tree.
+///
+/// Supported: elements, attributes (single/double quoted), character data,
+/// comments, CDATA sections, the five predefined entities plus numeric
+/// character references, XML declarations and processing instructions
+/// (skipped), and DOCTYPE declarations without internal subsets (skipped).
+///
+/// Throws glva::ParseError (with line/column) on malformed input.
+/// The returned node is the document's single root element.
+[[nodiscard]] XmlNodePtr parse_document(std::string_view input);
+
+/// Parse the XML file at `path`. Throws glva::Error when the file cannot be
+/// read and glva::ParseError on malformed content.
+[[nodiscard]] XmlNodePtr parse_file(const std::string& path);
+
+/// Decode entity and character references in raw character data.
+[[nodiscard]] std::string decode_entities(std::string_view raw);
+
+}  // namespace glva::xml

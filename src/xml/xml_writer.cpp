@@ -1,0 +1,115 @@
+#include "xml/xml_writer.h"
+
+#include <fstream>
+
+#include "util/errors.h"
+
+namespace glva::xml {
+
+namespace {
+
+void write_node(const XmlNode& node, const WriteOptions& options, int depth,
+                std::string& out) {
+  const std::string indent =
+      options.pretty ? std::string(static_cast<std::size_t>(depth) *
+                                       static_cast<std::size_t>(options.indent_width),
+                                   ' ')
+                     : std::string{};
+
+  switch (node.kind()) {
+    case XmlNode::Kind::kText:
+      out += indent;
+      out += escape_text(node.content());
+      if (options.pretty) out += '\n';
+      return;
+    case XmlNode::Kind::kComment:
+      out += indent;
+      out += "<!--";
+      out += node.content();
+      out += "-->";
+      if (options.pretty) out += '\n';
+      return;
+    case XmlNode::Kind::kElement:
+      break;
+  }
+
+  out += indent;
+  out += '<';
+  out += node.name();
+  for (const auto& attr : node.attributes()) {
+    out += ' ';
+    out += attr.name;
+    out += "=\"";
+    out += escape_text(attr.value);
+    out += '"';
+  }
+  if (node.children().empty()) {
+    out += "/>";
+    if (options.pretty) out += '\n';
+    return;
+  }
+
+  // Elements whose only children are text render inline so that
+  // `<ci> x </ci>` style content does not gain spurious newlines.
+  bool text_only = true;
+  for (const auto& child : node.children()) {
+    if (child->kind() != XmlNode::Kind::kText) {
+      text_only = false;
+      break;
+    }
+  }
+  out += '>';
+  if (text_only) {
+    for (const auto& child : node.children()) {
+      out += escape_text(child->content());
+    }
+  } else {
+    if (options.pretty) out += '\n';
+    for (const auto& child : node.children()) {
+      write_node(*child, options, depth + 1, out);
+    }
+    out += indent;
+  }
+  out += "</";
+  out += node.name();
+  out += '>';
+  if (options.pretty) out += '\n';
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string write_document(const XmlNode& root, const WriteOptions& options) {
+  std::string out;
+  if (options.xml_declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out += '\n';
+  }
+  write_node(root, options, 0, out);
+  return out;
+}
+
+void write_file(const XmlNode& root, const std::string& path,
+                const WriteOptions& options) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open XML output file: " + path);
+  f << write_document(root, options);
+  if (!f) throw Error("failed writing XML output file: " + path);
+}
+
+}  // namespace glva::xml

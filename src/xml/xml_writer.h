@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "xml/xml_node.h"
+
+namespace glva::xml {
+
+/// Options controlling document serialization.
+struct WriteOptions {
+  bool pretty = true;          ///< indent nested elements
+  int indent_width = 2;        ///< spaces per nesting level
+  bool xml_declaration = true; ///< emit `<?xml version="1.0" encoding="UTF-8"?>`
+};
+
+/// Serialize a node tree to XML text. Attribute values and character data
+/// are entity-escaped; elements without children render as self-closing
+/// tags. Round-trips with parse_document for trees the parser can produce.
+[[nodiscard]] std::string write_document(const XmlNode& root,
+                                         const WriteOptions& options = {});
+
+/// Serialize to the file at `path`. Throws glva::Error on I/O failure.
+void write_file(const XmlNode& root, const std::string& path,
+                const WriteOptions& options = {});
+
+/// Entity-escape text for use in character data or attribute values.
+[[nodiscard]] std::string escape_text(std::string_view raw);
+
+}  // namespace glva::xml

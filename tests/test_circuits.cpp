@@ -1,0 +1,130 @@
+// Unit tests for glva_circuits: the 15-circuit repository (structure and
+// intended functions; dynamics are covered by test_integration).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/cello_circuits.h"
+#include "circuits/circuit_repository.h"
+#include "circuits/myers_circuits.h"
+#include "sbml/validate.h"
+#include "util/errors.h"
+
+namespace {
+
+using namespace glva;
+using circuits::CircuitRepository;
+
+TEST(Repository, HasFifteenCircuits) {
+  const auto names = CircuitRepository::names();
+  EXPECT_EQ(names.size(), 15u);
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(), 15u);
+}
+
+TEST(Repository, PaperStructureRanges) {
+  // "1 to 3-inputs genetic logic circuits, which are composed of 1-7
+  // genetic logic gates" — our catalog must stay inside those ranges.
+  bool has_one_input = false;
+  bool has_three_inputs = false;
+  bool has_seven_gates = false;
+  for (const auto& spec : CircuitRepository::build_all()) {
+    EXPECT_GE(spec.input_ids.size(), 1u) << spec.name;
+    EXPECT_LE(spec.input_ids.size(), 3u) << spec.name;
+    EXPECT_GE(spec.gate_count, 1u) << spec.name;
+    EXPECT_LE(spec.gate_count, 7u) << spec.name;
+    EXPECT_GE(spec.parts.total(), 3u) << spec.name;
+    has_one_input |= spec.input_ids.size() == 1;
+    has_three_inputs |= spec.input_ids.size() == 3;
+    has_seven_gates |= spec.gate_count == 7;
+  }
+  EXPECT_TRUE(has_one_input);
+  EXPECT_TRUE(has_three_inputs);
+  EXPECT_TRUE(has_seven_gates);
+}
+
+TEST(Repository, AllModelsValidate) {
+  for (const auto& spec : CircuitRepository::build_all()) {
+    EXPECT_TRUE(sbml::is_valid(sbml::validate(spec.model))) << spec.name;
+    EXPECT_NE(spec.model.find_species(spec.output_id), nullptr) << spec.name;
+    for (const auto& input : spec.input_ids) {
+      EXPECT_NE(spec.model.find_species(input), nullptr)
+          << spec.name << "/" << input;
+    }
+  }
+}
+
+TEST(Repository, ExpectedFunctionsMatchCatalog) {
+  using logic::TruthTable;
+  const auto expect = [](const char* name, const TruthTable& table) {
+    EXPECT_EQ(CircuitRepository::build(name).expected, table) << name;
+  };
+  expect("myers_not", TruthTable::not_gate());
+  expect("myers_and", TruthTable::and_gate(2));
+  expect("myers_nand", TruthTable::nand_gate(2));
+  expect("myers_or", TruthTable::or_gate(2));
+  expect("myers_nor", TruthTable::nor_gate(2));
+  expect("0x1", TruthTable::nor_gate(2));
+  expect("0x6", TruthTable::xor_gate(2));
+  expect("0x8", TruthTable::and_gate(2));
+  expect("0xE", TruthTable::or_gate(2));
+  expect("0x04", TruthTable::from_minterms(3, {2}));
+  expect("0x0B", TruthTable::from_minterms(3, {1, 3, 7}));  // C·(A'+B)
+  expect("0x14", TruthTable::from_minterms(3, {2, 4}));     // (A^B)·C'
+  expect("0x17", TruthTable::minority(3));
+  expect("0x1C", TruthTable::from_minterms(3, {1, 2, 3}));  // A'·(B+C)
+  expect("0x80", TruthTable::and_gate(3));
+}
+
+TEST(Repository, CelloNetlistsMatchTheirSpecFunctions) {
+  for (const auto& name : circuits::cello_circuit_names()) {
+    const auto netlist = circuits::cello_netlist(name);
+    const auto spec = circuits::build_cello_circuit(name);
+    EXPECT_EQ(netlist.ideal_truth_table(), spec.expected) << name;
+    EXPECT_EQ(netlist.gate_count(), spec.gate_count) << name;
+  }
+}
+
+TEST(Repository, PaperBehaviouralConstraintsOn0x0B) {
+  // The constraints the DATE paper states for circuit 0x0B (DESIGN.md):
+  // 011 high (its decay tail spills into 100), 100 low, 000 low, 111 high.
+  const auto spec = CircuitRepository::build("0x0B");
+  EXPECT_TRUE(spec.expected.output(0b011));
+  EXPECT_FALSE(spec.expected.output(0b100));
+  EXPECT_FALSE(spec.expected.output(0b000));
+  EXPECT_TRUE(spec.expected.output(0b111));
+}
+
+TEST(Repository, MyersCircuitsUseFigureOneSpecies) {
+  const auto spec = CircuitRepository::build("myers_and");
+  EXPECT_EQ(spec.input_ids, (std::vector<std::string>{"LacI", "TetR"}));
+  EXPECT_EQ(spec.output_id, "GFP");
+  EXPECT_NE(spec.model.find_species("CI"), nullptr);  // the internal gene
+  EXPECT_NE(spec.model.find_parameter("P3_K"), nullptr);
+}
+
+TEST(Repository, TwoStageVariantDoublesCelloSpecies) {
+  const auto reduced = CircuitRepository::build("0x8", false);
+  const auto expanded = CircuitRepository::build("0x8", true);
+  EXPECT_GT(expanded.model.species.size(), reduced.model.species.size());
+  EXPECT_TRUE(sbml::is_valid(sbml::validate(expanded.model)));
+}
+
+TEST(Repository, UnknownNameThrows) {
+  EXPECT_THROW((void)CircuitRepository::build("0xFF"), InvalidArgument);
+  EXPECT_THROW((void)circuits::build_myers_circuit("myers_xor"),
+               InvalidArgument);
+  EXPECT_THROW((void)circuits::cello_netlist("nope"), InvalidArgument);
+}
+
+TEST(Repository, IsMyersClassifiesNames) {
+  EXPECT_TRUE(CircuitRepository::is_myers("myers_and"));
+  EXPECT_FALSE(CircuitRepository::is_myers("0x0B"));
+}
+
+TEST(Repository, InputsAreMsbFirstInSpecOrder) {
+  const auto spec = CircuitRepository::build("0x0B");
+  EXPECT_EQ(spec.input_ids, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Unit tests for glva_gates: the gate library, netlists, and the
+// netlist-to-SBML model generator.
+
+#include <gtest/gtest.h>
+
+#include "gates/gate_library.h"
+#include "gates/netlist.h"
+#include "gates/netlist_to_sbml.h"
+#include "sbml/validate.h"
+#include "util/errors.h"
+
+namespace {
+
+using namespace glva;
+using namespace glva::gates;
+
+TEST(GateLibrary, StandardLibraryLooksUpByName) {
+  const GateLibrary& lib = GateLibrary::standard();
+  EXPECT_GE(lib.gates().size(), 12u);
+  EXPECT_TRUE(lib.contains("PhlF"));
+  EXPECT_FALSE(lib.contains("Unobtainium"));
+  EXPECT_EQ(lib.gate("SrpR").name, "SrpR");
+  EXPECT_THROW((void)lib.gate("Unobtainium"), InvalidArgument);
+  EXPECT_THROW(GateLibrary({}), InvalidArgument);
+}
+
+TEST(GateLibrary, ResponseParametersAreLogicCompatible) {
+  // Every gate must: (1) have its half-point well below the 15-molecule
+  // input level, (2) plateau well above it, (3) leak floor well below it —
+  // otherwise inputs applied at the paper's threshold cannot switch it.
+  for (const auto& gate : GateLibrary::standard().gates()) {
+    EXPECT_LT(gate.hill_k, 10.0) << gate.name;
+    EXPECT_GT(gate.plateau(), 30.0) << gate.name;
+    EXPECT_LT(gate.floor(), 3.0) << gate.name;
+    EXPECT_GE(gate.hill_n, 1.5) << gate.name;
+  }
+}
+
+TEST(Netlist, BuildsAndChecksSimpleGate) {
+  Netlist nl({"A", "B"});
+  const Net out = nl.add_nor("PhlF", Net::input(0), Net::input(1));
+  nl.set_output(out);
+  EXPECT_NO_THROW(nl.check());
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_EQ(nl.ideal_truth_table(), logic::TruthTable::nor_gate(2));
+}
+
+TEST(Netlist, IdealSemanticsComposeThroughLevels) {
+  // AND = NOR(NOT A, NOT B)
+  Netlist nl({"A", "B"});
+  const Net na = nl.add_not("SrpR", Net::input(0));
+  const Net nb = nl.add_not("QacR", Net::input(1));
+  nl.set_output(nl.add_nor("PhlF", na, nb));
+  EXPECT_EQ(nl.ideal_truth_table(), logic::TruthTable::and_gate(2));
+}
+
+TEST(Netlist, RejectsStructuralErrors) {
+  Netlist no_output({"A"});
+  no_output.add_not("PhlF", Net::input(0));
+  EXPECT_THROW((void)no_output.ideal_truth_table(), ValidationError);
+
+  Netlist reuse({"A"});
+  const Net g0 = reuse.add_not("PhlF", Net::input(0));
+  reuse.set_output(reuse.add_not("PhlF", g0));  // repressor reused
+  EXPECT_THROW(reuse.check(), ValidationError);
+
+  Netlist cycle({"A"});
+  const Net fwd = cycle.add_not("SrpR", Net::gate(1));  // references later gate
+  cycle.set_output(cycle.add_not("PhlF", fwd));
+  EXPECT_THROW(cycle.check(), ValidationError);
+
+  Netlist bad_input({"A"});
+  bad_input.set_output(bad_input.add_not("PhlF", Net::input(3)));
+  EXPECT_THROW(bad_input.check(), ValidationError);
+
+  Netlist nl({"A"});
+  EXPECT_THROW(nl.set_output(Net::input(0)), InvalidArgument);
+  EXPECT_THROW((void)nl.output(), InvalidArgument);
+  EXPECT_THROW(Netlist({}), InvalidArgument);
+}
+
+TEST(Netlist, PartsSummaryCountsTranscriptionUnits) {
+  Netlist nl({"A", "B"});
+  const Net na = nl.add_not("SrpR", Net::input(0));
+  const Net nb = nl.add_not("QacR", Net::input(1));
+  nl.set_output(nl.add_nor("PhlF", na, nb));
+  const PartsSummary parts = nl.parts_summary();
+  // Gates: 1+1+2 fan-in promoters; reporter adds one more.
+  EXPECT_EQ(parts.promoters, 5u);
+  EXPECT_EQ(parts.rbs, 4u);          // 3 gates + reporter
+  EXPECT_EQ(parts.cds, 4u);
+  EXPECT_EQ(parts.terminators, 4u);
+  EXPECT_EQ(parts.total(), 17u);
+}
+
+TEST(NetlistToSbml, GeneratesValidatedModel) {
+  Netlist nl({"A", "B"});
+  const Net na = nl.add_not("SrpR", Net::input(0));
+  const Net nb = nl.add_not("QacR", Net::input(1));
+  nl.set_output(nl.add_nor("PhlF", na, nb));
+
+  ModelOptions options;
+  options.model_id = "and_gate";
+  const sbml::Model model =
+      netlist_to_model(nl, GateLibrary::standard(), options);
+
+  EXPECT_EQ(model.id, "and_gate");
+  // Species: 2 inputs + SrpR + QacR + GFP (output gate renamed).
+  EXPECT_EQ(model.species.size(), 5u);
+  EXPECT_NE(model.find_species("GFP"), nullptr);
+  EXPECT_EQ(model.find_species("PhlF"), nullptr);  // renamed to GFP
+  EXPECT_TRUE(model.find_species("A")->boundary_condition);
+  EXPECT_FALSE(model.find_species("SrpR")->boundary_condition);
+  // Two reactions per gate.
+  EXPECT_EQ(model.reactions.size(), 6u);
+  EXPECT_TRUE(sbml::is_valid(sbml::validate(model)));
+}
+
+TEST(NetlistToSbml, ProductionLawsReferenceFaninsAsModifiers) {
+  Netlist nl({"A", "B"});
+  nl.set_output(nl.add_nor("PhlF", Net::input(0), Net::input(1)));
+  const sbml::Model model = netlist_to_model(nl, GateLibrary::standard());
+  const sbml::Reaction* production = model.find_reaction("PhlF_prod");
+  ASSERT_NE(production, nullptr);
+  ASSERT_EQ(production->modifiers.size(), 2u);
+  EXPECT_EQ(production->modifiers[0].species, "A");
+  // The law mentions both fan-ins (summed repression).
+  const auto symbols = production->kinetic_law.math->symbols();
+  EXPECT_NE(std::find(symbols.begin(), symbols.end(), "A"), symbols.end());
+  EXPECT_NE(std::find(symbols.begin(), symbols.end(), "B"), symbols.end());
+}
+
+TEST(NetlistToSbml, ExposesRetunableParameters) {
+  Netlist nl({"A"});
+  nl.set_output(nl.add_not("PhlF", Net::input(0)));
+  const sbml::Model model = netlist_to_model(nl, GateLibrary::standard());
+  for (const char* suffix : {"_ymax", "_ymin", "_K", "_n", "_delta"}) {
+    EXPECT_NE(model.find_parameter("PhlF" + std::string(suffix)), nullptr)
+        << suffix;
+  }
+  EXPECT_DOUBLE_EQ(model.find_parameter("PhlF_K")->value,
+                   GateLibrary::standard().gate("PhlF").hill_k);
+}
+
+TEST(NetlistToSbml, TwoStageExpandsToMrnaAndProtein) {
+  Netlist nl({"A"});
+  nl.set_output(nl.add_not("PhlF", Net::input(0)));
+  ModelOptions options;
+  options.two_stage = true;
+  const sbml::Model model =
+      netlist_to_model(nl, GateLibrary::standard(), options);
+  EXPECT_NE(model.find_species("GFP_mRNA"), nullptr);
+  EXPECT_NE(model.find_species("GFP"), nullptr);
+  // Four reactions per gate: tx, mRNA decay, translation, protein decay.
+  EXPECT_EQ(model.reactions.size(), 4u);
+  EXPECT_TRUE(sbml::is_valid(sbml::validate(model)));
+  // The transcription scale preserves the protein plateau: the law is
+  // txscale * response, and at steady state protein = response * (tl *
+  // txscale / mdelta) / pdelta, so tl * txscale / mdelta must equal 1.
+  const auto& gate = GateLibrary::standard().gate("PhlF");
+  const double scale = model.find_parameter("PhlF_txscale")->value;
+  EXPECT_NEAR(scale * gate.translation / gate.mrna_decay, 1.0, 1e-12);
+}
+
+TEST(NetlistToSbml, UnknownRepressorFails) {
+  Netlist nl({"A"});
+  nl.set_output(nl.add_not("Unobtainium", Net::input(0)));
+  EXPECT_THROW((void)netlist_to_model(nl, GateLibrary::standard()),
+               InvalidArgument);
+}
+
+}  // namespace

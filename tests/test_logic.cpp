@@ -1,0 +1,203 @@
+// Unit tests for glva_logic: truth tables, SoP expressions, and the
+// Quine–McCluskey minimizer.
+
+#include <gtest/gtest.h>
+
+#include "logic/bool_expr.h"
+#include "logic/quine_mccluskey.h"
+#include "logic/truth_table.h"
+#include "util/errors.h"
+
+namespace {
+
+using namespace glva::logic;
+
+// ------------------------------------------------------------ truth table
+
+TEST(TruthTable, ConstructionAndBounds) {
+  TruthTable t(3);
+  EXPECT_EQ(t.row_count(), 8u);
+  EXPECT_FALSE(t.output(0));
+  t.set_output(5, true);
+  EXPECT_TRUE(t.output(5));
+  EXPECT_THROW((void)t.output(8), glva::InvalidArgument);
+  EXPECT_THROW(t.set_output(8, true), glva::InvalidArgument);
+  EXPECT_THROW(TruthTable(0), glva::InvalidArgument);
+  EXPECT_THROW(TruthTable(17), glva::InvalidArgument);
+}
+
+TEST(TruthTable, MintermsAndBitsRoundTrip) {
+  const auto t = TruthTable::from_minterms(3, {1, 3, 7});
+  EXPECT_EQ(t.minterms(), (std::vector<std::size_t>{1, 3, 7}));
+  EXPECT_EQ(t.to_bits(), 0b10001010u);
+  EXPECT_EQ(TruthTable::from_bits(3, 0b10001010u), t);
+}
+
+TEST(TruthTable, CombinationLabelsAreMsbFirst) {
+  const TruthTable t(3);
+  EXPECT_EQ(t.combination_label(0), "000");
+  EXPECT_EQ(t.combination_label(4), "100");  // input 0 (A) is the MSB
+  EXPECT_EQ(t.combination_label(3), "011");
+}
+
+TEST(TruthTable, StandardGates) {
+  EXPECT_EQ(TruthTable::and_gate(2).minterms(), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(TruthTable::or_gate(2).minterms(),
+            (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(TruthTable::nand_gate(2).minterms(),
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(TruthTable::nor_gate(2).minterms(), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(TruthTable::xor_gate(2).minterms(),
+            (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(TruthTable::xnor_gate(2).minterms(),
+            (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(TruthTable::not_gate().minterms(), (std::vector<std::size_t>{0}));
+}
+
+TEST(TruthTable, ParityGeneralizes) {
+  const auto parity3 = TruthTable::xor_gate(3);
+  EXPECT_EQ(parity3.minterms(), (std::vector<std::size_t>{1, 2, 4, 7}));
+}
+
+TEST(TruthTable, MajorityAndMinority) {
+  EXPECT_EQ(TruthTable::majority(3).minterms(),
+            (std::vector<std::size_t>{3, 5, 6, 7}));
+  EXPECT_EQ(TruthTable::minority(3).minterms(),
+            (std::vector<std::size_t>{0, 1, 2, 4}));
+}
+
+TEST(TruthTable, DifferingRowsFindsWrongStates) {
+  const auto a = TruthTable::and_gate(2);
+  const auto b = TruthTable::xnor_gate(2);
+  EXPECT_EQ(a.differing_rows(b), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(a.differing_rows(a).empty());
+  const TruthTable three(3);
+  EXPECT_THROW((void)a.differing_rows(three), glva::InvalidArgument);
+}
+
+TEST(TruthTable, ToStringRendersRows) {
+  const auto t = TruthTable::and_gate(2);
+  const std::string out = t.to_string({"A", "B"}, "Y");
+  EXPECT_NE(out.find("A B | Y"), std::string::npos);
+  EXPECT_NE(out.find("1 1 | 1"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ cubes
+
+TEST(Cube, CoversMatchesMaskAndPolarity) {
+  // Over 3 inputs: cube "A·C'" (vars 0 and 2).
+  Cube cube;
+  cube.mask = 0b101;      // A and C participate
+  cube.polarity = 0b001;  // A=1, C=0
+  EXPECT_TRUE(cube.covers(0b100, 3));   // A=1,B=0,C=0
+  EXPECT_TRUE(cube.covers(0b110, 3));   // A=1,B=1,C=0
+  EXPECT_FALSE(cube.covers(0b101, 3));  // C=1
+  EXPECT_FALSE(cube.covers(0b010, 3));  // A=0
+  EXPECT_EQ(cube.literal_count(), 2u);
+}
+
+TEST(SopExpr, CanonicalMatchesTruthTable) {
+  const auto table = TruthTable::xor_gate(2);
+  const auto expr = SopExpr::canonical(table, {"A", "B"});
+  EXPECT_EQ(expr.cubes().size(), 2u);
+  EXPECT_TRUE(expr.equivalent_to(table));
+  EXPECT_EQ(expr.to_string(), "A'·B + A·B'");
+}
+
+TEST(SopExpr, EmptyAndUniversalRendering) {
+  SopExpr empty(2, {"A", "B"});
+  EXPECT_EQ(empty.to_string(), "0");
+  SopExpr universal(2, {"A", "B"});
+  universal.add_cube(Cube{});  // no literals = constant true
+  EXPECT_EQ(universal.to_string(), "1");
+  EXPECT_TRUE(universal.evaluate(0));
+}
+
+TEST(SopExpr, CustomStyle) {
+  const auto table = TruthTable::nor_gate(2);
+  const auto expr = SopExpr::canonical(table, {"x", "y"});
+  ExprStyle style;
+  style.and_sep = " AND ";
+  style.not_suffix = "_bar";
+  EXPECT_EQ(expr.to_string(style), "x_bar AND y_bar");
+}
+
+TEST(SopExpr, ValidatesConstruction) {
+  EXPECT_THROW(SopExpr(2, {"A"}), glva::InvalidArgument);
+  EXPECT_THROW(SopExpr(0, {}), glva::InvalidArgument);
+}
+
+// --------------------------------------------------------- Quine–McCluskey
+
+TEST(QuineMcCluskey, MinimizesClassicExamples) {
+  // AND stays a single cube.
+  EXPECT_EQ(minimize(TruthTable::and_gate(2), {"A", "B"}).to_string(), "A·B");
+  // XOR is irreducible: two 2-literal cubes.
+  EXPECT_EQ(minimize(TruthTable::xor_gate(2), {"A", "B"}).cubes().size(), 2u);
+  // OR of adjacent minterms merges: f = {2,3} over 2 vars = A.
+  EXPECT_EQ(minimize(TruthTable::from_minterms(2, {2, 3}), {"A", "B"})
+                .to_string(),
+            "A");
+  // Constant functions.
+  EXPECT_EQ(minimize(TruthTable(2), {"A", "B"}).to_string(), "0");
+  EXPECT_EQ(
+      minimize(TruthTable::from_minterms(1, {0, 1}), {"A"}).to_string(), "1");
+}
+
+TEST(QuineMcCluskey, TextbookFourVariableCase) {
+  // f(w,x,y,z) = Σm(4,8,10,11,12,15), d(9,14) — the classic example whose
+  // minimum is yz' + wx' + w'xy' (with our A..D naming, 3 cubes).
+  const auto table = TruthTable::from_minterms(4, {4, 8, 10, 11, 12, 15});
+  const auto expr = minimize(table, {"A", "B", "C", "D"}, {9, 14});
+  EXPECT_EQ(expr.cubes().size(), 3u);
+  // Every required minterm covered, no required zero covered.
+  for (std::size_t m : {4u, 8u, 10u, 11u, 12u, 15u}) {
+    EXPECT_TRUE(expr.evaluate(m)) << m;
+  }
+  for (std::size_t m : {0u, 1u, 2u, 3u, 5u, 6u, 7u, 13u}) {
+    EXPECT_FALSE(expr.evaluate(m)) << m;
+  }
+}
+
+TEST(QuineMcCluskey, DontCaresEnlargeCubes) {
+  // {1} with don't-care {3} over 2 vars minimizes to B (not A'·B).
+  const auto expr =
+      minimize(TruthTable::from_minterms(2, {1}), {"A", "B"}, {3});
+  EXPECT_EQ(expr.to_string(), "B");
+}
+
+TEST(QuineMcCluskey, MinorityMinimizesToThreeCubes) {
+  const auto expr = minimize(TruthTable::minority(3), {"A", "B", "C"});
+  EXPECT_EQ(expr.cubes().size(), 3u);
+  EXPECT_TRUE(expr.equivalent_to(TruthTable::minority(3)));
+}
+
+TEST(QuineMcCluskey, PrimeImplicantsOfXorAreItsMinterms) {
+  const auto primes = prime_implicants(TruthTable::xor_gate(2));
+  EXPECT_EQ(primes.size(), 2u);
+  for (const auto& cube : primes) EXPECT_EQ(cube.literal_count(), 2u);
+}
+
+TEST(QuineMcCluskey, RejectsOutOfRangeDontCares) {
+  EXPECT_THROW(
+      (void)minimize(TruthTable(2), {"A", "B"}, {4}), glva::InvalidArgument);
+  EXPECT_THROW((void)prime_implicants(TruthTable(2), {9}),
+               glva::InvalidArgument);
+}
+
+// Exhaustive check: every 2-input function minimizes to an equivalent
+// expression (16 functions).
+TEST(QuineMcCluskey, AllTwoInputFunctionsRoundTrip) {
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    const auto table = TruthTable::from_bits(2, bits);
+    const auto expr = minimize(table, {"A", "B"});
+    EXPECT_TRUE(expr.equivalent_to(table)) << "bits=" << bits;
+  }
+}
+
+TEST(DefaultInputNames, FollowAlphabet) {
+  EXPECT_EQ(default_input_names(3),
+            (std::vector<std::string>{"A", "B", "C"}));
+}
+
+}  // namespace

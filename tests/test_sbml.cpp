@@ -1,0 +1,247 @@
+// Unit tests for glva_sbml: model building, reading, writing, validation.
+
+#include <gtest/gtest.h>
+
+#include "math/expr.h"
+#include "sbml/model.h"
+#include "sbml/reader.h"
+#include "sbml/validate.h"
+#include "sbml/writer.h"
+#include "util/errors.h"
+
+namespace {
+
+using namespace glva::sbml;
+
+Model small_model() {
+  Model m;
+  m.id = "m1";
+  m.add_compartment("cell");
+  m.add_species("In", 0.0, /*boundary=*/true);
+  m.add_species("Out", 0.0);
+  m.add_parameter("k", 0.5);
+  m.add_reaction("prod", {}, {{"Out", 1.0}}, "k * (1 - hill(In, 8, 2))",
+                 {ModifierReference{"In"}});
+  m.add_reaction("deg", {{"Out", 1.0}}, {}, "0.01 * Out");
+  return m;
+}
+
+TEST(Model, BuildersWireLookups) {
+  const Model m = small_model();
+  EXPECT_NE(m.find_species("Out"), nullptr);
+  EXPECT_EQ(m.find_species("Nope"), nullptr);
+  EXPECT_NE(m.find_parameter("k"), nullptr);
+  EXPECT_NE(m.find_reaction("deg"), nullptr);
+  EXPECT_NE(m.find_compartment("cell"), nullptr);
+  EXPECT_EQ(m.boundary_species_ids(), (std::vector<std::string>{"In"}));
+}
+
+TEST(Model, AddSpeciesRequiresCompartment) {
+  Model m;
+  EXPECT_THROW((void)m.add_species("X", 0.0), glva::InvalidArgument);
+}
+
+TEST(Model, AddReactionParsesKineticLaw) {
+  Model m;
+  m.add_compartment("cell");
+  m.add_species("X", 1.0);
+  EXPECT_THROW(
+      (void)m.add_reaction("r", {}, {{"X", 1.0}}, "1 +"), glva::ParseError);
+}
+
+TEST(Validate, AcceptsWellFormedModel) {
+  const auto issues = validate(small_model());
+  EXPECT_TRUE(is_valid(issues));
+}
+
+TEST(Validate, RejectsMissingCompartment) {
+  Model m;
+  m.id = "bad";
+  const auto issues = validate(m);
+  EXPECT_FALSE(is_valid(issues));
+}
+
+TEST(Validate, RejectsDuplicateIdsAcrossNamespaces) {
+  Model m = small_model();
+  m.add_parameter("Out", 1.0);  // collides with the species id
+  EXPECT_FALSE(is_valid(validate(m)));
+}
+
+TEST(Validate, RejectsUnknownReferences) {
+  Model m = small_model();
+  m.reactions[0].products[0].species = "Ghost";
+  EXPECT_FALSE(is_valid(validate(m)));
+
+  Model m2 = small_model();
+  m2.species[0].compartment = "nowhere";
+  EXPECT_FALSE(is_valid(validate(m2)));
+
+  Model m3 = small_model();
+  m3.reactions[0].kinetic_law.math = glva::math::Expr::symbol("ghost_k");
+  EXPECT_FALSE(is_valid(validate(m3)));
+}
+
+TEST(Validate, RejectsReversibleReactions) {
+  Model m = small_model();
+  m.reactions[0].reversible = true;
+  EXPECT_FALSE(is_valid(validate(m)));
+}
+
+TEST(Validate, RejectsBadStoichiometryAndAmounts) {
+  Model m = small_model();
+  m.reactions[1].reactants[0].stoichiometry = -1.0;
+  EXPECT_FALSE(is_valid(validate(m)));
+
+  Model m2 = small_model();
+  m2.reactions[1].reactants[0].stoichiometry = 0.5;
+  EXPECT_FALSE(is_valid(validate(m2)));
+
+  Model m3 = small_model();
+  m3.species[1].initial_amount = -2.0;
+  EXPECT_FALSE(is_valid(validate(m3)));
+}
+
+TEST(Validate, RejectsInvalidSids) {
+  Model m = small_model();
+  m.species[1].id = "9bad";
+  EXPECT_FALSE(is_valid(validate(m)));
+}
+
+TEST(Validate, LocalParametersShadowAndMustBeUnique) {
+  Model m = small_model();
+  m.reactions[0].kinetic_law.local_parameters.push_back({"local", 1.0, true});
+  m.reactions[0].kinetic_law.local_parameters.push_back({"local", 2.0, true});
+  EXPECT_FALSE(is_valid(validate(m)));
+}
+
+TEST(Validate, WarnsOnUnusedSpecies) {
+  Model m = small_model();
+  m.add_species("Orphan", 3.0);
+  const auto issues = validate(m);
+  EXPECT_TRUE(is_valid(issues));  // warnings only
+  bool warned = false;
+  for (const auto& issue : issues) {
+    warned |= issue.severity == ValidationIssue::Severity::kWarning &&
+              issue.message.find("Orphan") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Validate, WarnsWhenLawIgnoresReactants) {
+  Model m = small_model();
+  // A degradation whose law does not mention its reactant.
+  m.add_parameter("c", 1.0);
+  m.reactions[1].kinetic_law.math = glva::math::Expr::symbol("c");
+  const auto issues = validate(m);
+  EXPECT_TRUE(is_valid(issues));
+  bool warned = false;
+  for (const auto& issue : issues) {
+    warned |= issue.message.find("ignores all of its reactants") !=
+              std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Validate, OrThrowListsEveryError) {
+  Model m = small_model();
+  m.reactions[0].reversible = true;
+  m.species[1].initial_amount = -1.0;
+  try {
+    (void)validate_or_throw(m);
+    FAIL() << "expected ValidationError";
+  } catch (const glva::ValidationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("reversible"), std::string::npos);
+    EXPECT_NE(what.find("negative initial amount"), std::string::npos);
+  }
+}
+
+TEST(ReadWrite, RoundTripsModelStructure) {
+  const Model original = small_model();
+  const Model reloaded = read_sbml(write_sbml(original));
+
+  EXPECT_EQ(reloaded.id, original.id);
+  ASSERT_EQ(reloaded.species.size(), original.species.size());
+  EXPECT_EQ(reloaded.species[0].id, "In");
+  EXPECT_TRUE(reloaded.species[0].boundary_condition);
+  EXPECT_FALSE(reloaded.species[1].boundary_condition);
+  ASSERT_EQ(reloaded.parameters.size(), 1u);
+  EXPECT_DOUBLE_EQ(reloaded.parameters[0].value, 0.5);
+  ASSERT_EQ(reloaded.reactions.size(), 2u);
+  ASSERT_EQ(reloaded.reactions[0].modifiers.size(), 1u);
+  EXPECT_EQ(reloaded.reactions[0].modifiers[0].species, "In");
+  EXPECT_TRUE(is_valid(validate(reloaded)));
+}
+
+TEST(ReadWrite, KineticLawsSurviveByValue) {
+  const Model original = small_model();
+  const Model reloaded = read_sbml(write_sbml(original));
+  const glva::math::Environment env{{"In", 12.0}, {"Out", 5.0}, {"k", 0.5},
+                                    {"cell", 1.0}};
+  for (std::size_t r = 0; r < original.reactions.size(); ++r) {
+    EXPECT_NEAR(
+        glva::math::evaluate(*original.reactions[r].kinetic_law.math, env),
+        glva::math::evaluate(*reloaded.reactions[r].kinetic_law.math, env),
+        1e-12);
+  }
+}
+
+TEST(ReadWrite, LocalParametersRoundTrip) {
+  Model m = small_model();
+  m.reactions[0].kinetic_law.local_parameters.push_back({"boost", 3.0, true});
+  const Model reloaded = read_sbml(write_sbml(m));
+  ASSERT_EQ(reloaded.reactions[0].kinetic_law.local_parameters.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      reloaded.reactions[0].kinetic_law.local_parameters[0].value, 3.0);
+}
+
+TEST(Reader, AppliesSbmlDefaults) {
+  const Model m = read_sbml(
+      "<sbml><model><listOfCompartments>"
+      "<compartment id=\"cell\"/></listOfCompartments>"
+      "<listOfSpecies><species id=\"X\" compartment=\"cell\"/>"
+      "</listOfSpecies></model></sbml>");
+  ASSERT_EQ(m.species.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.species[0].initial_amount, 0.0);
+  EXPECT_FALSE(m.species[0].boundary_condition);
+  EXPECT_DOUBLE_EQ(m.compartments[0].size, 1.0);
+}
+
+TEST(Reader, RejectsStructuralProblems) {
+  EXPECT_THROW((void)read_sbml("<notsbml/>"), glva::ParseError);
+  EXPECT_THROW((void)read_sbml("<sbml/>"), glva::ParseError);
+  // Reaction without kinetic law.
+  EXPECT_THROW(
+      (void)read_sbml("<sbml><model><listOfReactions>"
+                      "<reaction id=\"r\"/></listOfReactions></model></sbml>"),
+      glva::ParseError);
+  // Non-numeric attribute.
+  EXPECT_THROW(
+      (void)read_sbml("<sbml><model><listOfCompartments>"
+                      "<compartment id=\"c\" size=\"big\"/>"
+                      "</listOfCompartments></model></sbml>"),
+      glva::ParseError);
+  // Non-boolean attribute.
+  EXPECT_THROW(
+      (void)read_sbml("<sbml><model><listOfSpecies>"
+                      "<species id=\"s\" compartment=\"c\" "
+                      "boundaryCondition=\"maybe\"/>"
+                      "</listOfSpecies></model></sbml>"),
+      glva::ParseError);
+}
+
+TEST(Reader, IgnoresUnknownElements) {
+  const Model m = read_sbml(
+      "<sbml><model><annotation><stuff/></annotation>"
+      "<listOfCompartments><compartment id=\"cell\"/>"
+      "</listOfCompartments></model></sbml>");
+  EXPECT_EQ(m.compartments.size(), 1u);
+}
+
+TEST(Writer, FailsOnMissingKineticLaw) {
+  Model m = small_model();
+  m.reactions[0].kinetic_law.math = nullptr;
+  EXPECT_THROW((void)write_sbml(m), glva::InvalidArgument);
+}
+
+}  // namespace

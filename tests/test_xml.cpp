@@ -1,0 +1,160 @@
+// Unit tests for glva_xml: node model, parser, writer, round trips.
+
+#include <gtest/gtest.h>
+
+#include "util/errors.h"
+#include "xml/xml_node.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace {
+
+using namespace glva::xml;
+
+TEST(XmlNode, ElementAttributesAndChildren) {
+  auto root = XmlNode::element("root");
+  root->set_attribute("id", "x");
+  root->set_attribute("id", "y");  // overwrite, not duplicate
+  EXPECT_EQ(root->attribute("id").value(), "y");
+  EXPECT_EQ(root->attributes().size(), 1u);
+  EXPECT_FALSE(root->attribute("missing").has_value());
+  EXPECT_THROW((void)root->required_attribute("missing"), glva::ParseError);
+
+  root->add_element("child").set_attribute("n", "1");
+  root->add_element("child");
+  root->add_element("other");
+  EXPECT_EQ(root->find_children("child").size(), 2u);
+  EXPECT_EQ(root->element_children().size(), 3u);
+  EXPECT_NE(root->find_child("other"), nullptr);
+  EXPECT_EQ(root->find_child("nope"), nullptr);
+  EXPECT_THROW((void)root->required_child("nope"), glva::ParseError);
+}
+
+TEST(XmlNode, TextContentConcatenatesAndTrims) {
+  auto node = XmlNode::element("ci");
+  node->add_text("  GFP");
+  node->add_text("  ");
+  EXPECT_EQ(node->text_content(), "GFP");
+}
+
+TEST(XmlNode, CloneIsDeep) {
+  auto root = XmlNode::element("a");
+  root->add_element("b").add_text("t");
+  auto copy = root->clone();
+  root->add_element("c");
+  EXPECT_EQ(copy->element_children().size(), 1u);
+  EXPECT_EQ(root->element_children().size(), 2u);
+}
+
+TEST(XmlParser, ParsesNestedDocumentWithDeclaration) {
+  const auto root = parse_document(
+      "<?xml version=\"1.0\"?>\n<a x=\"1\"><b>text</b><c/></a>");
+  EXPECT_EQ(root->name(), "a");
+  EXPECT_EQ(root->attribute("x").value(), "1");
+  EXPECT_EQ(root->required_child("b").text_content(), "text");
+  EXPECT_NE(root->find_child("c"), nullptr);
+}
+
+TEST(XmlParser, SingleAndDoubleQuotedAttributes) {
+  const auto root = parse_document("<a x='v1' y=\"v2\"/>");
+  EXPECT_EQ(root->attribute("x").value(), "v1");
+  EXPECT_EQ(root->attribute("y").value(), "v2");
+}
+
+TEST(XmlParser, DecodesEntities) {
+  const auto root =
+      parse_document("<a t=\"&lt;&gt;&amp;&quot;&apos;\">&#65;&#x42;</a>");
+  EXPECT_EQ(root->attribute("t").value(), "<>&\"'");
+  EXPECT_EQ(root->text_content(), "AB");
+}
+
+TEST(XmlParser, DecodesMultibyteCharacterReferences) {
+  const auto root = parse_document("<a>&#955;</a>");  // lambda, U+03BB
+  EXPECT_EQ(root->text_content(), "\xCE\xBB");
+}
+
+TEST(XmlParser, CdataIsLiteral) {
+  const auto root = parse_document("<a><![CDATA[<not&parsed>]]></a>");
+  EXPECT_EQ(root->text_content(), "<not&parsed>");
+}
+
+TEST(XmlParser, CommentsArePreservedInTree) {
+  const auto root = parse_document("<a><!-- note --><b/></a>");
+  ASSERT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->children()[0]->kind(), XmlNode::Kind::kComment);
+}
+
+TEST(XmlParser, SkipsProcessingInstructionsAndDoctype) {
+  const auto root = parse_document(
+      "<?xml version=\"1.0\"?><!DOCTYPE sbml><?pi data?><a/>");
+  EXPECT_EQ(root->name(), "a");
+}
+
+TEST(XmlParser, WhitespaceBetweenElementsIsLayout) {
+  const auto root = parse_document("<a>\n  <b/>\n  <c/>\n</a>");
+  EXPECT_EQ(root->children().size(), 2u);
+}
+
+TEST(XmlParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_document("<a>\n<b></c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const glva::ParseError& e) {
+    EXPECT_GE(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("mismatched"), std::string::npos);
+  }
+}
+
+TEST(XmlParser, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_document(""), glva::ParseError);
+  EXPECT_THROW((void)parse_document("<a>"), glva::ParseError);
+  EXPECT_THROW((void)parse_document("<a b=1/>"), glva::ParseError);
+  EXPECT_THROW((void)parse_document("<a x=\"1\" x=\"2\"/>"), glva::ParseError);
+  EXPECT_THROW((void)parse_document("<a/><b/>"), glva::ParseError);
+  EXPECT_THROW((void)parse_document("<a>&unknown;</a>"), glva::ParseError);
+  EXPECT_THROW((void)parse_document("<a t=\"<\"/>"), glva::ParseError);
+}
+
+TEST(XmlWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(escape_text("<a & \"b\">"),
+            "&lt;a &amp; &quot;b&quot;&gt;");
+}
+
+TEST(XmlWriter, SelfClosesEmptyElements) {
+  auto node = XmlNode::element("empty");
+  const std::string out = write_document(*node, {true, 2, false});
+  EXPECT_EQ(out, "<empty/>\n");
+}
+
+TEST(XmlWriter, InlinesTextOnlyElements) {
+  auto node = XmlNode::element("ci");
+  node->add_text("GFP");
+  const std::string out = write_document(*node, {true, 2, false});
+  EXPECT_EQ(out, "<ci>GFP</ci>\n");
+}
+
+TEST(XmlWriter, RoundTripsThroughParser) {
+  const std::string source =
+      "<model id=\"m\"><list><item v=\"a&amp;b\">t1</item><item/></list>"
+      "</model>";
+  const auto tree = parse_document(source);
+  const auto reparsed = parse_document(write_document(*tree));
+  EXPECT_EQ(reparsed->name(), "model");
+  EXPECT_EQ(reparsed->required_child("list").find_children("item").size(), 2u);
+  EXPECT_EQ(reparsed->required_child("list")
+                .find_children("item")[0]
+                ->attribute("v")
+                .value(),
+            "a&b");
+}
+
+TEST(XmlWriter, CompactModeHasNoNewlines) {
+  auto root = XmlNode::element("a");
+  root->add_element("b");
+  WriteOptions options;
+  options.pretty = false;
+  options.xml_declaration = false;
+  EXPECT_EQ(write_document(*root, options), "<a><b/></a>");
+}
+
+}  // namespace
