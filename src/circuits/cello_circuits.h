@@ -11,8 +11,9 @@
 /// to behavioural SBML — GLVA's reconstruction of the paper's
 /// SBOL→SBML-converted real circuits. Circuit IDs are inherited as catalog
 /// labels; the intended function of each is fixed by the catalog (see
-/// DESIGN.md for the reconstruction rationale, including the behavioural
-/// constraints the paper states for 0x0B).
+/// docs/ARCHITECTURE.md, "The benchmark circuits", for the reconstruction
+/// rationale, including the behavioural constraints the paper states for
+/// 0x0B).
 namespace glva::circuits {
 
 /// Names: 2-input "0x1", "0x6", "0x8", "0xE"; 3-input "0x04", "0x0B",

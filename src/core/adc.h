@@ -11,7 +11,9 @@
 /// longer needed to obtain the Boolean logic of a genetic circuit".
 namespace glva::core {
 
-/// Digitize one analog series: sample k is logic-1 iff analog[k] >= threshold.
+/// Digitize one analog series: sample k is logic-1 iff analog[k] >=
+/// threshold. `threshold` is ThVAL in molecules and must be positive
+/// (throws glva::InvalidArgument otherwise).
 [[nodiscard]] std::vector<bool> adc(const std::vector<double>& analog,
                                     double threshold);
 

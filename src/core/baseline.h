@@ -32,7 +32,10 @@ enum class BaselineRule {
 [[nodiscard]] std::string baseline_rule_name(BaselineRule rule);
 
 /// Extract a truth table from variation statistics under the given rule
-/// (fov_ud is only consulted by rules that use the stability filter).
+/// (fov_ud is the acceptable variation fraction of equation (1); it is only
+/// consulted by rules that use the stability filter). Combinations never
+/// observed in the data extract as logic-0 under every rule — the baselines
+/// have no don't-care notion, unlike the full pipeline's minimizer.
 [[nodiscard]] logic::TruthTable extract_with_rule(
     const VariationAnalysis& variation, BaselineRule rule, double fov_ud);
 

@@ -53,6 +53,11 @@ struct BoolConstruction {
 /// accepted-high combinations, nc = 2^N.
 ///
 /// `input_names` label the expression variables (one per input, MSB first).
+///
+/// Throws glva::InvalidArgument unless fov_ud is in (0, 1] and there is
+/// exactly one name per input. Unobserved combinations are minimized as
+/// don't-cares (the data carries no evidence either way), so `minimized`
+/// may cover them while `extracted` reports them as 0.
 [[nodiscard]] BoolConstruction construct_bool_expr(
     const VariationAnalysis& variation, double fov_ud,
     std::vector<std::string> input_names);

@@ -27,8 +27,10 @@ struct CaseAnalysis {
 };
 
 /// Classify every sample by its digitized input combination and collect the
-/// per-combination output streams. Throws glva::InvalidArgument when input
-/// streams have mismatched lengths or there are no inputs.
+/// per-combination output streams. Postcondition: cases.size() ==
+/// 2^input_count and the case_count values sum to data.sample_count().
+/// Throws glva::InvalidArgument when input streams have mismatched lengths,
+/// there are no inputs, or there are more than 16 of them.
 [[nodiscard]] CaseAnalysis analyze_cases(const DigitalData& data);
 
 }  // namespace glva::core

@@ -19,14 +19,14 @@ namespace glva::core {
 /// units total, threshold 15 molecules, inputs applied at the threshold
 /// level, up to 25% output variation, 1-time-unit sampling.
 struct ExperimentConfig {
-  double total_time = 10000.0;
-  double threshold = 15.0;
-  double fov_ud = 0.25;
-  /// Input high level; < 0 means "apply inputs at the threshold value"
-  /// (the paper's methodology).
+  double total_time = 10000.0;  ///< sweep duration, time units (all 2^N phases)
+  double threshold = 15.0;      ///< ThVAL, molecules; must be > 0
+  double fov_ud = 0.25;         ///< FOV_UD, fraction in (0, 1]
+  /// Input high level, molecules; < 0 means "apply inputs at the threshold
+  /// value" (the paper's methodology).
   double input_high_level = -1.0;
-  double sampling_period = 1.0;
-  std::uint64_t seed = 1;
+  double sampling_period = 1.0;  ///< trace grid, time units per sample
+  std::uint64_t seed = 1;        ///< RNG seed; equal seeds reproduce runs
   sim::SsaMethod method = sim::SsaMethod::kDirect;
 
   [[nodiscard]] double high_level() const noexcept {
@@ -45,7 +45,10 @@ struct ExperimentResult {
   double analyze_seconds = 0.0;    ///< wall time of Algorithm 1
 };
 
-/// Run the full pipeline on a circuit.
+/// Run the full pipeline on a circuit: sweep all 2^N input combinations
+/// (total_time split evenly across phases), extract the logic, and verify
+/// it against spec.expected. Throws glva::InvalidArgument for invalid
+/// analyzer parameters and glva::ValidationError for unsimulatable models.
 [[nodiscard]] ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
                                               const ExperimentConfig& config);
 

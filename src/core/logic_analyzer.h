@@ -18,8 +18,13 @@ namespace glva::core {
 /// The algorithm's initial parameters (the paper's N, ThVAL, FOV_UD, IS,
 /// OS; N is implied by IS, and SDAn is the trace argument).
 struct AnalyzerConfig {
-  double threshold = 15.0;  ///< ThVAL (molecules); paper uses 15 nominally
-  double fov_ud = 0.25;     ///< FOV_UD; paper allows up to 25% variation
+  /// ThVAL, in molecules: a sample is logic-1 iff its amount >= threshold.
+  /// Must be > 0. The paper uses 15 nominally (Figure 5 sweeps 3 and 40).
+  double threshold = 15.0;
+  /// FOV_UD, the acceptable factor of output variation, as a fraction in
+  /// (0, 1]: Filter 1 accepts a combination iff FOV_EST < fov_ud. The
+  /// paper allows up to 25% variation (0.25).
+  double fov_ud = 0.25;
 };
 
 /// Everything the analysis produces, per combination and aggregated.
@@ -41,7 +46,8 @@ struct ExtractionResult {
   [[nodiscard]] std::string expression() const {
     return construction.minimized.to_string();
   }
-  /// PFoBE percentage fitness.
+  /// PFoBE percentage fitness (equation (3)), in [0, 100]; 100 means every
+  /// accepted-high combination was perfectly stable.
   [[nodiscard]] double fitness() const noexcept {
     return construction.fitness_percent;
   }
@@ -49,17 +55,26 @@ struct ExtractionResult {
 
 class LogicAnalyzer {
 public:
+  /// Throws glva::InvalidArgument unless config.threshold > 0 and
+  /// config.fov_ud is in (0, 1].
   explicit LogicAnalyzer(AnalyzerConfig config = {});
 
   /// Analyze a simulation trace, choosing `input_ids` (MSB first) as IS and
   /// `output_id` as OS. Selecting an internal species as OS analyzes an
   /// intermediate circuit component, exactly as the paper describes.
+  ///
+  /// Throws glva::InvalidArgument for species ids not present in the trace,
+  /// an empty `input_ids`, or more than 16 inputs.
   [[nodiscard]] ExtractionResult analyze(const sim::Trace& trace,
                                          const std::vector<std::string>& input_ids,
                                          const std::string& output_id) const;
 
   /// Analyze pre-digitized streams (used by unit tests and the Figure 3
   /// reproduction, which starts from constructed binary streams).
+  ///
+  /// Requires one name per input stream; throws glva::InvalidArgument when
+  /// streams have mismatched lengths, there are no inputs, or there are
+  /// more than 16 of them.
   [[nodiscard]] ExtractionResult analyze_digital(
       const DigitalData& data, std::vector<std::string> input_names,
       std::string output_name) const;

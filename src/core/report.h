@@ -25,6 +25,8 @@ namespace glva::core {
     const ExperimentResult& result, const logic::TruthTable& expected);
 
 /// CSV with one row per combination (machine-readable Figure 4 data).
+/// Columns: case, case_count, high_count, variation_count, fov_est,
+/// filter1_pass, filter2_pass, verdict.
 [[nodiscard]] std::string analytics_csv(const ExtractionResult& extraction);
 
 }  // namespace glva::core

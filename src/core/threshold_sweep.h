@@ -21,9 +21,11 @@ struct ThresholdSweepResult {
   std::vector<ThresholdPoint> points;
 };
 
-/// Run the full experiment once per threshold. Each run re-applies the
-/// inputs at that threshold value (the paper's methodology couples the
-/// two), so the circuit is re-simulated, not merely re-digitized.
+/// Run the full experiment once per threshold (molecules). Each run
+/// re-applies the inputs at that threshold value (the paper's methodology
+/// couples the two), so the circuit is re-simulated, not merely
+/// re-digitized. Points come back in the order `thresholds` lists them; an
+/// empty list yields an empty result.
 [[nodiscard]] ThresholdSweepResult threshold_sweep(
     const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
     const std::vector<double>& thresholds);

@@ -29,7 +29,8 @@ struct VariationAnalysis {
 /// Count highs and transitions within each per-combination output stream.
 /// Transitions are counted inside the logged stream exactly as the paper's
 /// example does (Figure 2(b): stream "0...010...01..1" for case 00 has
-/// O_Var = 2).
+/// O_Var = 2). Postcondition: records.size() == cases.cases.size(), in the
+/// same combination order, with fov_est in [0, 1) wherever case_count > 0.
 [[nodiscard]] VariationAnalysis analyze_variation(const CaseAnalysis& cases);
 
 }  // namespace glva::core

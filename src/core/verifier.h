@@ -24,9 +24,11 @@ struct WrongState {
 struct VerificationReport {
   bool matches = false;                ///< extracted == expected everywhere
   std::vector<WrongState> wrong_states;
-  /// Wrong states / total combinations, in percent.
+  /// Wrong states / total combinations, in percent ([0, 100]; 0 iff
+  /// `matches`).
   double error_percent = 0.0;
-  /// PFoBE carried over from the extraction, for one-stop reporting.
+  /// PFoBE carried over from the extraction ([0, 100], equation (3)), for
+  /// one-stop reporting.
   double fitness_percent = 0.0;
 
   [[nodiscard]] std::size_t wrong_state_count() const noexcept {
@@ -34,7 +36,11 @@ struct VerificationReport {
   }
 };
 
-/// Compare an extraction against the intended truth table.
+/// Compare an extraction against the intended truth table. A combination
+/// counts as a wrong state whenever the extracted output differs from the
+/// expected one — including combinations the filters left unobserved or
+/// unstable (their verdict is recorded in WrongState::verdict so reports
+/// can explain the disagreement).
 /// Throws glva::InvalidArgument when input counts differ.
 [[nodiscard]] VerificationReport verify(const ExtractionResult& extraction,
                                         const logic::TruthTable& expected);

@@ -103,7 +103,11 @@ std::vector<std::string> default_input_names(std::size_t count) {
     if (i < 26) {
       names.emplace_back(1, static_cast<char>('A' + i));
     } else {
-      names.push_back("X" + std::to_string(i));
+      // Built with += rather than operator+ to dodge a spurious -Wrestrict
+      // from GCC 12's inlined string concatenation (GCC PR 105329).
+      std::string name = "X";
+      name += std::to_string(i);
+      names.push_back(std::move(name));
     }
   }
   return names;

@@ -12,9 +12,10 @@
 /// constructed for each filtered result").
 namespace glva::logic {
 
-/// A product term (cube) over n variables: variable i participates when
-/// bit i of `mask` is set (bit 0 = input 0 = MSB of combination labels) and
-/// must equal bit i of `polarity`.
+/// A product term (cube) over n variables (n <= 32): variable i
+/// participates when bit i of `mask` is set (bit 0 = input 0 = MSB of
+/// combination labels) and must equal bit i of `polarity`. Polarity bits
+/// outside the mask are ignored; an all-zero mask is the constant-1 cube.
 struct Cube {
   std::uint32_t mask = 0;
   std::uint32_t polarity = 0;

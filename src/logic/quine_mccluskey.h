@@ -14,9 +14,15 @@ namespace glva::logic {
 /// Minimize `table` (with optional don't-care combinations) into a
 /// minimum-cube, then minimum-literal, sum-of-products expression.
 ///
-/// Don't-cares may be covered but need not be; they arise in GLVA when the
-/// analyzer's filters reject a combination as *undetermined* rather than
-/// low (see core::ExtractionResult::undetermined_combinations).
+/// Don't-cares may be covered but need not be; they arise in GLVA from
+/// input combinations the simulation never applied, which carry no
+/// evidence either way (see core::BoolConstruction::unobserved).
+///
+/// Precondition: every minterm of `table` and every don't-care index is a
+/// valid combination (< table.row_count()); `input_names` has one name per
+/// input. Postcondition: the returned expression is equivalent to `table`
+/// on all non-don't-care combinations and has a minimum cube count, then
+/// minimum literal count, among such covers.
 [[nodiscard]] SopExpr minimize(const TruthTable& table,
                                std::vector<std::string> input_names,
                                const std::vector<std::size_t>& dont_cares = {});

@@ -13,7 +13,8 @@ namespace glva::logic {
 
 class TruthTable {
 public:
-  /// All-false table over `input_count` inputs (1..16).
+  /// All-false table over `input_count` inputs. Throws
+  /// glva::InvalidArgument unless 1 <= input_count <= 16.
   explicit TruthTable(std::size_t input_count);
 
   /// Default: a 1-input constant-0 placeholder, so result structs that
@@ -33,13 +34,17 @@ public:
     return static_cast<std::size_t>(1) << input_count_;
   }
 
+  /// Output for one combination; throws glva::InvalidArgument when
+  /// combination >= row_count().
   [[nodiscard]] bool output(std::size_t combination) const;
+  /// Set one combination's output; same range check as output().
   void set_output(std::size_t combination, bool value);
 
   /// Ascending list of high combinations.
   [[nodiscard]] std::vector<std::size_t> minterms() const;
 
-  /// Packed form: bit i = output(i). Requires input_count <= 6.
+  /// Packed form: bit i = output(i). Throws glva::InvalidArgument when
+  /// input_count > 6 (the rows would not fit in 64 bits).
   [[nodiscard]] std::uint64_t to_bits() const;
 
   /// Binary rendering of a combination index, MSB first ("011").
@@ -49,7 +54,8 @@ public:
   [[nodiscard]] std::string to_string(const std::vector<std::string>& input_names,
                                       const std::string& output_name) const;
 
-  /// Combinations where the two tables disagree (same width required).
+  /// Combinations where the two tables disagree, ascending; throws
+  /// glva::InvalidArgument when the input counts differ.
   [[nodiscard]] std::vector<std::size_t> differing_rows(const TruthTable& other) const;
 
   [[nodiscard]] bool operator==(const TruthTable& other) const = default;

@@ -86,7 +86,8 @@ TEST(Repository, CelloNetlistsMatchTheirSpecFunctions) {
 }
 
 TEST(Repository, PaperBehaviouralConstraintsOn0x0B) {
-  // The constraints the DATE paper states for circuit 0x0B (DESIGN.md):
+  // The constraints the DATE paper states for circuit 0x0B (see
+  // docs/ARCHITECTURE.md, "The benchmark circuits"):
   // 011 high (its decay tail spills into 100), 100 low, 000 low, 111 high.
   const auto spec = CircuitRepository::build("0x0B");
   EXPECT_TRUE(spec.expected.output(0b011));

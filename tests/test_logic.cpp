@@ -200,4 +200,12 @@ TEST(DefaultInputNames, FollowAlphabet) {
             (std::vector<std::string>{"A", "B", "C"}));
 }
 
+TEST(DefaultInputNames, NumbersPastTheAlphabet) {
+  const auto names = default_input_names(28);
+  ASSERT_EQ(names.size(), 28u);
+  EXPECT_EQ(names[25], "Z");
+  EXPECT_EQ(names[26], "X26");
+  EXPECT_EQ(names[27], "X27");
+}
+
 }  // namespace
