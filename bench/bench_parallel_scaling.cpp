@@ -1,0 +1,113 @@
+// Parallel-scaling bench for the exec/ runtime: runs the same replicate
+// ensemble at 1/2/4/8 worker threads and reports wall time, speedup, and
+// parallel efficiency — together with a bit-identity check that every jobs
+// level produced the same majority logic (the exec/ determinism contract).
+//
+// Shape target: on a multi-core machine, >= 2x speedup at 4 threads (the
+// workload is embarrassingly parallel; the ceiling is min(replicates,
+// cores) and the serial aggregation tail is negligible).
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "circuits/circuit_repository.h"
+#include "core/ensemble.h"
+#include "exec/thread_pool.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+int main(int argc, char** argv) {
+  using namespace glva;
+
+  util::CliParser cli;
+  cli.add_option("circuit", "0x0B", "catalog circuit to run");
+  cli.add_option("replicates", "16", "ensemble replicates per jobs level");
+  cli.add_option("total-time", "2000", "sweep duration per replicate");
+  cli.add_option("seed", "1", "base seed");
+  cli.add_option("jobs-levels", "1,2,4,8", "comma-separated worker counts");
+  if (!cli.parse(argc, argv)) {
+    std::cout << cli.help("bench_parallel_scaling");
+    return 0;
+  }
+
+  const auto spec = circuits::CircuitRepository::build(cli.get("circuit"));
+  core::ExperimentConfig config;
+  config.total_time = cli.get_double("total-time");
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const long long replicates_arg = cli.get_int("replicates");
+  if (replicates_arg <= 0) {
+    std::cerr << "bench_parallel_scaling: --replicates must be >= 1\n";
+    return 2;
+  }
+  const auto replicates = static_cast<std::size_t>(replicates_arg);
+
+  // Speedup is reported relative to the first level, and efficiency divides
+  // by the absolute thread count, so the baseline must be the 1-thread run;
+  // 0 ("hardware threads") would also mislabel the table.
+  std::vector<std::size_t> jobs_levels;
+  for (const auto& field : util::split(cli.get("jobs-levels"), ',')) {
+    const auto level = util::parse_int(field);
+    if (!level || *level < 1) {
+      std::cerr << "bench_parallel_scaling: --jobs-levels expects positive "
+                   "integers, got '"
+                << field << "'\n";
+      return 2;
+    }
+    jobs_levels.push_back(static_cast<std::size_t>(*level));
+  }
+  if (jobs_levels.empty() || jobs_levels.front() != 1) {
+    std::cerr << "bench_parallel_scaling: --jobs-levels must start with the "
+                 "1-thread baseline\n";
+    return 2;
+  }
+
+  std::cout << "=== parallel scaling: " << replicates << " replicates of "
+            << spec.name << ", total_time " << config.total_time << " ===\n"
+            << "hardware threads: " << exec::ThreadPool::hardware_threads()
+            << "\n\n";
+
+  util::TextTable table({"jobs", "wall s", "speedup", "efficiency %",
+                         "majority bits"});
+  for (std::size_t col = 0; col < 4; ++col) {
+    table.set_align(col, util::TextTable::Align::kRight);
+  }
+
+  double serial_seconds = 0.0;
+  std::uint64_t reference_bits = 0;
+  bool identical = true;
+  for (std::size_t level = 0; level < jobs_levels.size(); ++level) {
+    const std::size_t jobs = jobs_levels[level];
+    const auto start = std::chrono::steady_clock::now();
+    const auto ensemble = core::run_ensemble(spec, config, replicates, jobs);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (level == 0) {  // the first *run* is the baseline, not its value
+      serial_seconds = seconds;
+      reference_bits = ensemble.majority_logic.to_bits();
+    }
+    identical =
+        identical && ensemble.majority_logic.to_bits() == reference_bits;
+    const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+    table.add_row({std::to_string(jobs), util::format_double(seconds, 3),
+                   util::format_double(speedup, 3),
+                   util::format_double(100.0 * speedup /
+                                           static_cast<double>(jobs), 1),
+                   [&] {
+                     std::ostringstream hex;
+                     hex << "0x" << std::hex
+                         << ensemble.majority_logic.to_bits();
+                     return hex.str();
+                   }()});
+  }
+
+  std::cout << table.str() << "\n"
+            << (identical ? "all jobs levels produced identical majority logic"
+                          : "DETERMINISM VIOLATION: results differ across "
+                            "jobs levels")
+            << "\n";
+  return identical ? 0 : 1;
+}

@@ -30,6 +30,9 @@ int main(int argc, char** argv) {
   cli.add_option("fov-ud", "0.25", "FOV_UD");
   cli.add_option("seed", "1", "simulation seed");
   cli.add_option("csv", "", "optional path for CSV output");
+  cli.add_option("jobs", "0",
+                 "worker threads, one job per threshold point (0 = one per "
+                 "hardware thread); results are identical for every value");
   cli.add_flag("redigitize-only",
                "ablation: keep one simulation and only re-digitize");
   if (!cli.parse(argc, argv)) {
@@ -48,10 +51,16 @@ int main(int argc, char** argv) {
     if (const auto v = util::parse_double(field)) thresholds.push_back(*v);
   }
 
+  const long long jobs_arg = cli.get_int("jobs");
+  if (jobs_arg < 0) {
+    std::cerr << "fig5_threshold: --jobs must be >= 0\n";
+    return 2;
+  }
+  const auto jobs = static_cast<std::size_t>(jobs_arg);
   const core::ThresholdSweepResult sweep =
       cli.get_flag("redigitize-only")
-          ? core::threshold_sweep_redigitize(spec, config, thresholds)
-          : core::threshold_sweep(spec, config, thresholds);
+          ? core::threshold_sweep_redigitize(spec, config, thresholds, jobs)
+          : core::threshold_sweep(spec, config, thresholds, jobs);
 
   std::cout << "=== Figure 5: circuit " << spec.name
             << " under threshold variation ===\n"

@@ -32,6 +32,9 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "1", "simulation seed");
   cli.add_option("method", "direct", "SSA: direct | next-reaction | tau-leap");
   cli.add_option("csv", "", "optional path for CSV output");
+  cli.add_option("jobs", "0",
+                 "worker threads (0 = one per hardware thread); results are "
+                 "identical for every value");
   cli.add_flag("two-stage", "expand gates to transcription+translation");
   if (!cli.parse(argc, argv)) {
     std::cout << cli.help("table1_all_circuits");
@@ -66,8 +69,18 @@ int main(int argc, char** argv) {
   std::size_t matched = 0;
   const auto specs =
       circuits::CircuitRepository::build_all(cli.get_flag("two-stage"));
-  for (const auto& spec : specs) {
-    const core::ExperimentResult result = core::run_experiment(spec, config);
+  const long long jobs = cli.get_int("jobs");
+  if (jobs < 0) {
+    std::cerr << "table1_all_circuits: --jobs must be >= 0\n";
+    return 2;
+  }
+  // One exec/ job per circuit, fanned out across --jobs workers; rows come
+  // back in catalog order whatever finishes first.
+  const auto results =
+      core::run_batch(specs, config, static_cast<std::size_t>(jobs));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const core::ExperimentResult& result = results[i];
     const bool ok = result.verification.matches;
     matched += ok ? 1 : 0;
     table.add_row({spec.name, std::to_string(spec.input_ids.size()),

@@ -5,6 +5,7 @@
 #include "circuits/cello_circuits.h"
 #include "circuits/circuit_repository.h"
 #include "logic/quine_mccluskey.h"
+#include "core/ensemble.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "sbml/reader.h"
@@ -32,7 +33,13 @@ constexpr const char* kUsage =
     "  export <circuit>             write SBML (--sbml) and/or SBOL (--sbol)\n"
     "  analyze <model.sbml>         extract logic from a model file\n"
     "  verify <circuit>             run the paper's experiment on a catalog circuit\n"
+    "  ensemble <circuit>           N-replicate ensemble: majority logic + FOV stats\n"
     "  estimate <circuit>           estimate threshold and propagation delay\n"
+    "\n"
+    "global options:\n"
+    "  --jobs N                     worker threads for parallel workloads\n"
+    "                               (0 = one per hardware thread; default 1;\n"
+    "                               results are identical for every N)\n"
     "\n"
     "run `glva <command> --help` for per-command options\n";
 
@@ -228,6 +235,33 @@ int cmd_verify(const std::string& name, const std::vector<std::string>& args,
   return result.verification.matches ? 0 : 1;
 }
 
+int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
+                 std::size_t jobs, std::ostream& out) {
+  util::CliParser cli;
+  cli.add_option("replicates", "8", "independent stochastic replicates");
+  add_analysis_options(cli);
+  cli.add_flag("two-stage", "expand gates to transcription+translation");
+  std::vector<const char*> argv{"glva-ensemble"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva ensemble <circuit>");
+    return 0;
+  }
+  const long long replicates = cli.get_int("replicates");
+  if (replicates <= 0) {
+    throw InvalidArgument("ensemble: --replicates must be at least 1");
+  }
+  const auto spec =
+      circuits::CircuitRepository::build(name, cli.get_flag("two-stage"));
+  const auto ensemble = core::run_ensemble(
+      spec, config_from(cli), static_cast<std::size_t>(replicates), jobs);
+  out << core::render_ensemble_summary(ensemble);
+  // Analytics CSV of the first replicate (per-replicate dumps are a ROADMAP
+  // follow-up).
+  maybe_write_csv(cli, ensemble.replicates.front().extraction, out);
+  return ensemble.majority_matches ? 0 : 1;
+}
+
 int cmd_estimate(const std::string& name, const std::vector<std::string>& args,
                  std::ostream& out) {
   util::CliParser cli;
@@ -273,20 +307,58 @@ int cmd_estimate(const std::string& name, const std::vector<std::string>& args,
 
 }  // namespace
 
+namespace {
+
+/// Strip the global `--jobs N` / `--jobs=N` flag out of `args`, returning
+/// the requested worker count (default 1; 0 = one per hardware thread).
+/// Throws glva::InvalidArgument on a missing or non-numeric value.
+std::size_t extract_jobs_flag(std::vector<std::string>& args) {
+  std::size_t jobs = 1;
+  for (std::size_t i = 0; i < args.size();) {
+    std::string value;
+    if (args[i] == "--jobs") {
+      if (i + 1 >= args.size()) {
+        throw InvalidArgument("--jobs: missing value");
+      }
+      value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (util::starts_with(args[i], "--jobs=")) {
+      value = args[i].substr(7);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+      continue;
+    }
+    const auto parsed = util::parse_int(value);
+    if (!parsed || *parsed < 0) {
+      throw InvalidArgument("--jobs: expected a non-negative integer, got '" +
+                            value + "'");
+    }
+    jobs = static_cast<std::size_t>(*parsed);
+  }
+  return jobs;
+}
+
+}  // namespace
+
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   try {
-    if (args.empty() || args[0] == "--help" || args[0] == "-h" ||
-        args[0] == "help") {
+    std::vector<std::string> stripped = args;
+    const std::size_t jobs = extract_jobs_flag(stripped);
+    if (stripped.empty() || stripped[0] == "--help" || stripped[0] == "-h" ||
+        stripped[0] == "help") {
       out << kUsage;
-      return args.empty() ? 2 : 0;
+      return stripped.empty() ? 2 : 0;
     }
-    const std::string& command = args[0];
-    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    const std::string& command = stripped[0];
+    const std::vector<std::string> rest(stripped.begin() + 1, stripped.end());
 
     if (command == "list") return cmd_list(rest, out);
     if (command == "show" || command == "export" || command == "analyze" ||
-        command == "verify" || command == "estimate") {
+        command == "verify" || command == "ensemble" ||
+        command == "estimate") {
       if (rest.empty() || util::starts_with(rest[0], "--")) {
         err << "glva " << command << ": missing argument\n" << kUsage;
         return 2;
@@ -297,6 +369,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "export") return cmd_export(target, options, out);
       if (command == "analyze") return cmd_analyze(target, options, out);
       if (command == "verify") return cmd_verify(target, options, out);
+      if (command == "ensemble") return cmd_ensemble(target, options, jobs, out);
       return cmd_estimate(target, options, out);
     }
     err << "glva: unknown command '" << command << "'\n" << kUsage;

@@ -14,10 +14,16 @@
 ///   export <circuit> [--sbml p] [--sbol p] [--two-stage]
 ///   analyze <model.sbml> --inputs A,B --output GFP [analysis options]
 ///   verify <circuit> [analysis options]   catalog circuit vs intended logic
+///   ensemble <circuit> [--replicates n]   replicate ensemble with
+///                                         majority-vote logic + FOV stats
 ///   estimate <circuit> [--probe-level n]  threshold + propagation delay
 ///
 /// Shared analysis options: --threshold, --fov-ud, --total-time, --seed,
 /// --method (direct|next-reaction|tau-leap), --csv <path>.
+///
+/// The global `--jobs N` flag (accepted anywhere on the command line)
+/// selects how many worker threads parallel workloads may use; 0 means one
+/// per hardware thread. Results are bit-identical for every N.
 namespace glva::app {
 
 /// Run one invocation. `args` excludes the program name. Output goes to

@@ -1,0 +1,127 @@
+#include "core/ensemble.h"
+
+#include <sstream>
+
+#include "exec/parallel_runner.h"
+#include "exec/seed_sequence.h"
+#include "logic/quine_mccluskey.h"
+#include "util/errors.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace glva::core {
+
+EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
+                            const ExperimentConfig& config,
+                            std::size_t replicates, std::size_t jobs) {
+  if (replicates == 0) {
+    throw InvalidArgument("run_ensemble: need at least one replicate");
+  }
+
+  EnsembleResult ensemble;
+  ensemble.circuit_name = spec.name;
+  ensemble.base_config = config;
+  ensemble.replicate_count = replicates;
+
+  // Seeds are derived up front, before the fan-out, so each job is a pure
+  // function of its index — the determinism contract of exec/.
+  const exec::SeedSequence seeds(config.seed);
+  ensemble.replicate_seeds = seeds.first(replicates);
+
+  const exec::ParallelRunner runner(jobs);
+  ensemble.replicates = runner.map<ExperimentResult>(
+      replicates, [&](std::size_t r) {
+        ExperimentConfig replicate_config = config;
+        replicate_config.seed = ensemble.replicate_seeds[r];
+        return run_experiment(spec, replicate_config);
+      });
+
+  // Aggregation is a serial post-pass in replicate order, so it is
+  // bit-identical however the replicates were scheduled.
+  const std::size_t combinations =
+      ensemble.replicates.front().extraction.variation.records.size();
+  ensemble.majority_logic =
+      logic::TruthTable(ensemble.replicates.front().extraction.input_count);
+  ensemble.combination_stats.resize(combinations);
+
+  for (std::size_t c = 0; c < combinations; ++c) {
+    CombinationEnsembleStats& stats = ensemble.combination_stats[c];
+    stats.combination = c;
+    util::RunningStats fov;
+    for (const ExperimentResult& replicate : ensemble.replicates) {
+      fov.add(replicate.extraction.variation.records[c].fov_est);
+      if (replicate.extraction.extracted().output(c)) ++stats.high_votes;
+    }
+    stats.fov_mean = fov.mean();
+    stats.fov_stddev = fov.stddev();
+    ensemble.majority_logic.set_output(c, 2 * stats.high_votes > replicates);
+  }
+
+  ensemble.expected = spec.expected;
+  ensemble.majority_wrong_states =
+      ensemble.majority_logic.differing_rows(spec.expected);
+  ensemble.majority_matches = ensemble.majority_wrong_states.empty();
+
+  ensemble.replicate_matches.reserve(replicates);
+  for (const ExperimentResult& replicate : ensemble.replicates) {
+    const bool matches = replicate.verification.matches;
+    ensemble.replicate_matches.push_back(matches);
+    ensemble.match_count += matches ? 1 : 0;
+  }
+  return ensemble;
+}
+
+std::string render_ensemble_summary(const EnsembleResult& ensemble) {
+  const ExtractionResult& first = ensemble.replicates.front().extraction;
+  std::ostringstream out;
+  out << "circuit:    " << ensemble.circuit_name << "\n"
+      << "replicates: " << ensemble.replicate_count << " (base seed "
+      << ensemble.base_config.seed << ", per-replicate streams)\n\n";
+
+  util::TextTable table(
+      {"comb", "high votes", "FOV mean", "FOV stddev", "majority"});
+  table.set_align(1, util::TextTable::Align::kRight);
+  table.set_align(2, util::TextTable::Align::kRight);
+  table.set_align(3, util::TextTable::Align::kRight);
+  table.set_align(4, util::TextTable::Align::kRight);
+  for (const CombinationEnsembleStats& stats : ensemble.combination_stats) {
+    table.add_row({ensemble.majority_logic.combination_label(stats.combination),
+                   std::to_string(stats.high_votes) + "/" +
+                       std::to_string(ensemble.replicate_count),
+                   util::format_double(stats.fov_mean, 6),
+                   util::format_double(stats.fov_stddev, 6),
+                   ensemble.majority_logic.output(stats.combination) ? "1"
+                                                                     : "0"});
+  }
+  out << table.str() << "\n";
+
+  out << "majority logic:  " << first.output_name << " = "
+      << logic::minimize(ensemble.majority_logic, first.input_names).to_string()
+      << "\n"
+      << "intended logic:  " << first.output_name << " = "
+      << logic::minimize(ensemble.expected, first.input_names).to_string()
+      << "\n"
+      << "majority verify: ";
+  if (ensemble.majority_matches) {
+    out << "MATCH\n";
+  } else {
+    std::vector<std::string> labels;
+    for (const std::size_t c : ensemble.majority_wrong_states) {
+      labels.push_back(ensemble.majority_logic.combination_label(c));
+    }
+    out << ensemble.majority_wrong_states.size() << " wrong state(s): "
+        << util::join(labels, ", ") << "\n";
+  }
+
+  out << "replicates:      " << ensemble.match_count << "/"
+      << ensemble.replicate_count << " individually recover the intended logic"
+      << " (";
+  for (std::size_t r = 0; r < ensemble.replicate_count; ++r) {
+    out << (r == 0 ? "" : " ") << (ensemble.replicate_matches[r] ? "+" : "-");
+  }
+  out << ")\n";
+  return out.str();
+}
+
+}  // namespace glva::core

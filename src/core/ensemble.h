@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+/// Replicate ensembles: N independent stochastic replicates of the paper's
+/// experiment, fanned out by the exec/ runtime. A single SSA run is one
+/// sample path; the paper's FOV and extracted logic therefore carry no
+/// confidence information. An ensemble reports per-combination FOV
+/// mean/stddev across replicates, a majority-vote logic extraction, and
+/// per-replicate verification verdicts — treating the circuit
+/// statistically, as related noise-aware work does.
+namespace glva::core {
+
+/// Cross-replicate statistics for one input combination.
+struct CombinationEnsembleStats {
+  std::size_t combination = 0;
+  double fov_mean = 0.0;    ///< mean FOV_EST across replicates
+  double fov_stddev = 0.0;  ///< sample stddev of FOV_EST (0 for 1 replicate)
+  std::size_t high_votes = 0;  ///< replicates whose extraction reads logic-1
+  /// high_votes / replicate_count, in [0, 1] — an empirical confidence for
+  /// the combination's extracted level.
+  [[nodiscard]] double high_fraction(std::size_t replicate_count) const noexcept {
+    return replicate_count == 0
+               ? 0.0
+               : static_cast<double>(high_votes) /
+                     static_cast<double>(replicate_count);
+  }
+};
+
+/// Everything an ensemble run produces. Bit-identical for a fixed
+/// (config.seed, replicate count) regardless of the job count used.
+struct EnsembleResult {
+  std::string circuit_name;
+  ExperimentConfig base_config;  ///< seed here is the *base* seed
+  std::size_t replicate_count = 0;
+
+  /// Per-replicate derived seeds (exec::derive_seed(base_seed, r)) and the
+  /// full experiment each produced, in replicate order.
+  std::vector<std::uint64_t> replicate_seeds;
+  std::vector<ExperimentResult> replicates;
+
+  /// One entry per input combination, indexed by combination.
+  std::vector<CombinationEnsembleStats> combination_stats;
+
+  /// Majority vote across replicate extractions: combination c is high iff
+  /// strictly more than half the replicates extracted it high (ties low).
+  logic::TruthTable majority_logic;
+  /// The intended function the verdicts below were computed against
+  /// (spec.expected), carried so reports cannot diverge from the verdict.
+  logic::TruthTable expected;
+  bool majority_matches = false;  ///< majority_logic == expected
+  std::vector<std::size_t> majority_wrong_states;  ///< differing combinations
+
+  /// Per-replicate verification verdict (replicates[r].verification.matches)
+  /// and how many replicates individually recovered the intended function.
+  std::vector<bool> replicate_matches;
+  std::size_t match_count = 0;
+
+  [[nodiscard]] double match_fraction() const noexcept {
+    return replicate_count == 0
+               ? 0.0
+               : static_cast<double>(match_count) /
+                     static_cast<double>(replicate_count);
+  }
+};
+
+/// Run `replicates` independent replicates of run_experiment, each seeded
+/// from (config.seed, replicate index) via exec::SeedSequence, across up to
+/// `jobs` worker threads (0 = one per hardware thread; results are
+/// identical for every jobs value). Throws glva::InvalidArgument when
+/// `replicates` is 0; experiment errors propagate from the lowest failed
+/// replicate index.
+[[nodiscard]] EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
+                                          const ExperimentConfig& config,
+                                          std::size_t replicates,
+                                          std::size_t jobs = 1);
+
+/// Deterministic text report of an ensemble: per-combination vote/FOV
+/// table, majority expression vs the ensemble's own intended function,
+/// per-replicate verdict line. Contains no wall-clock timings, so output
+/// for a fixed seed is byte-stable — the CLI golden-output regression test
+/// relies on that.
+[[nodiscard]] std::string render_ensemble_summary(
+    const EnsembleResult& ensemble);
+
+}  // namespace glva::core

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "exec/parallel_runner.h"
+#include "exec/seed_sequence.h"
+
 namespace glva::core {
 
 namespace {
@@ -32,6 +35,18 @@ ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
   result.sweep = std::move(sweep);
   result.simulate_seconds = sim_seconds;
   return result;
+}
+
+std::vector<ExperimentResult> run_batch(
+    const std::vector<circuits::CircuitSpec>& specs,
+    const ExperimentConfig& base_config, std::size_t jobs) {
+  const exec::SeedSequence seeds(base_config.seed);
+  const exec::ParallelRunner runner(jobs);
+  return runner.map<ExperimentResult>(specs.size(), [&](std::size_t i) {
+    ExperimentConfig config = base_config;
+    config.seed = seeds.seed_for(i);
+    return run_experiment(specs[i], config);
+  });
 }
 
 ExperimentResult reanalyze(const circuits::CircuitSpec& spec,

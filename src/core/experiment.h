@@ -52,6 +52,18 @@ struct ExperimentResult {
 [[nodiscard]] ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
                                               const ExperimentConfig& config);
 
+/// Repository-wide batch runner (the Table 1 workload): run the experiment
+/// on every spec, one exec/ job per circuit, across up to `jobs` worker
+/// threads (0 = one per hardware thread). Each circuit's RNG stream is
+/// derived from (base_config.seed, circuit index) via exec::SeedSequence,
+/// so circuits draw independent sample paths instead of replaying the same
+/// random numbers against different models. Results come back in spec
+/// order and are bit-identical for every jobs value; a failing circuit
+/// rethrows from the lowest failed index.
+[[nodiscard]] std::vector<ExperimentResult> run_batch(
+    const std::vector<circuits::CircuitSpec>& specs,
+    const ExperimentConfig& base_config, std::size_t jobs = 1);
+
 /// Re-analyze an existing sweep under a different analyzer configuration
 /// (used by the threshold sweep so each threshold re-reads the same trace
 /// family; note the paper re-applies inputs at each threshold, so a full

@@ -1,37 +1,44 @@
 #include "core/threshold_sweep.h"
 
+#include "exec/parallel_runner.h"
+
 namespace glva::core {
 
 ThresholdSweepResult threshold_sweep(const circuits::CircuitSpec& spec,
                                      const ExperimentConfig& base_config,
-                                     const std::vector<double>& thresholds) {
+                                     const std::vector<double>& thresholds,
+                                     std::size_t jobs) {
+  const exec::ParallelRunner runner(jobs);
+
   ThresholdSweepResult sweep;
-  for (double threshold : thresholds) {
-    ExperimentConfig config = base_config;
-    config.threshold = threshold;
-    config.input_high_level = -1.0;  // re-apply inputs at the threshold
-    sweep.points.push_back(
-        ThresholdPoint{threshold, run_experiment(spec, config)});
-  }
+  sweep.points = runner.map<ThresholdPoint>(
+      thresholds.size(), [&](std::size_t i) {
+        ExperimentConfig config = base_config;
+        config.threshold = thresholds[i];
+        config.input_high_level = -1.0;  // re-apply inputs at the threshold
+        return ThresholdPoint{thresholds[i], run_experiment(spec, config)};
+      });
   return sweep;
 }
 
 ThresholdSweepResult threshold_sweep_redigitize(
     const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
-    const std::vector<double>& thresholds) {
+    const std::vector<double>& thresholds, std::size_t jobs) {
   // One simulation at the base input level...
   ExperimentResult base = run_experiment(spec, base_config);
 
+  const exec::ParallelRunner runner(jobs);
   ThresholdSweepResult sweep;
-  for (double threshold : thresholds) {
-    ExperimentConfig config = base_config;
-    config.threshold = threshold;
-    config.input_high_level = base_config.high_level();  // drive unchanged
-    // ...re-digitized per threshold.
-    ExperimentResult point = reanalyze(spec, config, base.sweep);
-    point.simulate_seconds = 0.0;  // shared simulation, not re-run
-    sweep.points.push_back(ThresholdPoint{threshold, std::move(point)});
-  }
+  sweep.points = runner.map<ThresholdPoint>(
+      thresholds.size(), [&](std::size_t i) {
+        ExperimentConfig config = base_config;
+        config.threshold = thresholds[i];
+        config.input_high_level = base_config.high_level();  // drive unchanged
+        // ...re-digitized per threshold (pure analysis, no RNG involved).
+        ExperimentResult point = reanalyze(spec, config, base.sweep);
+        point.simulate_seconds = 0.0;  // shared simulation, not re-run
+        return ThresholdPoint{thresholds[i], std::move(point)};
+      });
   return sweep;
 }
 

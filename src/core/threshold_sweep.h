@@ -26,16 +26,26 @@ struct ThresholdSweepResult {
 /// couples the two), so the circuit is re-simulated, not merely
 /// re-digitized. Points come back in the order `thresholds` lists them; an
 /// empty list yields an empty result.
+///
+/// Each point is one job of the exec/ runtime: up to `jobs` points are
+/// simulated concurrently (0 = one per hardware thread), each on its own
+/// `sim::Rng` constructed from the job's config, and committed in point
+/// order — results are bit-identical for every jobs value. All points
+/// deliberately share base_config.seed (common random numbers): a sweep
+/// compares the *threshold parameter*, so reusing one stochastic
+/// realization across points isolates its effect; use core::run_ensemble
+/// for independent replicates.
 [[nodiscard]] ThresholdSweepResult threshold_sweep(
     const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
-    const std::vector<double>& thresholds);
+    const std::vector<double>& thresholds, std::size_t jobs = 1);
 
 /// Variant that keeps one simulation (at the base config's input level)
 /// and only re-digitizes at each threshold — an ablation that isolates the
 /// ADC's contribution to Figure 5's effect from the input-drive
-/// contribution.
+/// contribution. The shared simulation uses base_config.seed directly; the
+/// per-threshold re-analyses are fanned out across `jobs` workers.
 [[nodiscard]] ThresholdSweepResult threshold_sweep_redigitize(
     const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
-    const std::vector<double>& thresholds);
+    const std::vector<double>& thresholds, std::size_t jobs = 1);
 
 }  // namespace glva::core

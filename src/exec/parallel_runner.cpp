@@ -1,0 +1,50 @@
+#include "exec/parallel_runner.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+
+#include "exec/thread_pool.h"
+
+namespace glva::exec {
+
+std::size_t resolve_jobs(std::size_t requested) noexcept {
+  return requested == 0 ? ThreadPool::hardware_threads() : requested;
+}
+
+ParallelRunner::ParallelRunner(std::size_t jobs) noexcept
+    : jobs_(resolve_jobs(jobs)) {}
+
+void ParallelRunner::for_each_index(
+    std::size_t count, const std::function<void(std::size_t)>& body) const {
+  if (count == 0) return;
+
+  if (jobs_ == 1 || count == 1) {
+    // Inline reference path: index order, exceptions propagate directly
+    // (the first failing index is also the lowest, matching the pool path).
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  ThreadPool pool(std::min(jobs_, count));
+  std::vector<std::future<void>> pending;
+  pending.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pending.push_back(pool.submit([&body, i] { body(i); }));
+  }
+
+  // Drain every job before reporting: get() in index order, keeping the
+  // first (= lowest-index) failure. Later jobs still run to completion so
+  // no result slot is left mid-write.
+  std::exception_ptr first_failure;
+  for (auto& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_failure) first_failure = std::current_exception();
+    }
+  }
+  if (first_failure) std::rethrow_exception(first_failure);
+}
+
+}  // namespace glva::exec

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+/// The job-scheduler layer of the execution subsystem: deterministic
+/// indexed fan-out over a fixed-size ThreadPool.
+///
+/// Determinism contract (the property `tests/test_exec.cpp` pins):
+/// running the same job set with any worker count produces bit-identical
+/// results, because
+///   1. each job is a pure function of its index — per-job RNG streams are
+///      derived from `(base_seed, job_index)` by exec::SeedSequence before
+///      the fan-out, never drawn from a shared generator;
+///   2. every job commits its result into the slot its index names, so the
+///      assembled output is in job-index order regardless of completion
+///      order;
+///   3. failures are deterministic too: the exception of the *lowest* failed
+///      job index is rethrown, whichever job happened to fail first on the
+///      wall clock.
+namespace glva::exec {
+
+/// Resolve a user-facing `--jobs` request: 0 means "one per hardware
+/// thread"; anything else is taken literally. Never returns 0.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t requested) noexcept;
+
+class ParallelRunner {
+public:
+  /// A runner executing up to `jobs` jobs concurrently (0 = one per
+  /// hardware thread). `jobs == 1` runs everything inline on the calling
+  /// thread — no pool, no synchronization — which is the reference the
+  /// parallel path is bit-identical to.
+  explicit ParallelRunner(std::size_t jobs = 1) noexcept;
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Run `body(i)` for every i in [0, count). Blocks until all jobs finish
+  /// (even when one throws — stragglers are drained, not abandoned), then
+  /// rethrows the exception of the lowest failed index, if any.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& body) const;
+
+  /// Fan `make(i)` out over [0, count) and return the results in job-index
+  /// order. T must be default-constructible (slots are pre-created so each
+  /// job commits into its own).
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> map(std::size_t count, Fn&& make) const {
+    std::vector<T> results(count);
+    for_each_index(count, [&](std::size_t i) { results[i] = make(i); });
+    return results;
+  }
+
+private:
+  std::size_t jobs_;
+};
+
+}  // namespace glva::exec

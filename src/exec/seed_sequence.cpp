@@ -1,0 +1,20 @@
+#include "exec/seed_sequence.h"
+
+namespace glva::exec {
+
+std::uint64_t derive_seed(std::uint64_t base_seed,
+                          std::uint64_t job_index) noexcept {
+  std::uint64_t state = base_seed;
+  const std::uint64_t mixed_base = sim::splitmix64_next(state);
+  state = mixed_base ^ job_index;
+  return sim::splitmix64_next(state);
+}
+
+std::vector<std::uint64_t> SeedSequence::first(std::size_t count) const {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(seed_for(i));
+  return seeds;
+}
+
+}  // namespace glva::exec

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+/// Deterministic per-job seed derivation for the parallel runtime. Every
+/// job of a fan-out gets its own `sim::Rng` stream derived from
+/// `(base_seed, job_index)` — never a shared generator, never the raw base
+/// seed — so results are independent of how many workers execute the jobs
+/// and replicates draw statistically independent sample paths.
+namespace glva::exec {
+
+/// Derive the seed for one job. Pure function of (base_seed, job_index):
+/// two chained splitmix64 finalizations — the first avalanches the base
+/// seed, the second mixes in the job index — so `(base, i)` and
+/// `(base, i+1)` land in unrelated regions of seed space, and distinct
+/// indices can never collide for a fixed base (the finalizer is a
+/// bijection). This is the same splitmix64 machinery `sim::Rng` seeds its
+/// xoshiro state with.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
+                                        std::uint64_t job_index) noexcept;
+
+/// A base seed plus the derivation scheme, as an object the schedulers can
+/// pass around. Random access: `seed_for(i)` is O(1) and independent of any
+/// other call, which is what lets jobs be seeded before the fan-out and
+/// committed in index order afterwards.
+class SeedSequence {
+public:
+  explicit SeedSequence(std::uint64_t base_seed) noexcept
+      : base_seed_(base_seed) {}
+
+  [[nodiscard]] std::uint64_t base_seed() const noexcept { return base_seed_; }
+
+  /// The derived seed for job `job_index`.
+  [[nodiscard]] std::uint64_t seed_for(std::uint64_t job_index) const noexcept {
+    return derive_seed(base_seed_, job_index);
+  }
+
+  /// An Rng already seeded for job `job_index`.
+  [[nodiscard]] sim::Rng rng_for(std::uint64_t job_index) const noexcept {
+    return sim::Rng(seed_for(job_index));
+  }
+
+  /// The first `count` derived seeds, in job order.
+  [[nodiscard]] std::vector<std::uint64_t> first(std::size_t count) const;
+
+private:
+  std::uint64_t base_seed_;
+};
+
+}  // namespace glva::exec

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// The execution subsystem: a deterministic parallel runtime for the
+/// embarrassingly parallel experiment workloads (one SSA run per input
+/// combination, per threshold point, per circuit, per replicate).
+///
+/// Layering: ThreadPool (this header) is a plain fixed-size worker pool
+/// with no scheduling policy of its own; ParallelRunner adds the
+/// deterministic indexed fan-out and ordered-commit contract; SeedSequence
+/// pins the per-job RNG derivation. Nothing in exec/ depends on core/ —
+/// the dependency points the other way.
+namespace glva::exec {
+
+/// A fixed-size, work-stealing-free thread pool. Tasks are executed in FIFO
+/// submission order (no reordering, no priorities), each on whichever worker
+/// frees up first. Exceptions thrown by a task never reach the worker thread
+/// (which would `std::terminate`); they are captured into the task's future
+/// and rethrown — as the original exception — from `std::future::get()`.
+///
+/// Destruction drains the queue: every submitted task runs to completion
+/// before the workers join, so a future obtained from submit() is always
+/// eventually satisfied.
+class ThreadPool {
+public:
+  /// Spin up `thread_count` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t thread_count);
+
+  /// Waits for all queued tasks to finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. The returned future is satisfied when the task
+  /// finishes; if the task threw, get() rethrows the original exception.
+  [[nodiscard]] std::future<void> submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// std::thread::hardware_concurrency(), never 0.
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;  // last: workers start after all state
+};
+
+}  // namespace glva::exec

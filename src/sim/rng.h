@@ -9,6 +9,12 @@
 /// not portable across implementations.
 namespace glva::sim {
 
+/// One splitmix64 step (Steele, Lea, Flood): advances `state` by the golden
+/// gamma and returns a fully avalanched 64-bit output. This is the mixer the
+/// Rng constructor seeds with; it is exposed so seed-derivation code
+/// (exec::SeedSequence) shares the exact same machinery.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
 class Rng {
 public:
   /// Seed via splitmix64 expansion, so consecutive seeds give uncorrelated

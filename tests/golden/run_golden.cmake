@@ -1,0 +1,46 @@
+# Golden-output CLI regression driver, invoked by CTest as
+#   cmake -DGLVA_BIN=... "-DGLVA_ARGS=..." -DGOLDEN_FILE=... \
+#         -DOUTPUT_FILE=... -DEXPECT_RC=... -P run_golden.cmake
+#
+# Runs the glva CLI with a fixed seed and diffs its stdout byte-for-byte
+# against the checked-in golden file. Only deterministic output may be
+# pinned this way (no wall-clock timings); the simulators and the ensemble
+# report are bit-reproducible by construction, which is what makes this
+# check possible at all.
+#
+# To regenerate a golden after an intentional output change:
+#   ./build/glva <args from CMakeLists.txt> > tests/golden/<name>.txt
+
+foreach(required GLVA_BIN GLVA_ARGS GOLDEN_FILE OUTPUT_FILE EXPECT_RC)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "run_golden.cmake: missing -D${required}")
+  endif()
+endforeach()
+
+separate_arguments(glva_args UNIX_COMMAND "${GLVA_ARGS}")
+execute_process(
+  COMMAND "${GLVA_BIN}" ${glva_args}
+  OUTPUT_FILE "${OUTPUT_FILE}"
+  ERROR_VARIABLE stderr_text
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL "${EXPECT_RC}")
+  message(FATAL_ERROR
+    "glva ${GLVA_ARGS} exited with ${rc} (expected ${EXPECT_RC})\n"
+    "stderr:\n${stderr_text}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${OUTPUT_FILE}" "${GOLDEN_FILE}"
+  RESULT_VARIABLE diff_rc)
+
+if(NOT diff_rc EQUAL 0)
+  file(READ "${GOLDEN_FILE}" golden_text)
+  file(READ "${OUTPUT_FILE}" actual_text)
+  message(FATAL_ERROR
+    "golden mismatch for `glva ${GLVA_ARGS}`\n"
+    "---- expected (${GOLDEN_FILE}) ----\n${golden_text}\n"
+    "---- actual (${OUTPUT_FILE}) ----\n${actual_text}\n"
+    "If the change is intentional, regenerate the golden file (see header "
+    "of run_golden.cmake).")
+endif()
