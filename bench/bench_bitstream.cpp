@@ -1,0 +1,135 @@
+// Micro-benchmarks for the bit-packed stream primitives the analysis stage
+// is built on (logic::BitStream / logic::CombinationIndex): packing,
+// popcount, bitwise combination, masked transition counting, and the
+// packed vs reference ADC. These isolate the word-parallel kernels whose
+// composition produces the end-to-end speedup bench_analysis_runtime
+// measures; each counter reports items/s in *samples*, so packed and
+// reference rows are directly comparable.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/bit_stream.h"
+#include "logic/combination_index.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace glva;
+using logic::BitStream;
+
+/// Deterministic random stream with plateau structure (runs of ~64), the
+/// statistical shape of digitized sweep data rather than white noise.
+BitStream make_stream(std::size_t bits, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  BitStream stream(bits);
+  bool level = false;
+  std::size_t k = 0;
+  while (k < bits) {
+    const std::size_t run = 1 + rng.below(128);
+    for (std::size_t j = 0; j < run && k < bits; ++j, ++k) {
+      if (level) stream.set(k, true);
+    }
+    level = !level;
+  }
+  return stream;
+}
+
+std::vector<bool> make_bools(std::size_t bits, std::uint64_t seed) {
+  return make_stream(bits, seed).unpack();
+}
+
+void BM_pack(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const std::vector<bool> data = make_bools(bits, 1);
+  for (auto _ : state) {
+    BitStream stream = BitStream::pack(data);
+    benchmark::DoNotOptimize(stream.word_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_popcount(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BitStream stream = make_stream(bits, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.popcount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+// The vector<bool> equivalent of popcount: what the reference
+// VariationAnalyzer pays per HIGH_O count.
+void BM_popcount_vector_bool(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const std::vector<bool> data = make_bools(bits, 2);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (const bool b : data) count += b ? 1 : 0;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_and_popcount(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BitStream a = make_stream(bits, 3);
+  const BitStream b = make_stream(bits, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logic::and_popcount(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_bitwise_and(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BitStream a = make_stream(bits, 5);
+  const BitStream b = make_stream(bits, 6);
+  for (auto _ : state) {
+    BitStream c = a & b;
+    benchmark::DoNotOptimize(c.word_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_masked_transition_count(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BitStream mask = make_stream(bits, 7);
+  const BitStream stream = make_stream(bits, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logic::masked_transition_count(mask, stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_combination_index(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const std::vector<BitStream> inputs = {
+      make_stream(bits, 9), make_stream(bits, 10), make_stream(bits, 11)};
+  for (auto _ : state) {
+    logic::CombinationIndex index(inputs);
+    benchmark::DoNotOptimize(index.count(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_pack)->Arg(1'000'000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_popcount)->Arg(1'000'000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_popcount_vector_bool)->Arg(1'000'000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_and_popcount)->Arg(1'000'000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_bitwise_and)->Arg(1'000'000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_masked_transition_count)->Arg(1'000'000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_combination_index)->Arg(1'000'000)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -45,6 +45,10 @@ int main(int argc, char** argv) {
   config.threshold = cli.get_double("threshold");
   config.fov_ud = cli.get_double("fov-ud");
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  // This figure displays the per-combination output streams run-length
+  // encoded; only the reference backend materializes them (the packed
+  // backend keeps them implicit in mask/output word pairs).
+  config.backend = core::AnalysisBackend::kReference;
 
   const core::ExperimentResult result = core::run_experiment(spec, config);
   const sim::Trace& trace = result.sweep.trace;

@@ -82,7 +82,10 @@ int main(int argc, char** argv) {
   }
 
   const core::DigitalData data = make_figure3_data(stable, oscillatory);
-  const core::LogicAnalyzer analyzer(core::AnalyzerConfig{15.0, fov_ud});
+  // The reference backend materializes the per-case output streams this
+  // figure renders run-length encoded; the packed backend would not.
+  const core::LogicAnalyzer analyzer(core::AnalyzerConfig{
+      15.0, fov_ud, core::AnalysisBackend::kReference});
   const core::ExtractionResult result =
       analyzer.analyze_digital(data, {"A", "B"}, "OUT");
 

@@ -36,10 +36,14 @@ int main(int argc, char** argv) {
                  "worker threads (0 = one per hardware thread); results are "
                  "identical for every value");
   cli.add_flag("two-stage", "expand gates to transcription+translation");
+  cli.add_flag("no-timings",
+               "omit the wall-clock columns (deterministic output for the "
+               "golden regression)");
   if (!cli.parse(argc, argv)) {
     std::cout << cli.help("table1_all_circuits");
     return 0;
   }
+  const bool timings = !cli.get_flag("no-timings");
 
   core::ExperimentConfig config;
   config.total_time = cli.get_double("total-time");
@@ -53,18 +57,32 @@ int main(int argc, char** argv) {
             << config.threshold << ", FOV_UD " << config.fov_ud << ", SSA "
             << cli.get("method") << "\n\n";
 
-  util::TextTable table({"circuit", "in", "gates", "parts", "expression",
-                         "PFoBE %", "verify", "sim s", "analyze s"});
+  std::vector<std::string> headers = {"circuit", "in",      "gates",
+                                      "parts",   "expression", "PFoBE %",
+                                      "verify"};
+  if (timings) {
+    headers.push_back("sim s");
+    headers.push_back("analyze s");
+  }
+  util::TextTable table(headers);
   table.set_align(1, util::TextTable::Align::kRight);
   table.set_align(2, util::TextTable::Align::kRight);
   table.set_align(3, util::TextTable::Align::kRight);
   table.set_align(5, util::TextTable::Align::kRight);
-  table.set_align(7, util::TextTable::Align::kRight);
-  table.set_align(8, util::TextTable::Align::kRight);
+  if (timings) {
+    table.set_align(7, util::TextTable::Align::kRight);
+    table.set_align(8, util::TextTable::Align::kRight);
+  }
 
   util::CsvWriter csv;
-  csv.row("circuit", "inputs", "gates", "parts", "expression", "pfobe",
-          "matches", "wrong_states", "sim_seconds", "analyze_seconds");
+  std::vector<std::string> csv_header = {"circuit", "inputs",  "gates",
+                                         "parts",   "expression", "pfobe",
+                                         "matches", "wrong_states"};
+  if (timings) {
+    csv_header.push_back("sim_seconds");
+    csv_header.push_back("analyze_seconds");
+  }
+  csv.add_row(csv_header);
 
   std::size_t matched = 0;
   const auto specs =
@@ -83,22 +101,31 @@ int main(int argc, char** argv) {
     const core::ExperimentResult& result = results[i];
     const bool ok = result.verification.matches;
     matched += ok ? 1 : 0;
-    table.add_row({spec.name, std::to_string(spec.input_ids.size()),
-                   std::to_string(spec.gate_count),
-                   std::to_string(spec.parts.total()),
-                   result.extraction.expression(),
-                   util::format_double(result.extraction.fitness(), 5),
-                   core::summarize(result.verification, spec.expected),
-                   util::format_double(result.simulate_seconds, 3),
-                   util::format_double(result.analyze_seconds, 3)});
-    csv.row(spec.name, static_cast<unsigned long long>(spec.input_ids.size()),
-            static_cast<unsigned long long>(spec.gate_count),
-            static_cast<unsigned long long>(spec.parts.total()),
-            result.extraction.expression(), result.extraction.fitness(),
-            ok ? "1" : "0",
-            static_cast<unsigned long long>(
-                result.verification.wrong_state_count()),
-            result.simulate_seconds, result.analyze_seconds);
+    std::vector<std::string> row = {
+        spec.name, std::to_string(spec.input_ids.size()),
+        std::to_string(spec.gate_count), std::to_string(spec.parts.total()),
+        result.extraction.expression(),
+        util::format_double(result.extraction.fitness(), 5),
+        core::summarize(result.verification, spec.expected)};
+    if (timings) {
+      row.push_back(util::format_double(result.simulate_seconds, 3));
+      row.push_back(util::format_double(result.analyze_seconds, 3));
+    }
+    table.add_row(row);
+    std::vector<std::string> csv_row = {
+        spec.name,
+        std::to_string(spec.input_ids.size()),
+        std::to_string(spec.gate_count),
+        std::to_string(spec.parts.total()),
+        result.extraction.expression(),
+        util::format_double(result.extraction.fitness()),
+        ok ? "1" : "0",
+        std::to_string(result.verification.wrong_state_count())};
+    if (timings) {
+      csv_row.push_back(util::format_double(result.simulate_seconds));
+      csv_row.push_back(util::format_double(result.analyze_seconds));
+    }
+    csv.add_row(csv_row);
   }
 
   std::cout << table.str() << "\n"

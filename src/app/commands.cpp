@@ -1,5 +1,6 @@
 #include "app/commands.h"
 
+#include <filesystem>
 #include <fstream>
 
 #include "circuits/cello_circuits.h"
@@ -50,6 +51,8 @@ void add_analysis_options(util::CliParser& cli) {
   cli.add_option("total-time", "10000", "sweep duration (time units)");
   cli.add_option("seed", "1", "simulation seed");
   cli.add_option("method", "direct", "SSA: direct | next-reaction | tau-leap");
+  cli.add_option("backend", "packed",
+                 "analysis streams: packed | reference (bit-identical)");
   cli.add_option("csv", "", "write per-combination analytics CSV here");
 }
 
@@ -60,16 +63,23 @@ core::ExperimentConfig config_from(const util::CliParser& cli) {
   config.total_time = cli.get_double("total-time");
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.method = sim::parse_ssa_method(cli.get("method"));
+  config.backend = core::parse_analysis_backend(cli.get("backend"));
   return config;
+}
+
+/// Write one CSV document to `path`; throws glva::Error when the file
+/// cannot be opened.
+void write_csv_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open CSV output file: " + path);
+  f << content;
 }
 
 void maybe_write_csv(const util::CliParser& cli,
                      const core::ExtractionResult& extraction,
                      std::ostream& out) {
   if (const std::string path = cli.get("csv"); !path.empty()) {
-    std::ofstream f(path, std::ios::binary);
-    if (!f) throw Error("cannot open CSV output file: " + path);
-    f << core::analytics_csv(extraction);
+    write_csv_file(path, core::analytics_csv(extraction));
     out << "analytics CSV written to " << path << "\n";
   }
 }
@@ -240,6 +250,8 @@ int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
   util::CliParser cli;
   cli.add_option("replicates", "8", "independent stochastic replicates");
   add_analysis_options(cli);
+  cli.add_option("csv-dir", "",
+                 "write one per-replicate analytics CSV into this directory");
   cli.add_flag("two-stage", "expand gates to transcription+translation");
   std::vector<const char*> argv{"glva-ensemble"};
   for (const auto& arg : args) argv.push_back(arg.c_str());
@@ -256,9 +268,26 @@ int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
   const auto ensemble = core::run_ensemble(
       spec, config_from(cli), static_cast<std::size_t>(replicates), jobs);
   out << core::render_ensemble_summary(ensemble);
-  // Analytics CSV of the first replicate (per-replicate dumps are a ROADMAP
-  // follow-up).
-  maybe_write_csv(cli, ensemble.replicates.front().extraction, out);
+  // For an ensemble, --csv carries *all* replicates, distinguished by the
+  // leading `replicate` index column (see ensemble_analytics_csv).
+  if (const std::string path = cli.get("csv"); !path.empty()) {
+    write_csv_file(path, core::ensemble_analytics_csv(ensemble));
+    out << "analytics CSV (all replicates) written to " << path << "\n";
+  }
+  // --csv-dir splits the same analytics into one file per replicate.
+  if (const std::string dir = cli.get("csv-dir"); !dir.empty()) {
+    std::filesystem::create_directories(dir);
+    for (std::size_t r = 0; r < ensemble.replicates.size(); ++r) {
+      std::string index = std::to_string(r);
+      index.insert(0, index.size() < 3 ? 3 - index.size() : 0, '0');
+      write_csv_file(
+          (std::filesystem::path(dir) / ("replicate_" + index + ".csv"))
+              .string(),
+          core::analytics_csv(ensemble.replicates[r].extraction));
+    }
+    out << ensemble.replicates.size() << " replicate CSV(s) written to "
+        << dir << "\n";
+  }
   return ensemble.majority_matches ? 0 : 1;
 }
 

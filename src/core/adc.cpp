@@ -1,18 +1,86 @@
 #include "core/adc.h"
 
+#include <algorithm>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "util/errors.h"
 
 namespace glva::core {
 
-std::vector<bool> adc(const std::vector<double>& analog, double threshold) {
+namespace {
+
+void require_positive_threshold(double threshold, const char* what) {
   if (threshold <= 0.0) {
-    throw InvalidArgument("adc: threshold must be positive");
+    throw InvalidArgument(std::string(what) + ": threshold must be positive");
   }
+}
+
+/// Pack 64 consecutive threshold comparisons into one word, bit j =
+/// (samples[j] >= threshold). The SSE2 path turns each pair of doubles
+/// into two mask bits with cmpge + movmskpd (NaN compares false, exactly
+/// like the scalar >=); the portable path compares into a byte buffer the
+/// autovectorizer handles, then gathers each 8-byte group into 8 bits with
+/// one multiply (magic 0x0102040810204080: byte t of the group lands at
+/// bit 56+t of the product).
+std::uint64_t pack_word64(const double* samples, double threshold) {
+#if defined(__SSE2__)
+  const __m128d vth = _mm_set1_pd(threshold);
+  std::uint64_t word = 0;
+  for (std::size_t j = 0; j < 64; j += 2) {
+    const int pair =
+        _mm_movemask_pd(_mm_cmpge_pd(_mm_loadu_pd(samples + j), vth));
+    word |= static_cast<std::uint64_t>(pair) << j;
+  }
+  return word;
+#else
+  unsigned char bytes[64];
+  for (std::size_t j = 0; j < 64; ++j) bytes[j] = samples[j] >= threshold;
+  std::uint64_t word = 0;
+  for (std::size_t g = 0; g < 8; ++g) {
+    std::uint64_t group;
+    std::memcpy(&group, bytes + g * 8, sizeof group);
+    word |= ((group * 0x0102040810204080ULL) >> 56) << (g * 8);
+  }
+  return word;
+#endif
+}
+
+}  // namespace
+
+std::vector<bool> adc(const std::vector<double>& analog, double threshold) {
+  require_positive_threshold(threshold, "adc");
   std::vector<bool> digital(analog.size());
   for (std::size_t k = 0; k < analog.size(); ++k) {
     digital[k] = analog[k] >= threshold;
   }
   return digital;
+}
+
+logic::BitStream adc_packed(const std::vector<double>& analog,
+                            double threshold) {
+  require_positive_threshold(threshold, "adc_packed");
+  constexpr std::size_t kWordBits = logic::BitStream::kWordBits;
+  const std::size_t full_words = analog.size() / kWordBits;
+  std::vector<std::uint64_t> words((analog.size() + kWordBits - 1) /
+                                   kWordBits);
+  const double* samples = analog.data();
+  for (std::size_t w = 0; w < full_words; ++w) {
+    words[w] = pack_word64(samples + w * kWordBits, threshold);
+  }
+  // Partial tail word (fewer than 64 remaining samples): plain loop.
+  const std::size_t base = full_words * kWordBits;
+  if (base < analog.size()) {
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; base + j < analog.size(); ++j) {
+      word |= static_cast<std::uint64_t>(samples[base + j] >= threshold) << j;
+    }
+    words[full_words] = word;
+  }
+  return logic::BitStream::from_words(analog.size(), std::move(words));
 }
 
 DigitalData digitize(const sim::Trace& trace,
@@ -28,6 +96,43 @@ DigitalData digitize(const sim::Trace& trace,
   }
   data.output = adc(trace.series(output_id), threshold);
   return data;
+}
+
+PackedDigitalData digitize_packed(const sim::Trace& trace,
+                                  const std::vector<std::string>& input_ids,
+                                  const std::string& output_id,
+                                  double threshold) {
+  if (input_ids.empty()) {
+    throw InvalidArgument(
+        "digitize_packed: at least one input species is required");
+  }
+  PackedDigitalData data;
+  data.inputs.reserve(input_ids.size());
+  for (const auto& id : input_ids) {
+    data.inputs.push_back(adc_packed(trace.series(id), threshold));
+  }
+  data.output = adc_packed(trace.series(output_id), threshold);
+  return data;
+}
+
+PackedDigitalData pack(const DigitalData& data) {
+  PackedDigitalData packed;
+  packed.inputs.reserve(data.inputs.size());
+  for (const auto& input : data.inputs) {
+    packed.inputs.push_back(logic::BitStream::pack(input));
+  }
+  packed.output = logic::BitStream::pack(data.output);
+  return packed;
+}
+
+DigitalData unpack(const PackedDigitalData& data) {
+  DigitalData unpacked;
+  unpacked.inputs.reserve(data.inputs.size());
+  for (const auto& input : data.inputs) {
+    unpacked.inputs.push_back(input.unpack());
+  }
+  unpacked.output = data.output.unpack();
+  return unpacked;
 }
 
 }  // namespace glva::core

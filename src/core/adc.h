@@ -3,19 +3,39 @@
 #include <string>
 #include <vector>
 
+#include "logic/bit_stream.h"
 #include "sim/trace.h"
 
 /// Analog-to-digital conversion — the ADC sub-procedure of Algorithm 1
 /// (line 4). Converts analog species amounts into logic levels using the
 /// threshold value, after which "the exact concentration of proteins are no
 /// longer needed to obtain the Boolean logic of a genetic circuit".
+///
+/// Two representations of the digitized streams exist side by side:
+/// `DigitalData` (one `std::vector<bool>` per stream — the reference
+/// implementation) and `PackedDigitalData` (one `logic::BitStream` per
+/// stream — 64 samples per word, the production path of the analysis
+/// stage). Both digitize identically bit for bit; see `docs/ANALYSIS.md`
+/// for the packed layout and `AnalysisBackend` in `logic_analyzer.h` for
+/// how a backend is selected.
 namespace glva::core {
 
 /// Digitize one analog series: sample k is logic-1 iff analog[k] >=
-/// threshold. `threshold` is ThVAL in molecules and must be positive
-/// (throws glva::InvalidArgument otherwise).
+/// threshold (the comparison is inclusive). `analog` is in molecules on
+/// the trace's uniform sample grid; `threshold` is ThVAL in molecules and
+/// must be positive (throws glva::InvalidArgument otherwise). O(samples).
 [[nodiscard]] std::vector<bool> adc(const std::vector<double>& analog,
                                     double threshold);
+
+/// Bit-packed digitization of one analog series: identical comparison and
+/// bit order as `adc`, but each group of 64 samples is assembled in a
+/// register (SIMD compare where available) and stored with one word write
+/// instead of 64 `vector<bool>` proxy read-modify-writes — the entry
+/// point of the packed analysis path. Same precondition (threshold > 0,
+/// throws glva::InvalidArgument); postcondition: result.unpack() ==
+/// adc(analog, threshold). O(samples).
+[[nodiscard]] logic::BitStream adc_packed(const std::vector<double>& analog,
+                                          double threshold);
 
 /// The digitized I/O streams Algorithm 1 works on: one bit stream per
 /// chosen input species (MSB first) plus the chosen output species.
@@ -27,16 +47,42 @@ struct DigitalData {
   [[nodiscard]] std::size_t sample_count() const noexcept { return output.size(); }
 };
 
+/// Bit-packed variant of `DigitalData`: same streams, same MSB-first input
+/// order, one `logic::BitStream` per stream (64 samples per word, zeroed
+/// tail). Produced by `digitize_packed`/`pack`, consumed by the packed
+/// CaseAnalyzer (`analyze_cases_packed`).
+struct PackedDigitalData {
+  std::vector<logic::BitStream> inputs;  ///< [input], MSB first
+  logic::BitStream output;
+
+  [[nodiscard]] std::size_t input_count() const noexcept { return inputs.size(); }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return output.size(); }
+};
+
 /// Digitize the selected I/O species of a simulation trace. The caller
 /// chooses input and output species freely — the paper highlights that
 /// selectable IS/OS allows "Boolean logic analysis on the entire circuit as
 /// well as on the intermediate circuit components".
 ///
 /// Throws glva::InvalidArgument for unknown ids, an empty input list, or a
-/// non-positive threshold.
+/// non-positive threshold. O(input_count · samples).
 [[nodiscard]] DigitalData digitize(const sim::Trace& trace,
                                    const std::vector<std::string>& input_ids,
                                    const std::string& output_id,
                                    double threshold);
+
+/// Packed twin of `digitize`: same selection, validation, and bit values,
+/// emitting `PackedDigitalData` without materializing any `vector<bool>`
+/// intermediate. Postcondition: unpack(digitize_packed(...)) ==
+/// digitize(...). O(input_count · samples).
+[[nodiscard]] PackedDigitalData digitize_packed(
+    const sim::Trace& trace, const std::vector<std::string>& input_ids,
+    const std::string& output_id, double threshold);
+
+/// Lossless conversions between the two representations (used by the
+/// analyzer's packed backend when handed pre-digitized reference data, and
+/// by the equivalence tests). O(input_count · samples).
+[[nodiscard]] PackedDigitalData pack(const DigitalData& data);
+[[nodiscard]] DigitalData unpack(const PackedDigitalData& data);
 
 }  // namespace glva::core

@@ -39,4 +39,36 @@ CaseAnalysis analyze_cases(const DigitalData& data) {
   return analysis;
 }
 
+PackedCaseAnalysis analyze_cases_packed(const PackedDigitalData& data) {
+  const std::size_t n = data.input_count();
+  if (n == 0) {
+    throw InvalidArgument("analyze_cases_packed: no input streams");
+  }
+  const std::size_t samples = data.sample_count();
+  for (const auto& input : data.inputs) {
+    if (input.size() != samples) {
+      throw InvalidArgument(
+          "analyze_cases_packed: input/output stream lengths differ");
+    }
+  }
+
+  PackedCaseAnalysis analysis;
+  analysis.input_count = n;
+  // CombinationIndex re-validates and throws for n > kMaxInputs.
+  analysis.index = logic::CombinationIndex(data.inputs);
+  analysis.output = data.output;
+  return analysis;
+}
+
+CaseAnalysis case_counts(const PackedCaseAnalysis& analysis) {
+  CaseAnalysis counts;
+  counts.input_count = analysis.input_count;
+  counts.cases.resize(analysis.index.combination_count());
+  for (std::size_t c = 0; c < counts.cases.size(); ++c) {
+    counts.cases[c].combination = c;
+    counts.cases[c].case_count = analysis.index.count(c);
+  }
+  return counts;
+}
+
 }  // namespace glva::core

@@ -4,10 +4,19 @@
 #include <vector>
 
 #include "core/adc.h"
+#include "logic/combination_index.h"
 
 /// The CaseAnalyzer sub-procedure of Algorithm 1 (line 5): "analyzes the
 /// number of times each input combination occurs and logs their
 /// corresponding output binary data streams".
+///
+/// Two implementations share this header: `analyze_cases` (reference —
+/// per-sample branching, materialized per-combination `vector<bool>`
+/// streams) and `analyze_cases_packed` (production — word-parallel
+/// `logic::CombinationIndex` masks over bit-packed streams, no
+/// materialized per-combination streams). Their Case_I counts are
+/// identical by construction; the equivalence is pinned in
+/// `tests/test_core.cpp` and `tests/test_bitstream.cpp`.
 namespace glva::core {
 
 /// Per-input-combination observation record.
@@ -15,7 +24,9 @@ struct CaseRecord {
   std::size_t combination = 0;  ///< index, input 0 = MSB (paper's "case")
   std::size_t case_count = 0;   ///< Case_I[i]: samples with this combination
   /// The output data stream logged while this combination was applied, in
-  /// sample order (its length always equals case_count).
+  /// sample order (its length always equals case_count). Only the
+  /// reference `analyze_cases` materializes it; the packed path keeps the
+  /// stream implicit in (mask, output) pairs and leaves this empty.
   std::vector<bool> output_stream;
 };
 
@@ -27,10 +38,43 @@ struct CaseAnalysis {
 };
 
 /// Classify every sample by its digitized input combination and collect the
-/// per-combination output streams. Postcondition: cases.size() ==
-/// 2^input_count and the case_count values sum to data.sample_count().
-/// Throws glva::InvalidArgument when input streams have mismatched lengths,
-/// there are no inputs, or there are more than 16 of them.
+/// per-combination output streams — the reference implementation, one
+/// branch per sample. Postcondition: cases.size() == 2^input_count and the
+/// case_count values sum to data.sample_count(). Throws
+/// glva::InvalidArgument when input streams have mismatched lengths, there
+/// are no inputs, or there are more than 16 of them. O(input_count ·
+/// samples) time, O(samples) additional bytes for the logged streams.
 [[nodiscard]] CaseAnalysis analyze_cases(const DigitalData& data);
+
+/// Packed case analysis: the combination index (per-combination selection
+/// masks + Case_I popcounts) plus the packed output stream the masks
+/// select from. Together they carry exactly the information of
+/// `CaseAnalysis` — combination c's logged output stream is `output`
+/// compacted by `index.mask(c)` — in 2^N + 1 packed streams.
+struct PackedCaseAnalysis {
+  std::size_t input_count = 0;
+  logic::CombinationIndex index;  ///< sample-selection masks, Case_I counts
+  logic::BitStream output;        ///< the digitized output stream
+
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return output.size();
+  }
+};
+
+/// Classify every sample via word-parallel masks — the packed twin of
+/// `analyze_cases`. Same validation (throws glva::InvalidArgument for no
+/// inputs, more than logic::CombinationIndex::kMaxInputs inputs, or
+/// mismatched stream lengths); postcondition: index.count(c) equals the
+/// reference case_count for every combination. O(2^N · N · samples / 64)
+/// time — for the paper's N <= 3 circuits, ~64× fewer operations than the
+/// reference.
+[[nodiscard]] PackedCaseAnalysis analyze_cases_packed(
+    const PackedDigitalData& data);
+
+/// Project a packed analysis onto the reference record layout: combination
+/// ids and Case_I counts, with `output_stream` left empty (the packed path
+/// never materializes per-combination streams). Used to fill
+/// `ExtractionResult::cases` under the packed backend. O(2^N).
+[[nodiscard]] CaseAnalysis case_counts(const PackedCaseAnalysis& analysis);
 
 }  // namespace glva::core

@@ -56,7 +56,8 @@ ExperimentResult reanalyze(const circuits::CircuitSpec& spec,
   result.circuit_name = spec.name;
   result.config = config;
 
-  LogicAnalyzer analyzer(AnalyzerConfig{config.threshold, config.fov_ud});
+  LogicAnalyzer analyzer(
+      AnalyzerConfig{config.threshold, config.fov_ud, config.backend});
   const auto analyze_start = std::chrono::steady_clock::now();
   result.extraction =
       analyzer.analyze(sweep.trace, spec.input_ids, spec.output_id);

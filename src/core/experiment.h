@@ -28,6 +28,9 @@ struct ExperimentConfig {
   double sampling_period = 1.0;  ///< trace grid, time units per sample
   std::uint64_t seed = 1;        ///< RNG seed; equal seeds reproduce runs
   sim::SsaMethod method = sim::SsaMethod::kDirect;
+  /// Analysis-stage representation (bit-packed vs reference vector<bool>);
+  /// results are bit-identical either way — see AnalysisBackend.
+  AnalysisBackend backend = AnalysisBackend::kPacked;
 
   [[nodiscard]] double high_level() const noexcept {
     return input_high_level > 0.0 ? input_high_level : threshold;

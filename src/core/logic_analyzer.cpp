@@ -4,6 +4,17 @@
 
 namespace glva::core {
 
+const char* analysis_backend_name(AnalysisBackend backend) {
+  return backend == AnalysisBackend::kPacked ? "packed" : "reference";
+}
+
+AnalysisBackend parse_analysis_backend(const std::string& name) {
+  if (name == "packed") return AnalysisBackend::kPacked;
+  if (name == "reference") return AnalysisBackend::kReference;
+  throw InvalidArgument("unknown analysis backend '" + name +
+                        "' (expected packed | reference)");
+}
+
 LogicAnalyzer::LogicAnalyzer(AnalyzerConfig config) : config_(config) {
   if (config_.threshold <= 0.0) {
     throw InvalidArgument("LogicAnalyzer: threshold must be positive");
@@ -13,11 +24,29 @@ LogicAnalyzer::LogicAnalyzer(AnalyzerConfig config) : config_(config) {
   }
 }
 
+namespace {
+
+/// Packed cost grows as 2^N; beyond the auto limit the reference path is
+/// both faster and far lighter on memory (see kPackedAutoInputLimit).
+bool packed_applies(std::size_t input_count) {
+  return input_count <= kPackedAutoInputLimit;
+}
+
+}  // namespace
+
 ExtractionResult LogicAnalyzer::analyze(
     const sim::Trace& trace, const std::vector<std::string>& input_ids,
     const std::string& output_id) const {
+  if (config_.backend == AnalysisBackend::kPacked &&
+      packed_applies(input_ids.size())) {
+    // Line 4 of Algorithm 1 on the packed path: digitize straight into
+    // bit-packed streams, no vector<bool> intermediate.
+    return analyze_packed(
+        digitize_packed(trace, input_ids, output_id, config_.threshold),
+        input_ids, output_id);
+  }
   // Line 4 of Algorithm 1: analog-to-digital conversion of the chosen I/O
-  // species.
+  // species (reference representation).
   DigitalData data = digitize(trace, input_ids, output_id, config_.threshold);
   return analyze_digital(std::move(data), input_ids, output_id);
 }
@@ -25,6 +54,12 @@ ExtractionResult LogicAnalyzer::analyze(
 ExtractionResult LogicAnalyzer::analyze_digital(
     const DigitalData& data, std::vector<std::string> input_names,
     std::string output_name) const {
+  if (config_.backend == AnalysisBackend::kPacked &&
+      packed_applies(data.input_count())) {
+    return analyze_packed(pack(data), std::move(input_names),
+                          std::move(output_name));
+  }
+
   ExtractionResult result;
   result.input_count = data.input_count();
   result.input_names = input_names;
@@ -36,6 +71,26 @@ ExtractionResult LogicAnalyzer::analyze_digital(
   // Line 6: VariationAnalyzer.
   result.variation = analyze_variation(result.cases);
   // Line 7: ConstBoolExpr (filters, expression, PFoBE).
+  result.construction = construct_bool_expr(result.variation, config_.fov_ud,
+                                            std::move(input_names));
+  return result;
+}
+
+ExtractionResult LogicAnalyzer::analyze_packed(
+    const PackedDigitalData& data, std::vector<std::string> input_names,
+    std::string output_name) const {
+  ExtractionResult result;
+  result.input_count = data.input_count();
+  result.input_names = input_names;
+  result.output_name = std::move(output_name);
+  result.config = config_;
+
+  // Line 5: CaseAnalyzer — word-parallel combination masks.
+  const PackedCaseAnalysis cases = analyze_cases_packed(data);
+  result.cases = case_counts(cases);
+  // Line 6: VariationAnalyzer — popcount HIGH_O / O_Var.
+  result.variation = analyze_variation_packed(cases);
+  // Line 7: ConstBoolExpr — representation-independent, shared verbatim.
   result.construction = construct_bool_expr(result.variation, config_.fov_ud,
                                             std::move(input_names));
   return result;

@@ -15,6 +15,36 @@
 /// species.
 namespace glva::core {
 
+/// Which digitized-stream representation the analysis stage runs on. Both
+/// backends produce bit-identical ExtractionResults (variation records,
+/// filter outcomes, expression, PFoBE, verification — pinned by the
+/// equivalence tests); they differ in speed and in whether
+/// `ExtractionResult::cases` materializes per-combination output streams.
+enum class AnalysisBackend {
+  /// Word-parallel bit-packed streams (logic::BitStream +
+  /// logic::CombinationIndex): the production path, O(2^N · samples / 64)
+  /// per stage. `cases` carries counts only (empty output_streams).
+  kPacked,
+  /// One-sample-at-a-time `std::vector<bool>` streams: the reference
+  /// implementation the packed path is cross-checked against; also the
+  /// only backend that materializes per-combination output streams (the
+  /// Figure 2/3 run-length displays need them).
+  kReference,
+};
+
+/// Backend name ("packed" / "reference") and its inverse; parse throws
+/// glva::InvalidArgument for unknown names.
+[[nodiscard]] const char* analysis_backend_name(AnalysisBackend backend);
+[[nodiscard]] AnalysisBackend parse_analysis_backend(const std::string& name);
+
+/// Largest input count the packed backend is auto-selected for. Packed
+/// work and mask memory grow as 2^N (2^N masks, O(2^N · N · samples / 64)
+/// ops) while the reference path grows as N · samples, so past ~6 inputs
+/// the reference is the better default; requests beyond this limit
+/// silently use the (bit-identical) reference path. Explicit
+/// analyze_packed callers may go up to logic::CombinationIndex::kMaxInputs.
+inline constexpr std::size_t kPackedAutoInputLimit = 6;
+
 /// The algorithm's initial parameters (the paper's N, ThVAL, FOV_UD, IS,
 /// OS; N is implied by IS, and SDAn is the trace argument).
 struct AnalyzerConfig {
@@ -25,6 +55,10 @@ struct AnalyzerConfig {
   /// (0, 1]: Filter 1 accepts a combination iff FOV_EST < fov_ud. The
   /// paper allows up to 25% variation (0.25).
   double fov_ud = 0.25;
+  /// Stream representation the stages run on. Defaults to the packed path;
+  /// inputs beyond kPackedAutoInputLimit silently fall back to the
+  /// (bit-identical) reference path, which handles up to 16.
+  AnalysisBackend backend = AnalysisBackend::kPacked;
 };
 
 /// Everything the analysis produces, per combination and aggregated.
@@ -70,13 +104,23 @@ public:
                                          const std::string& output_id) const;
 
   /// Analyze pre-digitized streams (used by unit tests and the Figure 3
-  /// reproduction, which starts from constructed binary streams).
+  /// reproduction, which starts from constructed binary streams). Under
+  /// the packed backend the streams are packed first, so both entry points
+  /// agree with `analyze` bit for bit.
   ///
   /// Requires one name per input stream; throws glva::InvalidArgument when
   /// streams have mismatched lengths, there are no inputs, or there are
   /// more than 16 of them.
   [[nodiscard]] ExtractionResult analyze_digital(
       const DigitalData& data, std::vector<std::string> input_names,
+      std::string output_name) const;
+
+  /// Analyze pre-packed streams directly (no conversion; the fast path the
+  /// packed `analyze` uses internally, exposed for benches and tests).
+  /// Same validation as analyze_digital; note the backend switch does not
+  /// apply here — this entry point is always packed.
+  [[nodiscard]] ExtractionResult analyze_packed(
+      const PackedDigitalData& data, std::vector<std::string> input_names,
       std::string output_name) const;
 
   [[nodiscard]] const AnalyzerConfig& config() const noexcept { return config_; }

@@ -25,6 +25,29 @@ std::string combination_label(const ExtractionResult& extraction,
   return extraction.extracted().combination_label(combination);
 }
 
+/// One analytics row per combination, optionally prefixed with a
+/// replicate index — the single source of the analytics CSV column set
+/// shared by analytics_csv and ensemble_analytics_csv.
+void append_analytics_rows(util::CsvWriter& csv,
+                           const ExtractionResult& extraction,
+                           const std::string& replicate_prefix) {
+  for (std::size_t c = 0; c < extraction.variation.records.size(); ++c) {
+    const auto& record = extraction.variation.records[c];
+    const auto& outcome = extraction.construction.outcomes[c];
+    std::vector<std::string> row;
+    if (!replicate_prefix.empty()) row.push_back(replicate_prefix);
+    row.push_back(combination_label(extraction, c));
+    row.push_back(std::to_string(record.case_count));
+    row.push_back(std::to_string(record.high_count));
+    row.push_back(std::to_string(record.variation_count));
+    row.push_back(util::format_double(record.fov_est));
+    row.push_back(outcome.filter1_pass ? "1" : "0");
+    row.push_back(outcome.filter2_pass ? "1" : "0");
+    row.push_back(verdict_name(outcome.verdict));
+    csv.add_row(row);
+  }
+}
+
 }  // namespace
 
 std::string render_analytics_table(const ExtractionResult& extraction) {
@@ -96,15 +119,17 @@ std::string analytics_csv(const ExtractionResult& extraction) {
   util::CsvWriter csv;
   csv.row("case", "case_count", "high_count", "variation_count", "fov_est",
           "filter1_pass", "filter2_pass", "verdict");
-  for (std::size_t c = 0; c < extraction.variation.records.size(); ++c) {
-    const auto& record = extraction.variation.records[c];
-    const auto& outcome = extraction.construction.outcomes[c];
-    csv.row(combination_label(extraction, c),
-            static_cast<unsigned long long>(record.case_count),
-            static_cast<unsigned long long>(record.high_count),
-            static_cast<unsigned long long>(record.variation_count),
-            record.fov_est, outcome.filter1_pass ? "1" : "0",
-            outcome.filter2_pass ? "1" : "0", verdict_name(outcome.verdict));
+  append_analytics_rows(csv, extraction, "");
+  return csv.str();
+}
+
+std::string ensemble_analytics_csv(const EnsembleResult& ensemble) {
+  util::CsvWriter csv;
+  csv.row("replicate", "case", "case_count", "high_count", "variation_count",
+          "fov_est", "filter1_pass", "filter2_pass", "verdict");
+  for (std::size_t r = 0; r < ensemble.replicates.size(); ++r) {
+    append_analytics_rows(csv, ensemble.replicates[r].extraction,
+                          std::to_string(r));
   }
   return csv.str();
 }

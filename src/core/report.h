@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "core/ensemble.h"
 #include "core/experiment.h"
 #include "core/logic_analyzer.h"
 
@@ -28,5 +29,12 @@ namespace glva::core {
 /// Columns: case, case_count, high_count, variation_count, fov_est,
 /// filter1_pass, filter2_pass, verdict.
 [[nodiscard]] std::string analytics_csv(const ExtractionResult& extraction);
+
+/// CSV of *every* replicate's per-combination analytics, one block per
+/// replicate in replicate order, distinguished by the leading `replicate`
+/// index column (0-based). Columns: replicate, then the analytics_csv
+/// columns. This is the `glva ensemble --csv` format; `--csv-dir` writes
+/// the same analytics as one analytics_csv file per replicate instead.
+[[nodiscard]] std::string ensemble_analytics_csv(const EnsembleResult& ensemble);
 
 }  // namespace glva::core

@@ -43,7 +43,10 @@ struct ThresholdSweepResult {
 /// and only re-digitizes at each threshold — an ablation that isolates the
 /// ADC's contribution to Figure 5's effect from the input-drive
 /// contribution. The shared simulation uses base_config.seed directly; the
-/// per-threshold re-analyses are fanned out across `jobs` workers.
+/// per-threshold re-analyses are fanned out across `jobs` workers. Under
+/// the default packed backend each point performs exactly one packed
+/// digitization of the shared trace and every downstream stage stays
+/// word-parallel, so a dense sweep is analysis-bound, not allocation-bound.
 [[nodiscard]] ThresholdSweepResult threshold_sweep_redigitize(
     const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
     const std::vector<double>& thresholds, std::size_t jobs = 1);

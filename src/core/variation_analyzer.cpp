@@ -29,4 +29,24 @@ VariationAnalysis analyze_variation(const CaseAnalysis& cases) {
   return analysis;
 }
 
+VariationAnalysis analyze_variation_packed(const PackedCaseAnalysis& cases) {
+  VariationAnalysis analysis;
+  analysis.input_count = cases.input_count;
+  analysis.records.resize(cases.index.combination_count());
+
+  for (std::size_t c = 0; c < analysis.records.size(); ++c) {
+    VariationRecord& out = analysis.records[c];
+    const logic::BitStream& mask = cases.index.mask(c);
+    out.combination = c;
+    out.case_count = cases.index.count(c);
+    out.high_count = logic::and_popcount(mask, cases.output);
+    out.variation_count = logic::masked_transition_count(mask, cases.output);
+    out.fov_est = out.case_count > 0
+                      ? static_cast<double>(out.variation_count) /
+                            static_cast<double>(out.case_count)
+                      : 0.0;
+  }
+  return analysis;
+}
+
 }  // namespace glva::core

@@ -9,6 +9,12 @@
 /// input combination it "calculates the number of times a logic-1 appears"
 /// (HIGH_O) and "how many times the output varies, i.e. changing 0-to-1 and
 /// 1-to-0" (O_Var).
+///
+/// Like the CaseAnalyzer, it exists in a reference form (per-bit loop over
+/// the materialized streams) and a packed form (popcounts over
+/// mask-selected words). Both produce bit-identical VariationAnalysis
+/// values — HIGH_O, O_Var, and Case_I are integers, and FOV_EST divides
+/// the same integers in the same order.
 namespace glva::core {
 
 /// Per-combination stability statistics.
@@ -26,11 +32,23 @@ struct VariationAnalysis {
   std::vector<VariationRecord> records;  ///< indexed by combination
 };
 
-/// Count highs and transitions within each per-combination output stream.
+/// Count highs and transitions within each per-combination output stream —
+/// the reference implementation, one pass over every logged bit.
 /// Transitions are counted inside the logged stream exactly as the paper's
 /// example does (Figure 2(b): stream "0...010...01..1" for case 00 has
 /// O_Var = 2). Postcondition: records.size() == cases.cases.size(), in the
 /// same combination order, with fov_est in [0, 1) wherever case_count > 0.
+/// O(samples) total across combinations.
 [[nodiscard]] VariationAnalysis analyze_variation(const CaseAnalysis& cases);
+
+/// Packed twin of `analyze_variation`: HIGH_O[c] =
+/// popcount(mask(c) & output) and O_Var[c] = masked_transition_count(
+/// mask(c), output) — the compacted-stream transition count, so a
+/// combination interrupted and resumed by the sweep still compares its
+/// last pre-gap sample against its first post-gap sample, exactly like the
+/// reference's logged stream. Bit-identical to analyze_variation(
+/// analyze_cases(...)) on the same digitized data. O(2^N · samples / 64).
+[[nodiscard]] VariationAnalysis analyze_variation_packed(
+    const PackedCaseAnalysis& analysis);
 
 }  // namespace glva::core

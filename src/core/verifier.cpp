@@ -12,9 +12,12 @@ VerificationReport verify(const ExtractionResult& extraction,
   VerificationReport report;
   report.fitness_percent = extraction.fitness();
 
+  // Word-parallel disagreement scan over the packed tables; only the
+  // (typically zero or two) wrong states are visited individually.
   const logic::TruthTable& extracted = extraction.extracted();
-  for (std::size_t c = 0; c < expected.row_count(); ++c) {
-    if (extracted.output(c) == expected.output(c)) continue;
+  const std::vector<std::size_t> differing = extracted.differing_rows(expected);
+  report.wrong_states.reserve(differing.size());
+  for (const std::size_t c : differing) {
     WrongState wrong;
     wrong.combination = c;
     wrong.expected_high = expected.output(c);

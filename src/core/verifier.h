@@ -41,7 +41,13 @@ struct VerificationReport {
 /// expected one — including combinations the filters left unobserved or
 /// unstable (their verdict is recorded in WrongState::verdict so reports
 /// can explain the disagreement).
-/// Throws glva::InvalidArgument when input counts differ.
+///
+/// The disagreement set comes from TruthTable::differing_rows — an XOR +
+/// popcount scan over the bit-packed tables — so the per-combination work
+/// is O(wrong states), not O(2^N). Precondition/throws:
+/// glva::InvalidArgument when input counts differ. Postcondition:
+/// error_percent == 100 · wrong_state_count / 2^N and matches iff
+/// wrong_state_count == 0.
 [[nodiscard]] VerificationReport verify(const ExtractionResult& extraction,
                                         const logic::TruthTable& expected);
 

@@ -1,0 +1,216 @@
+#include "logic/bit_stream.h"
+
+#include <bit>
+
+#include "util/errors.h"
+
+namespace glva::logic {
+
+BitStream BitStream::pack(const std::vector<bool>& bits) {
+  BitStream stream(bits.size());
+  for (std::size_t w = 0; w < stream.words_.size(); ++w) {
+    const std::size_t base = w * kWordBits;
+    const std::size_t limit = std::min(kWordBits, bits.size() - base);
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < limit; ++j) {
+      word |= static_cast<std::uint64_t>(bits[base + j]) << j;
+    }
+    stream.words_[w] = word;
+  }
+  return stream;
+}
+
+BitStream BitStream::from_words(std::size_t size,
+                                std::vector<std::uint64_t> words) {
+  if (words.size() != (size + kWordBits - 1) / kWordBits) {
+    throw InvalidArgument("BitStream::from_words: word count does not match");
+  }
+  BitStream stream;
+  stream.size_ = size;
+  stream.words_ = std::move(words);
+  if (!stream.words_.empty()) stream.words_.back() &= stream.tail_mask();
+  return stream;
+}
+
+std::vector<bool> BitStream::unpack() const {
+  std::vector<bool> bits(size_);
+  for (std::size_t k = 0; k < size_; ++k) bits[k] = (*this)[k];
+  return bits;
+}
+
+void BitStream::push_back(bool bit) {
+  const std::size_t index = size_++;
+  if (index % kWordBits == 0) words_.push_back(0);
+  if (bit) words_.back() |= std::uint64_t{1} << (index % kWordBits);
+}
+
+bool BitStream::test(std::size_t index) const {
+  if (index >= size_) {
+    throw InvalidArgument("BitStream::test: index out of range");
+  }
+  return (*this)[index];
+}
+
+void BitStream::set(std::size_t index, bool value) {
+  if (index >= size_) {
+    throw InvalidArgument("BitStream::set: index out of range");
+  }
+  const std::uint64_t bit = std::uint64_t{1} << (index % kWordBits);
+  if (value) {
+    words_[index / kWordBits] |= bit;
+  } else {
+    words_[index / kWordBits] &= ~bit;
+  }
+}
+
+std::uint64_t BitStream::word(std::size_t w) const {
+  if (w >= words_.size()) {
+    throw InvalidArgument("BitStream::word: index out of range");
+  }
+  return words_[w];
+}
+
+void BitStream::set_word(std::size_t w, std::uint64_t value) {
+  if (w >= words_.size()) {
+    throw InvalidArgument("BitStream::set_word: index out of range");
+  }
+  if (w + 1 == words_.size()) value &= tail_mask();
+  words_[w] = value;
+}
+
+std::size_t BitStream::popcount() const noexcept {
+  std::size_t count = 0;
+  for (const std::uint64_t word : words_) {
+    count += static_cast<std::size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+std::size_t BitStream::transition_count() const noexcept {
+  if (size_ < 2) return 0;
+  std::size_t count = 0;
+  std::uint64_t carry = 0;  // bit 0 := last bit of the previous word
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t word = words_[w];
+    // diff bit k set iff sample 64w+k differs from its predecessor.
+    const std::uint64_t diff = word ^ ((word << 1) | carry);
+    std::uint64_t valid = ~std::uint64_t{0};
+    if (w == 0) valid &= ~std::uint64_t{1};           // sample 0: no predecessor
+    if (w + 1 == words_.size()) valid &= tail_mask();  // exclude the zero tail
+    count += static_cast<std::size_t>(std::popcount(diff & valid));
+    carry = word >> (kWordBits - 1);
+  }
+  return count;
+}
+
+namespace {
+
+/// Shared size check for the binary word-parallel operations.
+void require_same_size(const BitStream& a, const BitStream& b,
+                       const char* what) {
+  if (a.size() != b.size()) {
+    throw InvalidArgument(std::string(what) + ": stream sizes differ");
+  }
+}
+
+template <typename Op>
+BitStream combine(const BitStream& a, const BitStream& b, Op op,
+                  const char* what) {
+  require_same_size(a, b, what);
+  BitStream out(a.size());
+  for (std::size_t w = 0; w < a.word_count(); ++w) {
+    out.set_word(w, op(a.word(w), b.word(w)));
+  }
+  return out;
+}
+
+}  // namespace
+
+BitStream BitStream::operator&(const BitStream& other) const {
+  return combine(*this, other,
+                 [](std::uint64_t x, std::uint64_t y) { return x & y; },
+                 "BitStream::operator&");
+}
+
+BitStream BitStream::operator|(const BitStream& other) const {
+  return combine(*this, other,
+                 [](std::uint64_t x, std::uint64_t y) { return x | y; },
+                 "BitStream::operator|");
+}
+
+BitStream BitStream::operator^(const BitStream& other) const {
+  return combine(*this, other,
+                 [](std::uint64_t x, std::uint64_t y) { return x ^ y; },
+                 "BitStream::operator^");
+}
+
+BitStream BitStream::operator~() const {
+  BitStream out(size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    out.set_word(w, ~words_[w]);  // set_word re-masks the tail
+  }
+  return out;
+}
+
+std::size_t and_popcount(const BitStream& a, const BitStream& b) {
+  require_same_size(a, b, "and_popcount");
+  const std::span<const std::uint64_t> wa = a.words();
+  const std::span<const std::uint64_t> wb = b.words();
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < wa.size(); ++w) {
+    count += static_cast<std::size_t>(std::popcount(wa[w] & wb[w]));
+  }
+  return count;
+}
+
+std::size_t masked_transition_count(const BitStream& mask,
+                                    const BitStream& stream) {
+  require_same_size(mask, stream, "masked_transition_count");
+  const std::span<const std::uint64_t> mask_words = mask.words();
+  const std::span<const std::uint64_t> stream_words = stream.words();
+  std::size_t count = 0;
+  std::uint64_t carry_m = 0;  // bit 0 := last mask bit of the previous word
+  std::uint64_t carry_s = 0;  // bit 0 := last stream bit of the previous word
+  bool have_prev = false;     // a selected sample has been seen
+  bool prev_bit = false;      // stream bit of the most recent selected sample
+
+  for (std::size_t w = 0; w < mask_words.size(); ++w) {
+    const std::uint64_t m = mask_words[w];
+    const std::uint64_t s = stream_words[w];
+    if (m != 0) {
+      // Word-parallel common case: consecutive samples both selected.
+      const std::uint64_t m_prev = (m << 1) | carry_m;
+      const std::uint64_t s_prev = (s << 1) | carry_s;
+      count += static_cast<std::size_t>(
+          std::popcount(m & m_prev & (s ^ s_prev)));
+
+      // Run starts (selected sample whose predecessor sample is not
+      // selected): compare against the most recent selected sample across
+      // the gap. Rare — one per input-combination phase in sweep data.
+      std::uint64_t starts = m & ~m_prev;
+      while (starts != 0) {
+        const int p = std::countr_zero(starts);
+        starts &= starts - 1;
+        const std::uint64_t below =
+            m & ((p == 0) ? 0 : ((std::uint64_t{1} << p) - 1));
+        bool have = have_prev;
+        bool last = prev_bit;
+        if (below != 0) {
+          const int q = BitStream::kWordBits - 1 - std::countl_zero(below);
+          have = true;
+          last = ((s >> q) & 1U) != 0;
+        }
+        if (have && (((s >> p) & 1U) != 0) != last) ++count;
+      }
+
+      const int top = BitStream::kWordBits - 1 - std::countl_zero(m);
+      prev_bit = ((s >> top) & 1U) != 0;
+      have_prev = true;
+    }
+    carry_m = m >> (BitStream::kWordBits - 1);
+    carry_s = s >> (BitStream::kWordBits - 1);
+  }
+  return count;
+}
+
+}  // namespace glva::logic

@@ -11,7 +11,7 @@ TruthTable::TruthTable(std::size_t input_count) : input_count_(input_count) {
     throw InvalidArgument("TruthTable supports 1..16 inputs, got " +
                           std::to_string(input_count));
   }
-  outputs_.assign(row_count(), false);
+  outputs_ = BitStream(row_count());
 }
 
 TruthTable TruthTable::from_minterms(std::size_t input_count,
@@ -40,13 +40,19 @@ void TruthTable::set_output(std::size_t combination, bool value) {
   if (combination >= outputs_.size()) {
     throw InvalidArgument("TruthTable: combination out of range");
   }
-  outputs_[combination] = value;
+  outputs_.set(combination, value);
 }
 
 std::vector<std::size_t> TruthTable::minterms() const {
   std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < outputs_.size(); ++i) {
-    if (outputs_[i]) out.push_back(i);
+  out.reserve(minterm_count());
+  for (std::size_t w = 0; w < outputs_.word_count(); ++w) {
+    std::uint64_t word = outputs_.word(w);
+    while (word != 0) {
+      out.push_back(w * BitStream::kWordBits +
+                    static_cast<std::size_t>(std::countr_zero(word)));
+      word &= word - 1;
+    }
   }
   return out;
 }
@@ -55,11 +61,9 @@ std::uint64_t TruthTable::to_bits() const {
   if (input_count_ > 6) {
     throw InvalidArgument("TruthTable::to_bits requires <= 6 inputs");
   }
-  std::uint64_t bits = 0;
-  for (std::size_t i = 0; i < outputs_.size(); ++i) {
-    if (outputs_[i]) bits |= (1ULL << i);
-  }
-  return bits;
+  // <= 6 inputs means <= 64 rows, all in word 0 (the tail invariant keeps
+  // the unused high bits zero).
+  return outputs_.word(0);
 }
 
 std::string TruthTable::combination_label(std::size_t combination) const {
@@ -100,8 +104,13 @@ std::vector<std::size_t> TruthTable::differing_rows(const TruthTable& other) con
     throw InvalidArgument("differing_rows: input counts differ");
   }
   std::vector<std::size_t> rows;
-  for (std::size_t c = 0; c < row_count(); ++c) {
-    if (outputs_[c] != other.outputs_[c]) rows.push_back(c);
+  for (std::size_t w = 0; w < outputs_.word_count(); ++w) {
+    std::uint64_t diff = outputs_.word(w) ^ other.outputs_.word(w);
+    while (diff != 0) {
+      rows.push_back(w * BitStream::kWordBits +
+                     static_cast<std::size_t>(std::countr_zero(diff)));
+      diff &= diff - 1;
+    }
   }
   return rows;
 }

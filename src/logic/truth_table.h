@@ -5,10 +5,14 @@
 #include <string>
 #include <vector>
 
+#include "logic/bit_stream.h"
+
 /// Complete single-output truth tables over up to 16 inputs. Input
 /// combinations are indexed by their binary value with input 0 as the MSB —
 /// i.e. index("A=1,B=0,C=0") == 0b100 — matching the paper's "input
-/// combination 100" notation.
+/// combination 100" notation. Outputs are stored bit-packed
+/// (logic::BitStream), so row-set operations (minterm listing, table
+/// comparison) run as word-parallel popcount scans.
 namespace glva::logic {
 
 class TruthTable {
@@ -43,6 +47,11 @@ public:
   /// Ascending list of high combinations.
   [[nodiscard]] std::vector<std::size_t> minterms() const;
 
+  /// Number of high combinations (popcount over the packed rows). O(2^N/64).
+  [[nodiscard]] std::size_t minterm_count() const noexcept {
+    return outputs_.popcount();
+  }
+
   /// Packed form: bit i = output(i). Throws glva::InvalidArgument when
   /// input_count > 6 (the rows would not fit in 64 bits).
   [[nodiscard]] std::uint64_t to_bits() const;
@@ -54,8 +63,10 @@ public:
   [[nodiscard]] std::string to_string(const std::vector<std::string>& input_names,
                                       const std::string& output_name) const;
 
-  /// Combinations where the two tables disagree, ascending; throws
-  /// glva::InvalidArgument when the input counts differ.
+  /// Combinations where the two tables disagree, ascending (word-parallel
+  /// XOR over the packed rows — what the verifier's wrong-state totals
+  /// are computed from); throws glva::InvalidArgument when the input
+  /// counts differ.
   [[nodiscard]] std::vector<std::size_t> differing_rows(const TruthTable& other) const;
 
   [[nodiscard]] bool operator==(const TruthTable& other) const = default;
@@ -73,7 +84,7 @@ public:
 
 private:
   std::size_t input_count_;
-  std::vector<bool> outputs_;
+  BitStream outputs_;  ///< bit c = output for combination c
 };
 
 }  // namespace glva::logic

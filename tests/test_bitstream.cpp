@@ -1,0 +1,342 @@
+// Unit tests for the bit-packed stream machinery (logic::BitStream,
+// logic::CombinationIndex) and its equivalence with the vector<bool>
+// reference path: edge cases (empty streams, non-word-multiple lengths,
+// tail-word masking), word-parallel op correctness against naive
+// re-implementations, and randomized packed-vs-reference fuzz over the
+// case/variation analyzers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adc.h"
+#include "core/case_analyzer.h"
+#include "core/variation_analyzer.h"
+#include "logic/bit_stream.h"
+#include "logic/combination_index.h"
+#include "sim/rng.h"
+#include "util/errors.h"
+
+namespace {
+
+using namespace glva;
+using logic::BitStream;
+using logic::CombinationIndex;
+
+std::vector<bool> random_bools(std::size_t n, sim::Rng& rng) {
+  std::vector<bool> bits(n);
+  for (std::size_t k = 0; k < n; ++k) bits[k] = rng.below(2) == 1;
+  return bits;
+}
+
+// Naive references the word-parallel implementations are checked against.
+
+std::size_t naive_popcount(const std::vector<bool>& bits) {
+  std::size_t count = 0;
+  for (const bool b : bits) count += b ? 1 : 0;
+  return count;
+}
+
+std::size_t naive_transitions(const std::vector<bool>& bits) {
+  std::size_t count = 0;
+  for (std::size_t k = 1; k < bits.size(); ++k) {
+    if (bits[k] != bits[k - 1]) ++count;
+  }
+  return count;
+}
+
+std::size_t naive_masked_transitions(const std::vector<bool>& mask,
+                                     const std::vector<bool>& stream) {
+  // The reference CaseAnalyzer semantics: compact the stream to the
+  // selected samples, then count adjacent differences.
+  std::vector<bool> compacted;
+  for (std::size_t k = 0; k < mask.size(); ++k) {
+    if (mask[k]) compacted.push_back(stream[k]);
+  }
+  return naive_transitions(compacted);
+}
+
+// ------------------------------------------------------------ edge cases
+
+TEST(BitStream, EmptyStream) {
+  const BitStream empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.word_count(), 0u);
+  EXPECT_EQ(empty.popcount(), 0u);
+  EXPECT_EQ(empty.transition_count(), 0u);
+  EXPECT_EQ(empty, BitStream::pack({}));
+  EXPECT_EQ((~empty).size(), 0u);
+  EXPECT_EQ(logic::and_popcount(empty, BitStream()), 0u);
+  EXPECT_EQ(logic::masked_transition_count(empty, BitStream()), 0u);
+  EXPECT_TRUE(empty.unpack().empty());
+}
+
+TEST(BitStream, PushBackAndIndexing) {
+  BitStream stream;
+  const std::vector<bool> pattern = {true, false, false, true, true};
+  for (const bool b : pattern) stream.push_back(b);
+  ASSERT_EQ(stream.size(), pattern.size());
+  for (std::size_t k = 0; k < pattern.size(); ++k) {
+    EXPECT_EQ(stream[k], pattern[k]) << k;
+    EXPECT_EQ(stream.test(k), pattern[k]) << k;
+  }
+  EXPECT_EQ(stream.unpack(), pattern);
+}
+
+TEST(BitStream, NonWordMultipleLengths) {
+  sim::Rng rng(11);
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 100u, 128u, 129u, 1000u}) {
+    const std::vector<bool> bits = random_bools(n, rng);
+    const BitStream stream = BitStream::pack(bits);
+    EXPECT_EQ(stream.size(), n);
+    EXPECT_EQ(stream.word_count(), (n + 63) / 64);
+    EXPECT_EQ(stream.popcount(), naive_popcount(bits)) << n;
+    EXPECT_EQ(stream.transition_count(), naive_transitions(bits)) << n;
+    EXPECT_EQ(stream.unpack(), bits) << n;
+  }
+}
+
+TEST(BitStream, TailWordMaskingInSetWord) {
+  BitStream stream(70);  // 6 valid bits in the second word
+  stream.set_word(1, ~std::uint64_t{0});
+  EXPECT_EQ(stream.word(1), 0x3FULL);  // only the low 6 bits survive
+  EXPECT_EQ(stream.popcount(), 6u);
+}
+
+TEST(BitStream, TailWordMaskingInNot) {
+  const BitStream zeros(70);
+  const BitStream ones = ~zeros;
+  EXPECT_EQ(ones.size(), 70u);
+  EXPECT_EQ(ones.popcount(), 70u);  // not 128: the tail stays zero
+  EXPECT_EQ((~ones).popcount(), 0u);
+  // Exact word multiple: no tail to mask.
+  EXPECT_EQ((~BitStream(128)).popcount(), 128u);
+}
+
+TEST(BitStream, TailWordMaskingInBitwiseOps) {
+  BitStream a(70);
+  BitStream b(70);
+  for (std::size_t k = 0; k < 70; k += 2) a.set(k, true);
+  for (std::size_t k = 0; k < 70; k += 3) b.set(k, true);
+  const std::vector<bool> ra = a.unpack();
+  const std::vector<bool> rb = b.unpack();
+  for (std::size_t k = 0; k < 70; ++k) {
+    EXPECT_EQ((a & b)[k], ra[k] && rb[k]);
+    EXPECT_EQ((a | b)[k], ra[k] || rb[k]);
+    EXPECT_EQ((a ^ b)[k], ra[k] != rb[k]);
+  }
+  EXPECT_EQ((a & b).popcount() + (a ^ b).popcount(), (a | b).popcount());
+}
+
+TEST(BitStream, RangeAndSizeChecks) {
+  BitStream stream(10);
+  EXPECT_THROW((void)stream.test(10), InvalidArgument);
+  EXPECT_THROW(stream.set(10, true), InvalidArgument);
+  EXPECT_THROW((void)stream.word(1), InvalidArgument);
+  EXPECT_THROW(stream.set_word(1, 0), InvalidArgument);
+  const BitStream other(11);
+  EXPECT_THROW((void)(stream & other), InvalidArgument);
+  EXPECT_THROW((void)(stream | other), InvalidArgument);
+  EXPECT_THROW((void)(stream ^ other), InvalidArgument);
+  EXPECT_THROW((void)logic::and_popcount(stream, other), InvalidArgument);
+  EXPECT_THROW((void)logic::masked_transition_count(stream, other),
+               InvalidArgument);
+}
+
+// --------------------------------------------- fuzz vs the naive reference
+
+TEST(BitStream, FuzzBitwiseOpsMatchVectorBool) {
+  sim::Rng rng(21);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.below(400);
+    const std::vector<bool> ra = random_bools(n, rng);
+    const std::vector<bool> rb = random_bools(n, rng);
+    const BitStream a = BitStream::pack(ra);
+    const BitStream b = BitStream::pack(rb);
+    std::vector<bool> and_ref(n), or_ref(n), xor_ref(n), not_ref(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      and_ref[k] = ra[k] && rb[k];
+      or_ref[k] = ra[k] || rb[k];
+      xor_ref[k] = ra[k] != rb[k];
+      not_ref[k] = !ra[k];
+    }
+    EXPECT_EQ((a & b).unpack(), and_ref);
+    EXPECT_EQ((a | b).unpack(), or_ref);
+    EXPECT_EQ((a ^ b).unpack(), xor_ref);
+    EXPECT_EQ((~a).unpack(), not_ref);
+    EXPECT_EQ(logic::and_popcount(a, b), naive_popcount(and_ref));
+    EXPECT_EQ(a.popcount(), naive_popcount(ra));
+    EXPECT_EQ(a.transition_count(), naive_transitions(ra));
+  }
+}
+
+TEST(BitStream, FuzzMaskedTransitionCountMatchesCompactedReference) {
+  sim::Rng rng(31);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t n = 1 + rng.below(500);
+    const std::vector<bool> mask = random_bools(n, rng);
+    const std::vector<bool> stream = random_bools(n, rng);
+    EXPECT_EQ(logic::masked_transition_count(BitStream::pack(mask),
+                                             BitStream::pack(stream)),
+              naive_masked_transitions(mask, stream))
+        << "round " << round << " n " << n;
+  }
+}
+
+TEST(BitStream, MaskedTransitionCountBridgesGaps) {
+  // Selected samples: k=0 (value 1) and k=130 (value 0) — two words apart.
+  // The compacted stream is "10": exactly one transition across the gap.
+  BitStream mask(131);
+  mask.set(0, true);
+  mask.set(130, true);
+  BitStream stream(131);
+  stream.set(0, true);
+  EXPECT_EQ(logic::masked_transition_count(mask, stream), 1u);
+  // Same selected value on both sides: no transition.
+  stream.set(130, true);
+  EXPECT_EQ(logic::masked_transition_count(mask, stream), 0u);
+}
+
+// -------------------------------------------------------- CombinationIndex
+
+TEST(CombinationIndex, MasksPartitionSamplesMsbFirst) {
+  // 2 inputs, 6 samples; input 0 is the MSB of the combination id.
+  const BitStream msb = BitStream::pack({false, false, true, true, false, true});
+  const BitStream lsb = BitStream::pack({false, true, false, true, true, true});
+  const CombinationIndex index({msb, lsb});
+  EXPECT_EQ(index.input_count(), 2u);
+  EXPECT_EQ(index.sample_count(), 6u);
+  EXPECT_EQ(index.combination_count(), 4u);
+  const std::vector<std::size_t> expected_ids = {0, 1, 2, 3, 1, 3};
+  for (std::size_t k = 0; k < expected_ids.size(); ++k) {
+    EXPECT_EQ(index.id(k), expected_ids[k]) << k;
+  }
+  EXPECT_EQ(index.count(0), 1u);
+  EXPECT_EQ(index.count(1), 2u);
+  EXPECT_EQ(index.count(2), 1u);
+  EXPECT_EQ(index.count(3), 2u);
+  // Masks are disjoint and cover every sample.
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < index.combination_count(); ++c) {
+    total += index.count(c);
+    EXPECT_EQ(index.mask(c).popcount(), index.count(c));
+    for (std::size_t d = c + 1; d < index.combination_count(); ++d) {
+      EXPECT_EQ(logic::and_popcount(index.mask(c), index.mask(d)), 0u);
+    }
+  }
+  EXPECT_EQ(total, index.sample_count());
+}
+
+TEST(CombinationIndex, Validation) {
+  EXPECT_THROW(CombinationIndex(std::vector<logic::BitStream>{}),
+               InvalidArgument);
+  EXPECT_THROW(CombinationIndex(std::vector<logic::BitStream>(
+                   CombinationIndex::kMaxInputs + 1, BitStream(8))),
+               InvalidArgument);
+  EXPECT_THROW(CombinationIndex({BitStream(8), BitStream(9)}),
+               InvalidArgument);
+  EXPECT_THROW((void)CombinationIndex({BitStream(8)}).mask(2),
+               InvalidArgument);
+  EXPECT_THROW((void)CombinationIndex({BitStream(8)}).id(8), InvalidArgument);
+  const CombinationIndex empty;
+  EXPECT_EQ(empty.input_count(), 0u);
+  EXPECT_EQ(empty.combination_count(), 0u);
+}
+
+TEST(CombinationIndex, FuzzIdsMatchReferenceClassifier) {
+  sim::Rng rng(41);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n_inputs = 1 + rng.below(4);
+    const std::size_t samples = 1 + rng.below(300);
+    std::vector<std::vector<bool>> planes;
+    std::vector<BitStream> packed;
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      planes.push_back(random_bools(samples, rng));
+      packed.push_back(BitStream::pack(planes.back()));
+    }
+    const CombinationIndex index(packed);
+    for (std::size_t k = 0; k < samples; ++k) {
+      std::size_t combination = 0;
+      for (std::size_t i = 0; i < n_inputs; ++i) {
+        combination = (combination << 1) | (planes[i][k] ? 1U : 0U);
+      }
+      ASSERT_EQ(index.id(k), combination) << "round " << round;
+    }
+  }
+}
+
+// ------------------------------------ packed vs reference analyzer stages
+
+TEST(PackedAnalysis, FuzzVariationAnalysisMatchesReference) {
+  sim::Rng rng(51);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t n_inputs = 1 + rng.below(3);
+    const std::size_t samples = 1 + rng.below(600);
+    core::DigitalData data;
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      data.inputs.push_back(random_bools(samples, rng));
+    }
+    data.output = random_bools(samples, rng);
+
+    const core::VariationAnalysis reference =
+        core::analyze_variation(core::analyze_cases(data));
+    const core::VariationAnalysis packed = core::analyze_variation_packed(
+        core::analyze_cases_packed(core::pack(data)));
+
+    ASSERT_EQ(packed.input_count, reference.input_count);
+    ASSERT_EQ(packed.records.size(), reference.records.size());
+    for (std::size_t c = 0; c < reference.records.size(); ++c) {
+      const auto& r = reference.records[c];
+      const auto& p = packed.records[c];
+      EXPECT_EQ(p.combination, r.combination);
+      EXPECT_EQ(p.case_count, r.case_count) << "round " << round << " c " << c;
+      EXPECT_EQ(p.high_count, r.high_count) << "round " << round << " c " << c;
+      EXPECT_EQ(p.variation_count, r.variation_count)
+          << "round " << round << " c " << c;
+      // Same integers divided in the same order: bit-identical doubles.
+      EXPECT_EQ(p.fov_est, r.fov_est);
+    }
+  }
+}
+
+TEST(PackedAnalysis, CaseCountsProjectionKeepsCountsDropsStreams) {
+  core::DigitalData data;
+  data.inputs.push_back({false, false, true, true, false});
+  data.output = {true, false, true, true, false};
+  const core::PackedCaseAnalysis packed =
+      core::analyze_cases_packed(core::pack(data));
+  const core::CaseAnalysis counts = core::case_counts(packed);
+  const core::CaseAnalysis reference = core::analyze_cases(data);
+  ASSERT_EQ(counts.cases.size(), reference.cases.size());
+  for (std::size_t c = 0; c < counts.cases.size(); ++c) {
+    EXPECT_EQ(counts.cases[c].combination, reference.cases[c].combination);
+    EXPECT_EQ(counts.cases[c].case_count, reference.cases[c].case_count);
+    EXPECT_TRUE(counts.cases[c].output_stream.empty());
+  }
+}
+
+TEST(PackedAnalysis, AdcPackedMatchesAdc) {
+  sim::Rng rng(61);
+  std::vector<double> analog(257);
+  for (double& v : analog) v = rng.normal() * 10.0 + 15.0;
+  EXPECT_EQ(core::adc_packed(analog, 15.0).unpack(), core::adc(analog, 15.0));
+  EXPECT_THROW((void)core::adc_packed(analog, 0.0), InvalidArgument);
+}
+
+TEST(PackedAnalysis, PackUnpackRoundTrip) {
+  sim::Rng rng(71);
+  core::DigitalData data;
+  data.inputs.push_back(random_bools(100, rng));
+  data.inputs.push_back(random_bools(100, rng));
+  data.output = random_bools(100, rng);
+  const core::PackedDigitalData packed = core::pack(data);
+  EXPECT_EQ(packed.input_count(), data.input_count());
+  EXPECT_EQ(packed.sample_count(), data.sample_count());
+  const core::DigitalData back = core::unpack(packed);
+  EXPECT_EQ(back.inputs, data.inputs);
+  EXPECT_EQ(back.output, data.output);
+}
+
+}  // namespace

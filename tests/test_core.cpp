@@ -14,6 +14,7 @@
 #include "core/report.h"
 #include "core/variation_analyzer.h"
 #include "core/verifier.h"
+#include "sim/rng.h"
 #include "sim/trace.h"
 #include "util/errors.h"
 
@@ -281,6 +282,86 @@ TEST(LogicAnalyzer, ConfigIsValidated) {
   EXPECT_THROW(LogicAnalyzer(AnalyzerConfig{0.0, 0.25}), InvalidArgument);
   EXPECT_THROW(LogicAnalyzer(AnalyzerConfig{15.0, 0.0}), InvalidArgument);
   EXPECT_THROW(LogicAnalyzer(AnalyzerConfig{15.0, 2.0}), InvalidArgument);
+}
+
+TEST(LogicAnalyzer, BackendNamesRoundTrip) {
+  EXPECT_EQ(parse_analysis_backend("packed"), AnalysisBackend::kPacked);
+  EXPECT_EQ(parse_analysis_backend("reference"), AnalysisBackend::kReference);
+  EXPECT_STREQ(analysis_backend_name(AnalysisBackend::kPacked), "packed");
+  EXPECT_STREQ(analysis_backend_name(AnalysisBackend::kReference),
+               "reference");
+  EXPECT_THROW((void)parse_analysis_backend("simd"), InvalidArgument);
+}
+
+/// Everything downstream stages consume must agree bit for bit between the
+/// two backends (the representations may differ only in cases.output_stream
+/// materialization).
+void expect_backend_equivalent(const ExtractionResult& packed,
+                               const ExtractionResult& reference) {
+  ASSERT_EQ(packed.variation.records.size(),
+            reference.variation.records.size());
+  for (std::size_t c = 0; c < reference.variation.records.size(); ++c) {
+    const auto& r = reference.variation.records[c];
+    const auto& p = packed.variation.records[c];
+    EXPECT_EQ(p.case_count, r.case_count) << c;
+    EXPECT_EQ(p.high_count, r.high_count) << c;
+    EXPECT_EQ(p.variation_count, r.variation_count) << c;
+    EXPECT_EQ(p.fov_est, r.fov_est) << c;
+    EXPECT_EQ(packed.cases.cases[c].case_count,
+              reference.cases.cases[c].case_count)
+        << c;
+    EXPECT_EQ(packed.construction.outcomes[c].verdict,
+              reference.construction.outcomes[c].verdict)
+        << c;
+  }
+  EXPECT_EQ(packed.extracted(), reference.extracted());
+  EXPECT_EQ(packed.expression(), reference.expression());
+  EXPECT_EQ(packed.fitness(), reference.fitness());
+  EXPECT_EQ(packed.construction.unobserved, reference.construction.unobserved);
+  EXPECT_EQ(packed.construction.unstable, reference.construction.unstable);
+}
+
+TEST(LogicAnalyzer, PackedAndReferenceBackendsAreBitIdentical) {
+  // A noisy 2-input trace with glitches: sweep 4 combinations, output
+  // follows AND with a transient at each phase boundary.
+  sim::Rng rng(99);
+  sim::Trace trace({"A", "B", "Y"});
+  for (int k = 0; k < 2000; ++k) {
+    const int combo = (k / 500) % 4;
+    const bool a = (combo & 2) != 0;
+    const bool b = (combo & 1) != 0;
+    const bool high = a && b;
+    const double noise = rng.normal() * 6.0;
+    trace.append(k, {a ? 20.0 : 0.0, b ? 20.0 : 0.0,
+                     (high ? 40.0 : 2.0) + noise});
+  }
+  const LogicAnalyzer packed(
+      AnalyzerConfig{15.0, 0.25, AnalysisBackend::kPacked});
+  const LogicAnalyzer reference(
+      AnalyzerConfig{15.0, 0.25, AnalysisBackend::kReference});
+  expect_backend_equivalent(packed.analyze(trace, {"A", "B"}, "Y"),
+                            reference.analyze(trace, {"A", "B"}, "Y"));
+}
+
+TEST(LogicAnalyzer, AnalyzeDigitalAgreesAcrossBackends) {
+  sim::Rng rng(7);
+  DigitalData data;
+  data.inputs.assign(2, {});
+  for (int k = 0; k < 777; ++k) {
+    data.inputs[0].push_back(rng.below(2) == 1);
+    data.inputs[1].push_back(rng.below(2) == 1);
+    data.output.push_back(rng.below(2) == 1);
+  }
+  const LogicAnalyzer packed(
+      AnalyzerConfig{15.0, 0.25, AnalysisBackend::kPacked});
+  const LogicAnalyzer reference(
+      AnalyzerConfig{15.0, 0.25, AnalysisBackend::kReference});
+  expect_backend_equivalent(packed.analyze_digital(data, {"A", "B"}, "Y"),
+                            reference.analyze_digital(data, {"A", "B"}, "Y"));
+  // The explicitly packed entry point agrees too.
+  expect_backend_equivalent(
+      packed.analyze_packed(pack(data), {"A", "B"}, "Y"),
+      reference.analyze_digital(data, {"A", "B"}, "Y"));
 }
 
 // --------------------------------------------------------------- verifier

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo Markdown links.
+
+Scans every tracked-looking ``*.md`` file in the repository for inline
+Markdown links (``[text](target)``) and checks that relative targets
+resolve to an existing file or directory. External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are ignored;
+``path#fragment`` targets are checked for the path part only.
+
+Usage: ``python3 tools/check_doc_links.py [repo_root]`` (default: the
+repository containing this script). Exits 0 when every link resolves,
+1 otherwise, listing each dead link as ``file:line: target``.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style definitions are rare enough here that
+# the repo does not use them. The target group stops at whitespace or ')'.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIR_PARTS = {".git", "build", "build-asan", "build-tsan", "_deps"}
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        parts = set(path.relative_to(root).parts[:-1])
+        if parts & SKIP_DIR_PARTS or any(
+            p.startswith("build") for p in parts
+        ):
+            continue
+        yield path
+
+
+def dead_links(path: Path):
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                yield lineno, target
+
+
+def main() -> int:
+    root = (
+        Path(sys.argv[1]).resolve()
+        if len(sys.argv) > 1
+        else Path(__file__).resolve().parent.parent
+    )
+    failures = []
+    checked = 0
+    for md in iter_markdown_files(root):
+        checked += 1
+        for lineno, target in dead_links(md):
+            failures.append(f"{md.relative_to(root)}:{lineno}: {target}")
+    if failures:
+        print("dead intra-repo Markdown links:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"doc-link check: {checked} Markdown file(s), all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
