@@ -12,6 +12,7 @@
 #include "sbml/reader.h"
 #include "sbml/validate.h"
 #include "sbml/writer.h"
+#include "store/trace_sink.h"
 #include "sbol/converter.h"
 #include "sbol/sbol_io.h"
 #include "timing/delay_estimator.h"
@@ -49,10 +50,19 @@ void add_analysis_options(util::CliParser& cli) {
   cli.add_option("threshold", "15", "ThVAL (molecules); inputs applied at it");
   cli.add_option("fov-ud", "0.25", "acceptable fraction of output variation");
   cli.add_option("total-time", "10000", "sweep duration (time units)");
+  cli.add_option("sampling-period", "1",
+                 "trace grid (time units per sample; samples = total-time / "
+                 "sampling-period)");
   cli.add_option("seed", "1", "simulation seed");
   cli.add_option("method", "direct", "SSA: direct | next-reaction | tau-leap");
   cli.add_option("backend", "packed",
                  "analysis streams: packed | reference (bit-identical)");
+  cli.add_option("sink", "mem",
+                 "trace storage: mem | spill | digitize (bit-identical "
+                 "results; see docs/STORAGE.md)");
+  cli.add_option("spill-dir", "",
+                 "directory for .glvt spill files (required for --sink "
+                 "spill)");
   cli.add_option("csv", "", "write per-combination analytics CSV here");
 }
 
@@ -61,9 +71,12 @@ core::ExperimentConfig config_from(const util::CliParser& cli) {
   config.threshold = cli.get_double("threshold");
   config.fov_ud = cli.get_double("fov-ud");
   config.total_time = cli.get_double("total-time");
+  config.sampling_period = cli.get_double("sampling-period");
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.method = sim::parse_ssa_method(cli.get("method"));
   config.backend = core::parse_analysis_backend(cli.get("backend"));
+  config.sink = store::parse_sink_kind(cli.get("sink"));
+  config.spill_dir = cli.get("spill-dir");
   return config;
 }
 
@@ -252,6 +265,9 @@ int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
   add_analysis_options(cli);
   cli.add_option("csv-dir", "",
                  "write one per-replicate analytics CSV into this directory");
+  cli.add_option("ci-csv", "",
+                 "write the replicate-level 95% confidence-interval summary "
+                 "CSV here (PFoBE, wrong states)");
   cli.add_flag("two-stage", "expand gates to transcription+translation");
   std::vector<const char*> argv{"glva-ensemble"};
   for (const auto& arg : args) argv.push_back(arg.c_str());
@@ -273,6 +289,11 @@ int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
   if (const std::string path = cli.get("csv"); !path.empty()) {
     write_csv_file(path, core::ensemble_analytics_csv(ensemble));
     out << "analytics CSV (all replicates) written to " << path << "\n";
+  }
+  // --ci-csv carries the replicate-level confidence intervals.
+  if (const std::string path = cli.get("ci-csv"); !path.empty()) {
+    write_csv_file(path, core::ensemble_confidence_csv(ensemble));
+    out << "confidence-interval CSV written to " << path << "\n";
   }
   // --csv-dir splits the same analytics into one file per replicate.
   if (const std::string dir = cli.get("csv-dir"); !dir.empty()) {

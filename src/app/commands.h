@@ -16,10 +16,16 @@
 ///   verify <circuit> [analysis options]   catalog circuit vs intended logic
 ///   ensemble <circuit> [--replicates n]   replicate ensemble with
 ///                                         majority-vote logic + FOV stats
+///                                         + 95% CIs (--ci-csv <path>)
 ///   estimate <circuit> [--probe-level n]  threshold + propagation delay
 ///
-/// Shared analysis options: --threshold, --fov-ud, --total-time, --seed,
-/// --method (direct|next-reaction|tau-leap), --csv <path>.
+/// Shared analysis options: --threshold, --fov-ud, --total-time,
+/// --sampling-period, --seed, --method (direct|next-reaction|tau-leap),
+/// --backend (packed|reference), --sink (mem|spill|digitize),
+/// --spill-dir <dir>, --csv <path>. The sink selects trace storage
+/// (in-memory trace, chunked .glvt spill files, or fused sampler→ADC
+/// digitization — see docs/STORAGE.md); results are bit-identical for
+/// every sink.
 ///
 /// The global `--jobs N` flag (accepted anywhere on the command line)
 /// selects how many worker threads parallel workloads may use; 0 means one

@@ -135,4 +135,19 @@ DigitalData unpack(const PackedDigitalData& data) {
   return unpacked;
 }
 
+PackedDigitalData take_digitized(store::DigitizingSink& sink,
+                                 std::size_t input_count) {
+  if (sink.planes().size() < input_count + 1) {
+    throw InvalidArgument(
+        "take_digitized: sink tracks fewer species than inputs + output");
+  }
+  PackedDigitalData data;
+  data.inputs.reserve(input_count);
+  for (std::size_t i = 0; i < input_count; ++i) {
+    data.inputs.push_back(sink.take_plane(i));
+  }
+  data.output = sink.take_plane(input_count);
+  return data;
+}
+
 }  // namespace glva::core

@@ -5,6 +5,7 @@
 
 #include "logic/bit_stream.h"
 #include "sim/trace.h"
+#include "store/digitizing_sink.h"
 
 /// Analog-to-digital conversion — the ADC sub-procedure of Algorithm 1
 /// (line 4). Converts analog species amounts into logic levels using the
@@ -84,5 +85,14 @@ struct PackedDigitalData {
 /// by the equivalence tests). O(input_count · samples).
 [[nodiscard]] PackedDigitalData pack(const DigitalData& data);
 [[nodiscard]] DigitalData unpack(const PackedDigitalData& data);
+
+/// Assemble the analyzer's input from a fused sampler→ADC run: moves the
+/// sink's planes out in tracking order — planes [0, input_count) are the
+/// inputs (MSB first), plane input_count is the output. The single owner
+/// of that ordering convention (run_experiment's digitize path and
+/// bench_trace_io both go through here). Throws glva::InvalidArgument
+/// when the sink tracks fewer than input_count + 1 species.
+[[nodiscard]] PackedDigitalData take_digitized(store::DigitizingSink& sink,
+                                               std::size_t input_count);
 
 }  // namespace glva::core

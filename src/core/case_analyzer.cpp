@@ -61,12 +61,16 @@ PackedCaseAnalysis analyze_cases_packed(const PackedDigitalData& data) {
 }
 
 CaseAnalysis case_counts(const PackedCaseAnalysis& analysis) {
+  return case_counts(analysis.index);
+}
+
+CaseAnalysis case_counts(const logic::CombinationIndex& index) {
   CaseAnalysis counts;
-  counts.input_count = analysis.input_count;
-  counts.cases.resize(analysis.index.combination_count());
+  counts.input_count = index.input_count();
+  counts.cases.resize(index.combination_count());
   for (std::size_t c = 0; c < counts.cases.size(); ++c) {
     counts.cases[c].combination = c;
-    counts.cases[c].case_count = analysis.index.count(c);
+    counts.cases[c].case_count = index.count(c);
   }
   return counts;
 }

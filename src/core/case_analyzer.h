@@ -77,4 +77,10 @@ struct PackedCaseAnalysis {
 /// `ExtractionResult::cases` under the packed backend. O(2^N).
 [[nodiscard]] CaseAnalysis case_counts(const PackedCaseAnalysis& analysis);
 
+/// Same projection from a bare combination index — the shared-index path
+/// of `LogicAnalyzer::analyze_packed_shared`, where the index is borrowed
+/// (e.g. reused across the threshold points of a re-digitizing sweep)
+/// instead of owned by a PackedCaseAnalysis. O(2^N).
+[[nodiscard]] CaseAnalysis case_counts(const logic::CombinationIndex& index);
+
 }  // namespace glva::core

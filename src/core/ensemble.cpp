@@ -34,6 +34,12 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
       replicates, [&](std::size_t r) {
         ExperimentConfig replicate_config = config;
         replicate_config.seed = ensemble.replicate_seeds[r];
+        if (replicate_config.sink == store::SinkKind::kSpill) {
+          // One .glvt per replicate under spill_dir, named by replicate
+          // index and derived seed.
+          replicate_config.spill_stem = spill_stem_for(spec, config) + "-r" +
+                                        std::to_string(r);
+        }
         return run_experiment(spec, replicate_config);
       });
 
@@ -64,11 +70,22 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
   ensemble.majority_matches = ensemble.majority_wrong_states.empty();
 
   ensemble.replicate_matches.reserve(replicates);
+  util::RunningStats pfobe;
+  util::RunningStats wrong_states;
   for (const ExperimentResult& replicate : ensemble.replicates) {
     const bool matches = replicate.verification.matches;
     ensemble.replicate_matches.push_back(matches);
     ensemble.match_count += matches ? 1 : 0;
+    pfobe.add(replicate.extraction.fitness());
+    wrong_states.add(
+        static_cast<double>(replicate.verification.wrong_state_count()));
   }
+  ensemble.pfobe = MeanConfidence{
+      pfobe.mean(), pfobe.stddev(),
+      util::normal_ci95_half_width(pfobe.stddev(), replicates)};
+  ensemble.wrong_states = MeanConfidence{
+      wrong_states.mean(), wrong_states.stddev(),
+      util::normal_ci95_half_width(wrong_states.stddev(), replicates)};
   return ensemble;
 }
 
@@ -121,6 +138,16 @@ std::string render_ensemble_summary(const EnsembleResult& ensemble) {
     out << (r == 0 ? "" : " ") << (ensemble.replicate_matches[r] ? "+" : "-");
   }
   out << ")\n";
+
+  out << "PFoBE:           " << util::format_double(ensemble.pfobe.mean, 6)
+      << " ± " << util::format_double(ensemble.pfobe.half_width, 6)
+      << " % (95% normal CI, stddev "
+      << util::format_double(ensemble.pfobe.stddev, 6) << ")\n"
+      << "wrong states:    "
+      << util::format_double(ensemble.wrong_states.mean, 6) << " ± "
+      << util::format_double(ensemble.wrong_states.half_width, 6)
+      << " per replicate (95% normal CI, stddev "
+      << util::format_double(ensemble.wrong_states.stddev, 6) << ")\n";
   return out.str();
 }
 

@@ -32,6 +32,20 @@ struct CombinationEnsembleStats {
   }
 };
 
+/// A replicate-level sample mean with its normal-approximation 95%
+/// confidence interval (z₀.₉₇₅ · stddev / √n; half_width is 0 for a
+/// single replicate). The normal approximation treats each replicate's
+/// statistic as one i.i.d. draw — exactly the deep-sampling regime the
+/// ensemble runner exists for.
+struct MeanConfidence {
+  double mean = 0.0;
+  double stddev = 0.0;      ///< sample stddev across replicates
+  double half_width = 0.0;  ///< 95% CI half-width (util::normal_ci95_half_width)
+
+  [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  [[nodiscard]] double upper() const noexcept { return mean + half_width; }
+};
+
 /// Everything an ensemble run produces. Bit-identical for a fixed
 /// (config.seed, replicate count) regardless of the job count used.
 struct EnsembleResult {
@@ -60,6 +74,12 @@ struct EnsembleResult {
   /// and how many replicates individually recovered the intended function.
   std::vector<bool> replicate_matches;
   std::size_t match_count = 0;
+
+  /// PFoBE (%) across replicates with its 95% normal CI.
+  MeanConfidence pfobe;
+  /// Wrong-state count per replicate (vs spec.expected) with its 95%
+  /// normal CI.
+  MeanConfidence wrong_states;
 
   [[nodiscard]] double match_fraction() const noexcept {
     return replicate_count == 0

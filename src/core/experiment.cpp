@@ -1,23 +1,25 @@
 #include "core/experiment.h"
 
 #include <chrono>
+#include <filesystem>
+#include <utility>
 
 #include "exec/parallel_runner.h"
 #include "exec/seed_sequence.h"
+#include "store/digitizing_sink.h"
+#include "store/spill_reader.h"
+#include "store/spill_sink.h"
+#include "util/errors.h"
+#include "util/timer.h"
 
 namespace glva::core {
 
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  return std::chrono::duration<double>(elapsed).count();
-}
+using util::seconds_since;
 
-}  // namespace
-
-ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
-                                const ExperimentConfig& config) {
+sim::VirtualLab make_lab(const circuits::CircuitSpec& spec,
+                         const ExperimentConfig& config) {
   sim::LabOptions lab_options;
   lab_options.sampling_period = config.sampling_period;
   lab_options.seed = config.seed;
@@ -25,7 +27,14 @@ ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
 
   sim::VirtualLab lab(spec.model, lab_options);
   lab.declare_inputs(spec.input_ids);
+  return lab;
+}
 
+/// The memory path: materialize the trace, then analyze — the reference
+/// the spill and digitize paths are bit-identical to.
+ExperimentResult run_experiment_memory(const circuits::CircuitSpec& spec,
+                                       const ExperimentConfig& config) {
+  sim::VirtualLab lab = make_lab(spec, config);
   const auto sim_start = std::chrono::steady_clock::now();
   sim::SweepResult sweep =
       lab.run_combination_sweep(config.total_time, config.high_level());
@@ -35,6 +44,114 @@ ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
   result.sweep = std::move(sweep);
   result.simulate_seconds = sim_seconds;
   return result;
+}
+
+/// The spill path: stream the sweep into a chunked .glvt file (bounded
+/// resident memory during the simulation), then re-materialize through
+/// SpillReader for analysis. The file survives the run for later replay.
+ExperimentResult run_experiment_spill(const circuits::CircuitSpec& spec,
+                                      const ExperimentConfig& config) {
+  if (config.spill_dir.empty()) {
+    throw InvalidArgument(
+        "run_experiment: sink 'spill' requires a spill directory "
+        "(--spill-dir)");
+  }
+  std::filesystem::create_directories(config.spill_dir);
+  const std::string path =
+      (std::filesystem::path(config.spill_dir) /
+       (spill_stem_for(spec, config) + ".glvt"))
+          .string();
+
+  sim::VirtualLab lab = make_lab(spec, config);
+  store::SpillSink::Options spill_options;
+  spill_options.seed = config.seed;
+  spill_options.sampling_period = config.sampling_period;
+  store::SpillSink sink(path, spill_options);
+
+  const auto sim_start = std::chrono::steady_clock::now();
+  sim::InputSchedule schedule = lab.run_combination_sweep_into(
+      config.total_time, config.high_level(), sink);
+  const double sim_seconds = seconds_since(sim_start);
+
+  store::SpillReader reader(path);
+  sim::SweepResult sweep{reader.read_all(), std::move(schedule)};
+  ExperimentResult result = reanalyze(spec, config, sweep);
+  result.sweep = std::move(sweep);
+  result.simulate_seconds = sim_seconds;
+  return result;
+}
+
+/// The fused sampler→ADC path: stream the sweep straight into per-species
+/// bit-planes; the double-precision trace is never allocated, so the
+/// analysis-only memory footprint is samples/8 bytes per tracked species.
+ExperimentResult run_experiment_digitize(const circuits::CircuitSpec& spec,
+                                         const ExperimentConfig& config) {
+  if (config.backend != AnalysisBackend::kPacked) {
+    throw InvalidArgument(
+        "run_experiment: sink 'digitize' requires the packed analysis "
+        "backend (it produces bit-planes, not a trace)");
+  }
+  // The memory path silently falls back to the reference backend past the
+  // packed auto-limit; a digitizing run has no trace to fall back to, and
+  // beyond the limit the 2^N masks would defeat the sink's bounded-memory
+  // purpose anyway — reject up front with a actionable message.
+  if (spec.input_ids.size() > kPackedAutoInputLimit) {
+    throw InvalidArgument(
+        "run_experiment: sink 'digitize' supports up to " +
+        std::to_string(kPackedAutoInputLimit) +
+        " inputs (packed-analysis limit); use sink 'mem' or 'spill' for "
+        "wider circuits");
+  }
+  std::vector<std::string> tracked = spec.input_ids;
+  tracked.push_back(spec.output_id);
+
+  sim::VirtualLab lab = make_lab(spec, config);
+  store::DigitizingSink sink(std::move(tracked), config.threshold);
+
+  const auto sim_start = std::chrono::steady_clock::now();
+  sim::InputSchedule schedule = lab.run_combination_sweep_into(
+      config.total_time, config.high_level(), sink);
+  const double sim_seconds = seconds_since(sim_start);
+
+  PackedDigitalData data = take_digitized(sink, spec.input_ids.size());
+
+  ExperimentResult result;
+  result.circuit_name = spec.name;
+  result.config = config;
+  result.simulate_seconds = sim_seconds;
+  result.sweep.schedule = std::move(schedule);  // trace intentionally empty
+
+  LogicAnalyzer analyzer(
+      AnalyzerConfig{config.threshold, config.fov_ud, config.backend});
+  const auto analyze_start = std::chrono::steady_clock::now();
+  result.extraction =
+      analyzer.analyze_packed(data, spec.input_ids, spec.output_id);
+  result.analyze_seconds = seconds_since(analyze_start);
+
+  result.verification = verify(result.extraction, spec.expected);
+  return result;
+}
+
+}  // namespace
+
+std::string spill_stem_for(const circuits::CircuitSpec& spec,
+                           const ExperimentConfig& config) {
+  return config.spill_stem.empty()
+             ? spec.name + "-s" + std::to_string(config.seed)
+             : config.spill_stem;
+}
+
+ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
+                                const ExperimentConfig& config) {
+  switch (config.sink) {
+    case store::SinkKind::kMemory:
+      return run_experiment_memory(spec, config);
+    case store::SinkKind::kSpill:
+      return run_experiment_spill(spec, config);
+    case store::SinkKind::kDigitize:
+      return run_experiment_digitize(spec, config);
+  }
+  throw InvalidArgument("run_experiment: unknown sink kind");
 }
 
 std::vector<ExperimentResult> run_batch(

@@ -9,6 +9,7 @@
 #include "core/verifier.h"
 #include "sim/simulator.h"
 #include "sim/virtual_lab.h"
+#include "store/trace_sink.h"
 
 /// The end-to-end experiment of Section III: simulate a circuit through a
 /// full input-combination sweep, extract its logic, and verify it against
@@ -32,6 +33,21 @@ struct ExperimentConfig {
   /// results are bit-identical either way — see AnalysisBackend.
   AnalysisBackend backend = AnalysisBackend::kPacked;
 
+  /// Where the sweep's samples land (see store::SinkKind and
+  /// docs/STORAGE.md): kMemory materializes the trace (reference path),
+  /// kSpill streams it to a chunked .glvt file under `spill_dir` and
+  /// re-materializes for analysis, kDigitize fuses the ADC into the
+  /// sampler so no double trace ever exists (requires the packed backend;
+  /// ExperimentResult::sweep.trace comes back empty). All three yield
+  /// bit-identical analysis results for the same seed.
+  store::SinkKind sink = store::SinkKind::kMemory;
+  /// Directory for .glvt spill files; required when sink == kSpill.
+  std::string spill_dir;
+  /// Spill filename stem override ("<stem>.glvt"); empty derives
+  /// "<circuit>-s<seed>". Batch runners set it to keep per-job files
+  /// distinct (e.g. per replicate, per threshold point).
+  std::string spill_stem;
+
   [[nodiscard]] double high_level() const noexcept {
     return input_high_level > 0.0 ? input_high_level : threshold;
   }
@@ -51,9 +67,18 @@ struct ExperimentResult {
 /// Run the full pipeline on a circuit: sweep all 2^N input combinations
 /// (total_time split evenly across phases), extract the logic, and verify
 /// it against spec.expected. Throws glva::InvalidArgument for invalid
-/// analyzer parameters and glva::ValidationError for unsimulatable models.
+/// analyzer parameters (including a spill sink without a spill_dir, or
+/// the digitize sink combined with the reference backend),
+/// glva::ValidationError for unsimulatable models, and glva::StorageError
+/// when a spill file cannot be written or read back.
 [[nodiscard]] ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
                                               const ExperimentConfig& config);
+
+/// The spill filename stem run_experiment uses for `config` (the
+/// spill_stem override, or "<circuit>-s<seed>"); the file is
+/// "<spill_dir>/<stem>.glvt".
+[[nodiscard]] std::string spill_stem_for(const circuits::CircuitSpec& spec,
+                                         const ExperimentConfig& config);
 
 /// Repository-wide batch runner (the Table 1 workload): run the experiment
 /// on every spec, one exec/ job per circuit, across up to `jobs` worker

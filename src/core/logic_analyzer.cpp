@@ -96,4 +96,29 @@ ExtractionResult LogicAnalyzer::analyze_packed(
   return result;
 }
 
+ExtractionResult LogicAnalyzer::analyze_packed_shared(
+    const logic::CombinationIndex& index, const logic::BitStream& output,
+    std::vector<std::string> input_names, std::string output_name) const {
+  if (input_names.size() != index.input_count()) {
+    throw InvalidArgument(
+        "analyze_packed_shared: need one name per indexed input");
+  }
+  if (output.size() != index.sample_count()) {
+    throw InvalidArgument(
+        "analyze_packed_shared: output length does not match the index");
+  }
+  ExtractionResult result;
+  result.input_count = index.input_count();
+  result.input_names = input_names;
+  result.output_name = std::move(output_name);
+  result.config = config_;
+
+  // Line 5's index is borrowed; lines 5b-7 are the packed stages verbatim.
+  result.cases = case_counts(index);
+  result.variation = analyze_variation_packed(index, output);
+  result.construction = construct_bool_expr(result.variation, config_.fov_ud,
+                                            std::move(input_names));
+  return result;
+}
+
 }  // namespace glva::core

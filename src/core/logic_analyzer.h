@@ -123,6 +123,20 @@ public:
       const PackedDigitalData& data, std::vector<std::string> input_names,
       std::string output_name) const;
 
+  /// Packed analysis over a caller-provided combination index — the
+  /// index-reuse path of `threshold_sweep_redigitize`: when several
+  /// threshold points digitize the (clamped) input streams identically,
+  /// they share one index and only the output stream is re-digitized per
+  /// point. `index` must have been built from this analysis's digitized
+  /// inputs; results are then bit-identical to `analyze_packed` on the
+  /// matching PackedDigitalData. Always packed (no backend switch).
+  ///
+  /// Throws glva::InvalidArgument when input_names.size() !=
+  /// index.input_count() or output.size() != index.sample_count().
+  [[nodiscard]] ExtractionResult analyze_packed_shared(
+      const logic::CombinationIndex& index, const logic::BitStream& output,
+      std::vector<std::string> input_names, std::string output_name) const;
+
   [[nodiscard]] const AnalyzerConfig& config() const noexcept { return config_; }
 
 private:

@@ -134,4 +134,19 @@ std::string ensemble_analytics_csv(const EnsembleResult& ensemble) {
   return csv.str();
 }
 
+std::string ensemble_confidence_csv(const EnsembleResult& ensemble) {
+  util::CsvWriter csv;
+  csv.row("metric", "mean", "stddev", "ci95_low", "ci95_high");
+  const auto metric_row = [&csv](const char* name,
+                                 const MeanConfidence& stats) {
+    csv.row(name, util::format_double(stats.mean),
+            util::format_double(stats.stddev),
+            util::format_double(stats.lower()),
+            util::format_double(stats.upper()));
+  };
+  metric_row("pfobe_percent", ensemble.pfobe);
+  metric_row("wrong_states", ensemble.wrong_states);
+  return csv.str();
+}
+
 }  // namespace glva::core

@@ -37,4 +37,10 @@ namespace glva::core {
 /// the same analytics as one analytics_csv file per replicate instead.
 [[nodiscard]] std::string ensemble_analytics_csv(const EnsembleResult& ensemble);
 
+/// CSV of the ensemble's replicate-level confidence intervals (the `glva
+/// ensemble --ci-csv` format): one row per metric. Columns: metric, mean,
+/// stddev, ci95_low, ci95_high; rows pfobe_percent and wrong_states.
+[[nodiscard]] std::string ensemble_confidence_csv(
+    const EnsembleResult& ensemble);
+
 }  // namespace glva::core

@@ -44,9 +44,16 @@ struct ThresholdSweepResult {
 /// ADC's contribution to Figure 5's effect from the input-drive
 /// contribution. The shared simulation uses base_config.seed directly; the
 /// per-threshold re-analyses are fanned out across `jobs` workers. Under
-/// the default packed backend each point performs exactly one packed
-/// digitization of the shared trace and every downstream stage stays
-/// word-parallel, so a dense sweep is analysis-bound, not allocation-bound.
+/// the default packed backend the clamped input streams digitize
+/// identically for every threshold at or below the drive level, so after
+/// a parallel per-point input digitization the points are grouped by
+/// their digitized input planes and share one `logic::CombinationIndex`
+/// per group — the 2^N-mask construction (the expensive part) runs once
+/// per *group*, and each point's job re-digitizes only the output stream
+/// before the word-parallel stages. Results are bit-identical to a
+/// per-point re-analysis. A
+/// digitize sink on the base config falls back to the (bit-identical)
+/// memory path for the shared run, which must keep the analog trace.
 [[nodiscard]] ThresholdSweepResult threshold_sweep_redigitize(
     const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
     const std::vector<double>& thresholds, std::size_t jobs = 1);

@@ -1,5 +1,7 @@
 #include "core/variation_analyzer.h"
 
+#include "util/errors.h"
+
 namespace glva::core {
 
 VariationAnalysis analyze_variation(const CaseAnalysis& cases) {
@@ -30,17 +32,26 @@ VariationAnalysis analyze_variation(const CaseAnalysis& cases) {
 }
 
 VariationAnalysis analyze_variation_packed(const PackedCaseAnalysis& cases) {
+  return analyze_variation_packed(cases.index, cases.output);
+}
+
+VariationAnalysis analyze_variation_packed(
+    const logic::CombinationIndex& index, const logic::BitStream& output) {
+  if (output.size() != index.sample_count()) {
+    throw InvalidArgument(
+        "analyze_variation_packed: output length does not match the index");
+  }
   VariationAnalysis analysis;
-  analysis.input_count = cases.input_count;
-  analysis.records.resize(cases.index.combination_count());
+  analysis.input_count = index.input_count();
+  analysis.records.resize(index.combination_count());
 
   for (std::size_t c = 0; c < analysis.records.size(); ++c) {
     VariationRecord& out = analysis.records[c];
-    const logic::BitStream& mask = cases.index.mask(c);
+    const logic::BitStream& mask = index.mask(c);
     out.combination = c;
-    out.case_count = cases.index.count(c);
-    out.high_count = logic::and_popcount(mask, cases.output);
-    out.variation_count = logic::masked_transition_count(mask, cases.output);
+    out.case_count = index.count(c);
+    out.high_count = logic::and_popcount(mask, output);
+    out.variation_count = logic::masked_transition_count(mask, output);
     out.fov_est = out.case_count > 0
                       ? static_cast<double>(out.variation_count) /
                             static_cast<double>(out.case_count)

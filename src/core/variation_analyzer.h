@@ -51,4 +51,12 @@ struct VariationAnalysis {
 [[nodiscard]] VariationAnalysis analyze_variation_packed(
     const PackedCaseAnalysis& analysis);
 
+/// Shared-index form: identical counting over a borrowed index and output
+/// stream (the index must have been built from this output's digitized
+/// input streams — same sample count). Lets a re-digitizing threshold
+/// sweep reuse one index across points without copying its 2^N masks.
+/// Throws glva::InvalidArgument when output.size() != index.sample_count().
+[[nodiscard]] VariationAnalysis analyze_variation_packed(
+    const logic::CombinationIndex& index, const logic::BitStream& output);
+
 }  // namespace glva::core

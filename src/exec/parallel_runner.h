@@ -19,6 +19,11 @@
 ///   3. failures are deterministic too: the exception of the *lowest* failed
 ///      job index is rethrown, whichever job happened to fail first on the
 ///      wall clock.
+///
+/// Trace storage composes with this contract unchanged: every job owns its
+/// private `store::TraceSink` (its own spill file / bit-planes / trace),
+/// so sinks never need cross-job synchronization and the ordered commit
+/// stays byte-identical whichever sink kind a run selects.
 namespace glva::exec {
 
 /// Resolve a user-facing `--jobs` request: 0 means "one per hardware

@@ -5,16 +5,19 @@
 #include "sim/ssa_direct.h"
 #include "sim/ssa_next_reaction.h"
 #include "sim/ssa_tau_leap.h"
+#include "store/memory_sink.h"
+#include "store/trace_sink.h"
 #include "util/errors.h"
 
 namespace glva::sim {
 
 TraceSampler::TraceSampler(const crn::ReactionNetwork& network,
-                           double sampling_period)
-    : sampling_period_(sampling_period), trace_(network.species_names()) {
+                           double sampling_period, store::TraceSink& sink)
+    : sampling_period_(sampling_period), sink_(&sink) {
   if (sampling_period <= 0.0) {
     throw InvalidArgument("sampling_period must be positive");
   }
+  sink_->begin(network.species_names());
 }
 
 void TraceSampler::advance_before(double t, const std::vector<double>& values) {
@@ -22,7 +25,7 @@ void TraceSampler::advance_before(double t, const std::vector<double>& values) {
     const double grid_time =
         static_cast<double>(next_index_) * sampling_period_;
     if (grid_time >= t) return;
-    trace_.append(grid_time, values);
+    sink_->append(grid_time, values);
     ++next_index_;
   }
 }
@@ -32,15 +35,26 @@ void TraceSampler::finish(double t_end, const std::vector<double>& values) {
     const double grid_time =
         static_cast<double>(next_index_) * sampling_period_;
     // Tolerate rounding when t_end is an exact multiple of the period.
-    if (grid_time > t_end + sampling_period_ * 1e-9) return;
-    trace_.append(grid_time, values);
+    if (grid_time > t_end + sampling_period_ * 1e-9) break;
+    sink_->append(grid_time, values);
     ++next_index_;
   }
+  sink_->finish();
 }
 
 Trace StochasticSimulator::run(const crn::ReactionNetwork& network,
                                const InputSchedule& schedule, double duration,
                                const SimulationOptions& options) const {
+  store::MemorySink sink;
+  run_into(network, schedule, duration, options, sink);
+  return sink.take();
+}
+
+void StochasticSimulator::run_into(const crn::ReactionNetwork& network,
+                                   const InputSchedule& schedule,
+                                   double duration,
+                                   const SimulationOptions& options,
+                                   store::TraceSink& sink) const {
   if (duration <= 0.0) {
     throw InvalidArgument("simulation duration must be positive");
   }
@@ -59,7 +73,7 @@ Trace StochasticSimulator::run(const crn::ReactionNetwork& network,
   }
 
   Rng rng(options.seed);
-  TraceSampler sampler(network, options.sampling_period);
+  TraceSampler sampler(network, options.sampling_period, sink);
 
   const auto& phases = schedule.phases();
   if (!phases.empty() && phases.front().start_time > 0.0) {
@@ -84,7 +98,6 @@ Trace StochasticSimulator::run(const crn::ReactionNetwork& network,
     ++phase;
   }
   sampler.finish(duration, values);
-  return sampler.take();
 }
 
 std::unique_ptr<StochasticSimulator> make_simulator(SsaMethod method) {

@@ -10,6 +10,10 @@
 #include "sim/rng.h"
 #include "sim/trace.h"
 
+namespace glva::store {
+class TraceSink;
+}  // namespace glva::store
+
 namespace glva::sim {
 
 /// Knobs shared by every simulation algorithm.
@@ -25,23 +29,30 @@ struct SimulationOptions {
 /// Kernels call advance_before(t, values) immediately *before* applying an
 /// event at time t, so every grid point in [previous event, t) carries the
 /// state that was live across it.
+///
+/// Samples stream straight into a `store::TraceSink` (begin() is called
+/// here with the network's species names; finish(t_end, ...) seals the
+/// sink) — where rows accumulate is the sink's policy, not the sampler's.
+/// The historical "materialize a Trace" behaviour is a `store::MemorySink`
+/// behind `StochasticSimulator::run`.
 class TraceSampler {
 public:
-  TraceSampler(const crn::ReactionNetwork& network, double sampling_period);
+  /// `sink` must outlive the sampler. Throws glva::InvalidArgument for a
+  /// non-positive sampling period.
+  TraceSampler(const crn::ReactionNetwork& network, double sampling_period,
+               store::TraceSink& sink);
 
   /// Emit all unrecorded grid points strictly before `t` with `values`.
   void advance_before(double t, const std::vector<double>& values);
 
-  /// Emit all remaining grid points up to and including `t_end`.
+  /// Emit all remaining grid points up to and including `t_end`, then
+  /// finish() the sink.
   void finish(double t_end, const std::vector<double>& values);
-
-  /// Move the accumulated trace out.
-  [[nodiscard]] Trace take() noexcept { return std::move(trace_); }
 
 private:
   double sampling_period_;
   std::size_t next_index_ = 0;  // next grid point to record
-  Trace trace_;
+  store::TraceSink* sink_;
 };
 
 /// Interface of the exact/approximate stochastic simulation algorithms.
@@ -63,6 +74,16 @@ public:
   [[nodiscard]] Trace run(const crn::ReactionNetwork& network,
                           const InputSchedule& schedule, double duration,
                           const SimulationOptions& options) const;
+
+  /// Streaming twin of `run`: identical simulation (same RNG draws, same
+  /// grid rows in the same order), but every sample goes to `sink` instead
+  /// of a materialized Trace — `run` itself is this with a
+  /// store::MemorySink. Same error contract, plus whatever the sink
+  /// throws (e.g. glva::StorageError from a spill sink).
+  void run_into(const crn::ReactionNetwork& network,
+                const InputSchedule& schedule, double duration,
+                const SimulationOptions& options,
+                store::TraceSink& sink) const;
 
 protected:
   /// Advance `values` from `t_begin` to `t_end` with no clamp changes,

@@ -37,6 +37,15 @@ Trace VirtualLab::run(const InputSchedule& schedule, double duration) {
   return simulator->run(network(), schedule, duration, sim_options);
 }
 
+void VirtualLab::run_into(const InputSchedule& schedule, double duration,
+                          store::TraceSink& sink) {
+  const auto simulator = make_simulator(options_.method);
+  SimulationOptions sim_options;
+  sim_options.sampling_period = options_.sampling_period;
+  sim_options.seed = options_.seed;
+  simulator->run_into(network(), schedule, duration, sim_options, sink);
+}
+
 SweepResult VirtualLab::run_combination_sweep(double total_time,
                                               double high_level) {
   if (input_ids_.empty()) {
@@ -47,6 +56,19 @@ SweepResult VirtualLab::run_combination_sweep(double total_time,
       InputSchedule::combination_sweep(input_ids_, total_time, high_level);
   Trace trace = run(schedule, total_time);
   return SweepResult{std::move(trace), std::move(schedule)};
+}
+
+InputSchedule VirtualLab::run_combination_sweep_into(double total_time,
+                                                     double high_level,
+                                                     store::TraceSink& sink) {
+  if (input_ids_.empty()) {
+    throw InvalidArgument(
+        "run_combination_sweep_into: declare_inputs() must be called first");
+  }
+  InputSchedule schedule =
+      InputSchedule::combination_sweep(input_ids_, total_time, high_level);
+  run_into(schedule, total_time, sink);
+  return schedule;
 }
 
 Trace VirtualLab::run_constant(const std::vector<double>& levels,

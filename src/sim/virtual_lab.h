@@ -10,6 +10,7 @@
 #include "sim/input_schedule.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
+#include "store/trace_sink.h"
 
 /// The virtual-laboratory runtime: GLVA's substitute for D-VASim
 /// [Baig & Madsen, Bioinformatics 2016]. It owns an SBML model, lets the
@@ -58,12 +59,25 @@ public:
   /// Run an arbitrary stimulus program for `duration` time units.
   [[nodiscard]] Trace run(const InputSchedule& schedule, double duration);
 
+  /// Streaming twin of `run`: the same simulation, sample for sample, but
+  /// every grid row goes to `sink` (a store::MemorySink reproduces `run`
+  /// bit for bit; a SpillSink or DigitizingSink bounds resident memory
+  /// for 10^7-sample programs).
+  void run_into(const InputSchedule& schedule, double duration,
+                store::TraceSink& sink);
+
   /// The paper's experiment: sweep all 2^N input combinations in ascending
   /// binary order over `total_time` (each combination holds
   /// total_time / 2^N time units), applying inputs at `high_level`
   /// molecules — the paper applies inputs at the threshold level.
   [[nodiscard]] SweepResult run_combination_sweep(double total_time,
                                                   double high_level);
+
+  /// Streaming twin of `run_combination_sweep`: stream the sweep into
+  /// `sink`, returning the schedule (the analyzer still needs it to label
+  /// samples; the samples themselves live wherever the sink put them).
+  [[nodiscard]] InputSchedule run_combination_sweep_into(
+      double total_time, double high_level, store::TraceSink& sink);
 
   /// Convenience single-step experiment used by the timing estimators: hold
   /// `levels` for `duration` and return the trace.

@@ -1,0 +1,62 @@
+#include "store/digitizing_sink.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace glva::store {
+
+DigitizingSink::DigitizingSink(std::vector<std::string> species_ids,
+                               double threshold)
+    : species_ids_(std::move(species_ids)), threshold_(threshold) {
+  if (threshold_ <= 0.0) {
+    throw InvalidArgument("DigitizingSink: threshold must be positive");
+  }
+  if (species_ids_.empty()) {
+    throw InvalidArgument("DigitizingSink: no species to track");
+  }
+}
+
+void DigitizingSink::begin(const std::vector<std::string>& species_names) {
+  columns_.clear();
+  columns_.reserve(species_ids_.size());
+  min_row_width_ = 0;
+  for (const auto& id : species_ids_) {
+    std::size_t column = species_names.size();
+    for (std::size_t s = 0; s < species_names.size(); ++s) {
+      if (species_names[s] == id) {
+        column = s;
+        break;
+      }
+    }
+    if (column == species_names.size()) {
+      throw InvalidArgument("DigitizingSink: unknown species '" + id + "'");
+    }
+    columns_.push_back(column);
+    min_row_width_ = std::max(min_row_width_, column + 1);
+  }
+  planes_.assign(species_ids_.size(), logic::BitStream());
+  samples_ = 0;
+}
+
+void DigitizingSink::append(double /*time*/,
+                            const std::vector<double>& values) {
+  if (values.size() < min_row_width_) {
+    throw InvalidArgument(
+        "DigitizingSink::append: value row narrower than the tracked "
+        "species columns");
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    planes_[i].push_back(values[columns_[i]] >= threshold_);
+  }
+  ++samples_;
+}
+
+logic::BitStream DigitizingSink::take_plane(std::size_t i) {
+  if (i >= planes_.size()) {
+    throw InvalidArgument("DigitizingSink::take_plane: index out of range");
+  }
+  return std::move(planes_[i]);
+}
+
+}  // namespace glva::store

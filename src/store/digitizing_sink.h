@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "logic/bit_stream.h"
+#include "store/trace_sink.h"
+
+namespace glva::store {
+
+/// The fused sampler→ADC sink: each incoming sample is thresholded into
+/// per-species `logic::BitStream` planes as it is produced, so an
+/// analysis-only run never allocates the double-precision trace at all —
+/// resident memory is samples / 8 bytes per tracked species instead of
+/// samples · 8 bytes per *model* species. The comparison is the ADC's
+/// (`value >= threshold`, inclusive; see `core::adc`), applied to exactly
+/// the doubles the memory path would have stored, so the resulting planes
+/// are bit-identical to `core::digitize_packed` over the materialized
+/// trace — the equivalence `tests/test_store.cpp` pins.
+class DigitizingSink final : public TraceSink {
+public:
+  /// Track `species_ids` (any order, duplicates allowed — each entry gets
+  /// its own plane) at ThVAL `threshold` (molecules, must be positive;
+  /// throws glva::InvalidArgument otherwise).
+  DigitizingSink(std::vector<std::string> species_ids, double threshold);
+
+  /// Resolves the tracked ids against the stream's species columns;
+  /// throws glva::InvalidArgument for an unknown id.
+  void begin(const std::vector<std::string>& species_names) override;
+
+  void append(double time, const std::vector<double>& values) override;
+
+  void finish() override {}
+
+  [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
+  [[nodiscard]] const std::vector<std::string>& species_ids() const noexcept {
+    return species_ids_;
+  }
+
+  /// The digitized planes, one per tracked id, in construction order.
+  [[nodiscard]] const std::vector<logic::BitStream>& planes() const noexcept {
+    return planes_;
+  }
+
+  /// Move plane `i` out (the zero-copy handoff into PackedDigitalData).
+  /// Throws glva::InvalidArgument when i >= planes().size().
+  [[nodiscard]] logic::BitStream take_plane(std::size_t i);
+
+private:
+  std::vector<std::string> species_ids_;
+  double threshold_;
+  std::vector<std::size_t> columns_;  ///< tracked id -> species column
+  std::size_t min_row_width_ = 0;     ///< 1 + max(columns_), row precondition
+  std::vector<logic::BitStream> planes_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace glva::store

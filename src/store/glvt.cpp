@@ -1,0 +1,122 @@
+#include "store/glvt.h"
+
+#include <cstring>
+
+#include "util/errors.h"
+
+namespace glva::store::glvt {
+
+namespace {
+
+template <typename T>
+void append_pod(std::string& out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::string& buffer, std::size_t& offset, const char* what) {
+  if (buffer.size() - offset < sizeof(T) || offset > buffer.size()) {
+    throw StorageError(std::string(what) + ": truncated section");
+  }
+  T value;
+  std::memcpy(&value, buffer.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+}  // namespace
+
+void append_u32(std::string& out, std::uint32_t value) {
+  append_pod(out, value);
+}
+void append_u64(std::string& out, std::uint64_t value) {
+  append_pod(out, value);
+}
+void append_f64(std::string& out, double value) { append_pod(out, value); }
+
+void encode_section(const std::vector<double>& values, std::string& out) {
+  // One pass to size the RLE alternative: runs of bit-identical doubles.
+  std::size_t runs = 0;
+  for (std::size_t k = 0; k < values.size();) {
+    const std::uint64_t bits = double_bits(values[k]);
+    std::size_t j = k + 1;
+    while (j < values.size() && double_bits(values[j]) == bits) ++j;
+    ++runs;
+    k = j;
+  }
+  const std::size_t raw_bytes = values.size() * sizeof(double);
+  const std::size_t rle_bytes = runs * (sizeof(std::uint32_t) + sizeof(double));
+
+  if (rle_bytes < raw_bytes) {
+    out.push_back(static_cast<char>(SectionEncoding::kRle));
+    append_u32(out, static_cast<std::uint32_t>(rle_bytes));
+    for (std::size_t k = 0; k < values.size();) {
+      const std::uint64_t bits = double_bits(values[k]);
+      std::size_t j = k + 1;
+      while (j < values.size() && double_bits(values[j]) == bits) ++j;
+      append_u32(out, static_cast<std::uint32_t>(j - k));
+      append_u64(out, bits);
+      k = j;
+    }
+  } else {
+    out.push_back(static_cast<char>(SectionEncoding::kRaw));
+    append_u32(out, static_cast<std::uint32_t>(raw_bytes));
+    for (const double value : values) append_f64(out, value);
+  }
+}
+
+std::vector<double> decode_section(const std::string& buffer,
+                                   std::size_t& offset, std::size_t count) {
+  const auto tag = read_pod<std::uint8_t>(buffer, offset, "glvt section");
+  const auto payload_bytes =
+      read_pod<std::uint32_t>(buffer, offset, "glvt section");
+  if (buffer.size() - offset < payload_bytes) {
+    throw StorageError("glvt section: truncated payload");
+  }
+  const std::size_t payload_end = offset + payload_bytes;
+
+  std::vector<double> values;
+  values.reserve(count);
+  if (tag == static_cast<std::uint8_t>(SectionEncoding::kRaw)) {
+    if (payload_bytes != count * sizeof(double)) {
+      throw StorageError("glvt section: raw payload size mismatch");
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+      values.push_back(read_pod<double>(buffer, offset, "glvt section"));
+    }
+  } else if (tag == static_cast<std::uint8_t>(SectionEncoding::kRle)) {
+    while (offset < payload_end) {
+      const auto run = read_pod<std::uint32_t>(buffer, offset, "glvt section");
+      const auto bits = read_pod<std::uint64_t>(buffer, offset, "glvt section");
+      if (run == 0 || values.size() + run > count) {
+        throw StorageError("glvt section: RLE run overflows sample count");
+      }
+      values.insert(values.end(), run, bits_double(bits));
+    }
+    if (values.size() != count) {
+      throw StorageError("glvt section: RLE runs do not cover the chunk");
+    }
+  } else {
+    throw StorageError("glvt section: unknown encoding tag");
+  }
+  if (offset != payload_end) {
+    throw StorageError("glvt section: payload size mismatch");
+  }
+  return values;
+}
+
+}  // namespace glva::store::glvt

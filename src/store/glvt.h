@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// The `.glvt` ("GLVA trace") on-disk format shared by `SpillSink`
+/// (writer) and `SpillReader` (reader). One file is one uniformly sampled
+/// multi-species trace, stored as a fixed header followed by fixed-capacity
+/// chunks and a trailing chunk index:
+///
+///   header   magic "GLVT", version, seed, sampling_period,
+///            species_count, chunk_capacity, sample_count, chunk_count,
+///            index_offset, species names
+///   chunk i  "CHNK", samples n, then one *section* per column:
+///            times, species 0, species 1, ... (each raw or RLE)
+///   index    chunk_count × u64 absolute file offsets (at index_offset)
+///
+/// Every chunk except the last holds exactly `chunk_capacity` samples, so
+/// chunk i starts at sample i · chunk_capacity — random access needs no
+/// per-chunk bookkeeping beyond the offset index. `chunk_capacity` is a
+/// multiple of 64 so replayed chunks stay word-aligned for the bit-packed
+/// analysis stage. The three patched header fields (sample_count,
+/// chunk_count, index_offset) are zero while the writer is live;
+/// index_offset == 0 is the "unfinished or truncated" sentinel the reader
+/// rejects. Scalars are stored in the host's native byte order (the
+/// supported targets are little-endian); doubles are stored bit-exactly,
+/// which is what makes a spilled trace byte-for-byte reproducible and a
+/// re-materialized one bit-identical to the memory path.
+///
+/// See `docs/STORAGE.md` for the full layout diagram.
+namespace glva::store::glvt {
+
+inline constexpr char kMagic[4] = {'G', 'L', 'V', 'T'};
+inline constexpr std::uint32_t kVersion = 1;
+/// "CHNK" read as a little-endian u32.
+inline constexpr std::uint32_t kChunkMagic = 0x4B4E4843u;
+/// Default samples per chunk; must be a multiple of 64 (one chunk is then
+/// an integral number of BitStream words when replayed into the digitizer).
+inline constexpr std::uint32_t kDefaultChunkSamples = 4096;
+/// Byte length of the fixed header prefix (everything before the names).
+inline constexpr std::size_t kHeaderFixedBytes = 56;
+/// File offsets of the three fields patched on finish.
+inline constexpr std::size_t kSampleCountOffset = 32;
+inline constexpr std::size_t kChunkCountOffset = 40;
+inline constexpr std::size_t kIndexOffsetOffset = 48;
+
+/// Per-section payload encodings. RLE runs over *bit-identical* doubles
+/// (compared as their 8-byte patterns, so NaNs and signed zeros round-trip
+/// exactly): clamped input species and low-copy-number amounts compress by
+/// orders of magnitude, while times — a strictly increasing grid — always
+/// fall back to raw.
+enum class SectionEncoding : std::uint8_t { kRaw = 0, kRle = 1 };
+
+// Little bump allocators over std::string (the chunk build buffer).
+void append_u32(std::string& out, std::uint32_t value);
+void append_u64(std::string& out, std::uint64_t value);
+void append_f64(std::string& out, double value);
+
+/// Encode one column section: encoding tag (u8) + payload byte count
+/// (u32) + payload. Picks RLE — repeated (count u32, bits u64) runs —
+/// whenever it is strictly smaller than the raw 8-byte-per-sample layout.
+void encode_section(const std::vector<double>& values, std::string& out);
+
+/// Decode one section of exactly `count` doubles from `buffer` starting at
+/// `offset`; advances `offset` past the section. Throws glva::StorageError
+/// on a truncated payload, an unknown encoding tag, or an RLE stream whose
+/// run lengths do not sum to `count`.
+[[nodiscard]] std::vector<double> decode_section(const std::string& buffer,
+                                                 std::size_t& offset,
+                                                 std::size_t count);
+
+}  // namespace glva::store::glvt

@@ -1,0 +1,199 @@
+#include "store/spill_reader.h"
+
+#include <cstring>
+
+#include "store/glvt.h"
+#include "store/memory_sink.h"
+#include "util/csv.h"
+#include "util/errors.h"
+#include "util/string_util.h"
+
+namespace glva::store {
+
+namespace {
+
+std::string read_bytes(std::ifstream& file, std::size_t count,
+                       const char* what) {
+  std::string buffer(count, '\0');
+  file.read(buffer.data(), static_cast<std::streamsize>(count));
+  if (static_cast<std::size_t>(file.gcount()) != count) {
+    throw StorageError(std::string("SpillReader: truncated ") + what);
+  }
+  return buffer;
+}
+
+template <typename T>
+T take(const std::string& buffer, std::size_t& offset) {
+  T value;
+  std::memcpy(&value, buffer.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+SpillReader::SpillReader(std::string path) : path_(std::move(path)) {
+  file_.open(path_, std::ios::binary);
+  if (!file_) {
+    throw StorageError("SpillReader: cannot open spill file: " + path_);
+  }
+  file_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(file_.tellg());
+  file_.seekg(0);
+
+  if (file_size < glvt::kHeaderFixedBytes) {
+    throw StorageError("SpillReader: truncated header: " + path_);
+  }
+  const std::string header =
+      read_bytes(file_, glvt::kHeaderFixedBytes, "header");
+  std::size_t offset = 0;
+  if (std::memcmp(header.data(), glvt::kMagic, sizeof glvt::kMagic) != 0) {
+    throw StorageError("SpillReader: not a .glvt file (bad magic): " + path_);
+  }
+  offset += sizeof glvt::kMagic;
+  const auto version = take<std::uint32_t>(header, offset);
+  if (version != glvt::kVersion) {
+    throw StorageError("SpillReader: unsupported .glvt version " +
+                       std::to_string(version) + ": " + path_);
+  }
+  seed_ = take<std::uint64_t>(header, offset);
+  sampling_period_ = take<double>(header, offset);
+  const auto species_count = take<std::uint32_t>(header, offset);
+  chunk_capacity_ = take<std::uint32_t>(header, offset);
+  sample_count_ = take<std::uint64_t>(header, offset);
+  const auto chunk_count = take<std::uint64_t>(header, offset);
+  index_offset_ = take<std::uint64_t>(header, offset);
+
+  if (index_offset_ == 0) {
+    throw StorageError(
+        "SpillReader: unfinished or truncated spill file (no chunk index): " +
+        path_);
+  }
+  if (chunk_capacity_ == 0 || chunk_capacity_ % 64 != 0) {
+    throw StorageError("SpillReader: corrupt chunk capacity: " + path_);
+  }
+  // Division, not multiplication: a crafted chunk_count near 2^61 would
+  // wrap `chunk_count * 8` and slip past the fit check, then blow up in
+  // reserve() below with the wrong exception type.
+  if (index_offset_ > file_size ||
+      (file_size - index_offset_) % sizeof(std::uint64_t) != 0 ||
+      chunk_count != (file_size - index_offset_) / sizeof(std::uint64_t)) {
+    throw StorageError("SpillReader: chunk index does not fit the file: " +
+                       path_);
+  }
+
+  species_names_.reserve(species_count);
+  for (std::uint32_t s = 0; s < species_count; ++s) {
+    const std::string len_bytes =
+        read_bytes(file_, sizeof(std::uint32_t), "species name");
+    std::size_t len_offset = 0;
+    const auto len = take<std::uint32_t>(len_bytes, len_offset);
+    // Bound the allocation before read_bytes trusts the length field.
+    if (len > file_size) {
+      throw StorageError("SpillReader: corrupt species-name length: " +
+                         path_);
+    }
+    species_names_.push_back(read_bytes(file_, len, "species name"));
+  }
+
+  file_.seekg(static_cast<std::streamoff>(index_offset_));
+  const std::string index =
+      read_bytes(file_, chunk_count * sizeof(std::uint64_t), "chunk index");
+  offset = 0;
+  chunk_offsets_.reserve(chunk_count);
+  for (std::uint64_t c = 0; c < chunk_count; ++c) {
+    const auto chunk_offset = take<std::uint64_t>(index, offset);
+    if (chunk_offset >= index_offset_) {
+      throw StorageError("SpillReader: chunk offset past the index: " + path_);
+    }
+    chunk_offsets_.push_back(chunk_offset);
+  }
+}
+
+SpillReader::Chunk SpillReader::read_chunk(std::size_t index) {
+  if (index >= chunk_offsets_.size()) {
+    throw InvalidArgument("SpillReader::read_chunk: index out of range");
+  }
+  const std::uint64_t begin = chunk_offsets_[index];
+  const std::uint64_t end = index + 1 < chunk_offsets_.size()
+                                ? chunk_offsets_[index + 1]
+                                : index_offset_;
+  if (end <= begin) {
+    throw StorageError("SpillReader: corrupt chunk index: " + path_);
+  }
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(begin));
+  const std::string buffer =
+      read_bytes(file_, static_cast<std::size_t>(end - begin), "chunk");
+
+  std::size_t offset = 0;
+  if (buffer.size() < 2 * sizeof(std::uint32_t) ||
+      take<std::uint32_t>(buffer, offset) != glvt::kChunkMagic) {
+    throw StorageError("SpillReader: bad chunk magic: " + path_);
+  }
+  const auto samples = take<std::uint32_t>(buffer, offset);
+  if (samples == 0 || samples > chunk_capacity_) {
+    throw StorageError("SpillReader: corrupt chunk sample count: " + path_);
+  }
+
+  Chunk chunk;
+  chunk.first_sample =
+      static_cast<std::uint64_t>(index) * chunk_capacity_;
+  chunk.times = glvt::decode_section(buffer, offset, samples);
+  chunk.series.reserve(species_names_.size());
+  for (std::size_t s = 0; s < species_names_.size(); ++s) {
+    chunk.series.push_back(glvt::decode_section(buffer, offset, samples));
+  }
+  if (offset != buffer.size()) {
+    throw StorageError("SpillReader: trailing bytes in chunk: " + path_);
+  }
+  return chunk;
+}
+
+void SpillReader::replay(TraceSink& sink) {
+  sink.begin(species_names_);
+  std::vector<double> row(species_names_.size());
+  for (std::size_t c = 0; c < chunk_offsets_.size(); ++c) {
+    const Chunk chunk = read_chunk(c);
+    for (std::size_t k = 0; k < chunk.times.size(); ++k) {
+      for (std::size_t s = 0; s < row.size(); ++s) {
+        row[s] = chunk.series[s][k];
+      }
+      sink.append(chunk.times[k], row);
+    }
+  }
+  sink.finish();
+}
+
+sim::Trace SpillReader::read_all() {
+  MemorySink sink;
+  replay(sink);
+  return sink.take();
+}
+
+void SpillReader::write_csv(std::ostream& out) {
+  {
+    util::CsvWriter header;
+    std::vector<std::string> fields{"time"};
+    fields.insert(fields.end(), species_names_.begin(), species_names_.end());
+    header.add_row(fields);
+    out << header.str();
+  }
+  for (std::size_t c = 0; c < chunk_offsets_.size(); ++c) {
+    const Chunk chunk = read_chunk(c);
+    util::CsvWriter rows;
+    std::vector<std::string> row;
+    for (std::size_t k = 0; k < chunk.times.size(); ++k) {
+      row.clear();
+      row.reserve(1 + species_names_.size());
+      row.push_back(util::format_double(chunk.times[k]));
+      for (std::size_t s = 0; s < species_names_.size(); ++s) {
+        row.push_back(util::format_double(chunk.series[s][k]));
+      }
+      rows.add_row(row);
+    }
+    out << rows.str();
+  }
+}
+
+}  // namespace glva::store

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+#include "store/trace_sink.h"
+
+namespace glva::store {
+
+/// Reader for `.glvt` spill files (see `store/glvt.h` for the layout).
+/// Opening validates the header (magic, version, the finished-file
+/// sentinel) and loads the chunk index; samples are then pulled back
+/// either chunk-at-a-time (`read_chunk`, `replay` — bounded memory) or
+/// all at once (`read_all` — re-materializes the `sim::Trace` for the
+/// figure renderers and the reference analysis path).
+class SpillReader {
+public:
+  /// One decoded chunk: `chunk_capacity()` rows for every chunk but the
+  /// last. `first_sample` is the global index of row 0 (always a multiple
+  /// of the chunk capacity, hence of 64 — word-aligned for BitStream
+  /// consumers).
+  struct Chunk {
+    std::uint64_t first_sample = 0;
+    std::vector<double> times;
+    std::vector<std::vector<double>> series;  ///< [species][row]
+  };
+
+  /// Opens and validates. Throws glva::StorageError for an unreadable
+  /// path, wrong magic, unsupported version, an unfinished/truncated file,
+  /// or a chunk index that does not fit the file.
+  explicit SpillReader(std::string path);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::vector<std::string>& species_names()
+      const noexcept {
+    return species_names_;
+  }
+  [[nodiscard]] std::uint64_t sample_count() const noexcept {
+    return sample_count_;
+  }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunk_offsets_.size();
+  }
+  [[nodiscard]] std::uint32_t chunk_capacity() const noexcept {
+    return chunk_capacity_;
+  }
+  [[nodiscard]] double sampling_period() const noexcept {
+    return sampling_period_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Decode chunk `index`. Throws glva::InvalidArgument for an
+  /// out-of-range index and glva::StorageError for a corrupt chunk.
+  [[nodiscard]] Chunk read_chunk(std::size_t index);
+
+  /// Stream every sample, in order, into another sink (begin → append per
+  /// row → finish). Replaying into a `MemorySink` reproduces the original
+  /// trace bit for bit; replaying into a `DigitizingSink` digitizes a
+  /// spilled trace without ever materializing it.
+  void replay(TraceSink& sink);
+
+  /// Re-materialize the full trace (replay into a MemorySink).
+  [[nodiscard]] sim::Trace read_all();
+
+  /// Stream the trace as CSV, byte-identical to `sim::Trace::to_csv()` on
+  /// the re-materialized trace, without holding more than one chunk.
+  void write_csv(std::ostream& out);
+
+private:
+  std::string path_;
+  std::ifstream file_;
+  std::vector<std::string> species_names_;
+  std::vector<std::uint64_t> chunk_offsets_;
+  std::uint64_t sample_count_ = 0;
+  std::uint64_t index_offset_ = 0;
+  std::uint32_t chunk_capacity_ = 0;
+  double sampling_period_ = 1.0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace glva::store

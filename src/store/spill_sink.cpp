@@ -1,0 +1,115 @@
+#include "store/spill_sink.h"
+
+#include <cstring>
+
+#include "util/errors.h"
+
+namespace glva::store {
+
+SpillSink::SpillSink(std::string path) : SpillSink(std::move(path), Options{}) {}
+
+SpillSink::SpillSink(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  if (options_.chunk_samples == 0 || options_.chunk_samples % 64 != 0) {
+    throw InvalidArgument(
+        "SpillSink: chunk_samples must be a positive multiple of 64");
+  }
+}
+
+void SpillSink::begin(const std::vector<std::string>& species_names) {
+  species_names_ = species_names;
+  series_.assign(species_names.size(), {});
+  times_.clear();
+  times_.reserve(options_.chunk_samples);
+  for (auto& series : series_) series.reserve(options_.chunk_samples);
+
+  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out |
+                        std::ios::trunc);
+  if (!file_) {
+    throw StorageError("SpillSink: cannot open spill file: " + path_);
+  }
+
+  std::string header;
+  header.append(glvt::kMagic, sizeof glvt::kMagic);
+  glvt::append_u32(header, glvt::kVersion);
+  glvt::append_u64(header, options_.seed);
+  glvt::append_f64(header, options_.sampling_period);
+  glvt::append_u32(header, static_cast<std::uint32_t>(species_names.size()));
+  glvt::append_u32(header, options_.chunk_samples);
+  glvt::append_u64(header, 0);  // sample_count, patched in finish()
+  glvt::append_u64(header, 0);  // chunk_count, patched in finish()
+  glvt::append_u64(header, 0);  // index_offset, patched in finish()
+  for (const auto& name : species_names) {
+    glvt::append_u32(header, static_cast<std::uint32_t>(name.size()));
+    header.append(name);
+  }
+  file_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  if (!file_) {
+    throw StorageError("SpillSink: header write failed: " + path_);
+  }
+}
+
+void SpillSink::append(double time, const std::vector<double>& values) {
+  if (values.size() < species_names_.size()) {
+    throw InvalidArgument(
+        "SpillSink::append: value row narrower than species list");
+  }
+  times_.push_back(time);
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    series_[i].push_back(values[i]);
+  }
+  ++sample_count_;
+  if (times_.size() == options_.chunk_samples) flush_chunk();
+}
+
+void SpillSink::flush_chunk() {
+  if (times_.empty()) return;
+  chunk_offsets_.push_back(static_cast<std::uint64_t>(file_.tellp()));
+
+  std::string chunk;
+  glvt::append_u32(chunk, glvt::kChunkMagic);
+  glvt::append_u32(chunk, static_cast<std::uint32_t>(times_.size()));
+  glvt::encode_section(times_, chunk);
+  for (const auto& series : series_) glvt::encode_section(series, chunk);
+
+  file_.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  if (!file_) {
+    throw StorageError("SpillSink: chunk write failed: " + path_);
+  }
+  times_.clear();
+  for (auto& series : series_) series.clear();
+}
+
+void SpillSink::finish() {
+  if (finished_) return;
+  flush_chunk();
+
+  const auto index_offset = static_cast<std::uint64_t>(file_.tellp());
+  std::string index;
+  for (const std::uint64_t offset : chunk_offsets_) {
+    glvt::append_u64(index, offset);
+  }
+  file_.write(index.data(), static_cast<std::streamsize>(index.size()));
+
+  // Patch the three header fields whose zero value marks an unfinished
+  // file; index_offset goes last, so a crash mid-patch still reads as
+  // unfinished.
+  std::string patch;
+  glvt::append_u64(patch, sample_count_);
+  glvt::append_u64(patch, static_cast<std::uint64_t>(chunk_offsets_.size()));
+  file_.seekp(static_cast<std::streamoff>(glvt::kSampleCountOffset));
+  file_.write(patch.data(), static_cast<std::streamsize>(patch.size()));
+  patch.clear();
+  glvt::append_u64(patch, index_offset);
+  file_.seekp(static_cast<std::streamoff>(glvt::kIndexOffsetOffset));
+  file_.write(patch.data(), static_cast<std::streamsize>(patch.size()));
+
+  file_.flush();
+  if (!file_) {
+    throw StorageError("SpillSink: finalize failed: " + path_);
+  }
+  file_.close();
+  finished_ = true;
+}
+
+}  // namespace glva::store

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/glvt.h"
+#include "store/trace_sink.h"
+
+namespace glva::store {
+
+/// Disk-spilling sink: rows accumulate in a fixed-capacity chunk buffer
+/// and are flushed to a `.glvt` file every `chunk_samples` samples, so
+/// resident memory is O(chunk_samples · species) however long the run —
+/// the enabling path for 10^7–10^8-sample realizations. `finish()` writes
+/// the trailing partial chunk, the chunk index, and patches the header's
+/// sample/chunk counts; a file without that patch (crash, truncation) is
+/// rejected by `SpillReader`.
+class SpillSink final : public TraceSink {
+public:
+  struct Options {
+    /// Samples buffered per chunk; must be a positive multiple of 64 (the
+    /// BitStream word size — keeps replayed chunks word-aligned).
+    std::uint32_t chunk_samples = glvt::kDefaultChunkSamples;
+    /// Recorded in the header so a spill file is self-describing: the RNG
+    /// seed that produced the trace and its sampling period.
+    std::uint64_t seed = 0;
+    double sampling_period = 1.0;
+  };
+
+  /// Throws glva::InvalidArgument for a zero or non-multiple-of-64 chunk
+  /// size. The file is created in begin(), not here.
+  explicit SpillSink(std::string path);  // default Options
+  SpillSink(std::string path, Options options);
+
+  /// Creates/truncates the file and writes the header. Throws
+  /// glva::StorageError when the path cannot be opened.
+  void begin(const std::vector<std::string>& species_names) override;
+
+  /// Buffer one row, flushing a full chunk to disk. Throws
+  /// glva::InvalidArgument on a row narrower than the species list and
+  /// glva::StorageError on write failure.
+  void append(double time, const std::vector<double>& values) override;
+
+  /// Flush the tail chunk, write the chunk index, patch the header, and
+  /// close the file. Throws glva::StorageError on write failure.
+  void finish() override;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t sample_count() const noexcept {
+    return sample_count_;
+  }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunk_offsets_.size();
+  }
+
+private:
+  void flush_chunk();
+
+  std::string path_;
+  Options options_;
+  std::fstream file_;
+  std::vector<std::string> species_names_;
+  std::vector<double> times_;                ///< buffered chunk column
+  std::vector<std::vector<double>> series_;  ///< [species][buffered sample]
+  std::vector<std::uint64_t> chunk_offsets_;
+  std::uint64_t sample_count_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace glva::store

@@ -1,0 +1,24 @@
+#include "store/trace_sink.h"
+
+#include "util/errors.h"
+
+namespace glva::store {
+
+const char* sink_kind_name(SinkKind kind) {
+  switch (kind) {
+    case SinkKind::kMemory: return "mem";
+    case SinkKind::kSpill: return "spill";
+    case SinkKind::kDigitize: return "digitize";
+  }
+  return "?";
+}
+
+SinkKind parse_sink_kind(const std::string& name) {
+  if (name == "mem" || name == "memory") return SinkKind::kMemory;
+  if (name == "spill") return SinkKind::kSpill;
+  if (name == "digitize") return SinkKind::kDigitize;
+  throw InvalidArgument("unknown trace sink '" + name +
+                        "' (expected mem | spill | digitize)");
+}
+
+}  // namespace glva::store

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// Streaming trace storage — the bounded-memory I/O layer between the
+/// stochastic simulators and everything that consumes their samples. The
+/// simulator no longer has to materialize a full `sim::Trace` before the
+/// analysis stage sees a single sample: `sim::TraceSampler` pushes every
+/// grid row into a `TraceSink`, and the sink decides what to keep —
+/// everything in RAM (`MemorySink`, the reference path), chunked on disk
+/// (`SpillSink`, the `.glvt` format), or only the digitized bit-planes
+/// (`DigitizingSink`, the fused sampler→ADC path for analysis-only runs).
+/// See `docs/STORAGE.md` for the sink model and the memory budget of
+/// 10^7-sample runs.
+namespace glva::store {
+
+/// Receiver of uniformly sampled simulation rows. The producer calls
+/// `begin` exactly once, then `append` once per grid sample in time order,
+/// then `finish` exactly once. Sinks are single-run, single-threaded
+/// objects: the exec/ runtime gives every parallel job its own sink and
+/// commits results in job-index order, so the determinism contract of
+/// `exec::ParallelRunner` is untouched by where samples land.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+
+  /// Start a stream: one column per species, in network order. Called
+  /// before the first `append`.
+  virtual void begin(const std::vector<std::string>& species_names) = 0;
+
+  /// One sample row on the uniform time grid. `values` holds at least one
+  /// amount per declared species (extra trailing entries are ignored,
+  /// mirroring `sim::Trace::append`).
+  virtual void append(double time, const std::vector<double>& values) = 0;
+
+  /// Stream complete: flush buffers, seal files, release what can be
+  /// released. No `append` may follow.
+  virtual void finish() = 0;
+};
+
+/// The sink families selectable per experiment (`ExperimentConfig::sink`,
+/// CLI `--sink mem|spill|digitize`). All three produce bit-identical
+/// analysis results for the same seed; they differ in what they keep
+/// resident and what survives the run on disk.
+enum class SinkKind {
+  kMemory,    ///< materialize a sim::Trace in RAM (reference path)
+  kSpill,     ///< chunked .glvt file on disk, bounded RAM (SpillSink)
+  kDigitize,  ///< threshold into bit-planes on the fly (DigitizingSink)
+};
+
+/// Stable name ("mem" / "spill" / "digitize") and its inverse; parse
+/// accepts "memory" as an alias for "mem" and throws glva::InvalidArgument
+/// for anything else.
+[[nodiscard]] const char* sink_kind_name(SinkKind kind);
+[[nodiscard]] SinkKind parse_sink_kind(const std::string& name);
+
+}  // namespace glva::store

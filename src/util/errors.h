@@ -55,4 +55,11 @@ public:
   using Error::Error;
 };
 
+/// A trace store that cannot be written or read back (unopenable spill
+/// file, bad `.glvt` magic, truncated chunk, corrupt section payload).
+class StorageError : public Error {
+public:
+  using Error::Error;
+};
+
 }  // namespace glva

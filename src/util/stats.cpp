@@ -55,6 +55,13 @@ double variance(std::span<const double> xs) noexcept {
   return s.variance();
 }
 
+double normal_ci95_half_width(double stddev, std::size_t n) noexcept {
+  // z such that Φ(z) = 0.975 — the standard two-sided 95% quantile.
+  constexpr double kZ975 = 1.959963984540054;
+  if (n < 2) return 0.0;
+  return kZ975 * stddev / std::sqrt(static_cast<double>(n));
+}
+
 double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) throw InvalidArgument("percentile of empty sample");
   p = std::clamp(p, 0.0, 1.0);

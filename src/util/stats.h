@@ -36,6 +36,13 @@ private:
 [[nodiscard]] double mean(std::span<const double> xs) noexcept;
 [[nodiscard]] double variance(std::span<const double> xs) noexcept;
 
+/// Half-width of the normal-approximation 95% confidence interval on a
+/// sample mean: z₀.₉₇₅ · stddev / √n. Returns 0 for n < 2 (no spread
+/// information) — used by the ensemble runner for PFoBE and wrong-state
+/// intervals across replicates.
+[[nodiscard]] double normal_ci95_half_width(double stddev,
+                                            std::size_t n) noexcept;
+
 /// p in [0,1]; linear interpolation between order statistics. Throws
 /// glva::InvalidArgument on an empty input.
 [[nodiscard]] double percentile(std::vector<double> xs, double p);

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <chrono>
+
+/// Wall-clock helpers for the experiment runners and bench harnesses.
+namespace glva::util {
+
+/// Seconds elapsed since `start` on the steady clock.
+[[nodiscard]] inline double seconds_since(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace glva::util

@@ -144,6 +144,48 @@ TEST(Cli, AnalyzeWritesCsv) {
   EXPECT_NE(header.find("case,case_count"), std::string::npos);
 }
 
+TEST(Cli, VerifyWithDigitizeSinkMatchesMemorySink) {
+  const auto memory =
+      run({"verify", "myers_and", "--total-time", "600", "--seed", "4"});
+  const auto digitize = run({"verify", "myers_and", "--total-time", "600",
+                             "--seed", "4", "--sink", "digitize"});
+  EXPECT_EQ(memory.code, digitize.code);
+  // The analytics table and verdict are identical; only timing lines (and
+  // the sink's storage strategy) differ.
+  EXPECT_EQ(memory.out.substr(0, memory.out.find("timing:")),
+            digitize.out.substr(0, digitize.out.find("timing:")));
+}
+
+TEST(Cli, SpillSinkWithoutDirIsUsageError) {
+  const auto result =
+      run({"verify", "myers_not", "--total-time", "100", "--sink", "spill"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--spill-dir"), std::string::npos);
+}
+
+TEST(Cli, UnknownSinkIsUsageError) {
+  const auto result =
+      run({"verify", "myers_not", "--total-time", "100", "--sink", "tape"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("mem | spill | digitize"), std::string::npos);
+}
+
+TEST(Cli, EnsembleWritesConfidenceCsv) {
+  TempPath ci_path("ensemble_ci.csv");
+  const auto result =
+      run({"ensemble", "0x1", "--replicates", "3", "--total-time", "400",
+           "--seed", "42", "--ci-csv", ci_path.str()});
+  EXPECT_NE(result.out.find("95% normal CI"), std::string::npos);
+  std::ifstream csv(ci_path.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_NE(header.find("metric,mean,stddev,ci95_low,ci95_high"),
+            std::string::npos);
+  std::string row;
+  ASSERT_TRUE(std::getline(csv, row));
+  EXPECT_NE(row.find("pfobe_percent"), std::string::npos);
+}
+
 TEST(Cli, EstimatePrintsThresholdAndDelay) {
   const auto result = run({"estimate", "myers_not", "--total-time", "6000"});
   EXPECT_EQ(result.code, 0);

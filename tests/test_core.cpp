@@ -6,12 +6,15 @@
 
 #include <cmath>
 
+#include "circuits/circuit_repository.h"
 #include "core/adc.h"
 #include "core/baseline.h"
 #include "core/bool_constructor.h"
 #include "core/case_analyzer.h"
+#include "core/experiment.h"
 #include "core/logic_analyzer.h"
 #include "core/report.h"
+#include "core/threshold_sweep.h"
 #include "core/variation_analyzer.h"
 #include "core/verifier.h"
 #include "sim/rng.h"
@@ -427,6 +430,64 @@ TEST(Report, BarsMarkAcceptedCombinations) {
   EXPECT_NE(bars.find("11 *"), std::string::npos);  // accepted-high marker
   EXPECT_NE(bars.find("Case_I"), std::string::npos);
   EXPECT_NE(bars.find("Var_O"), std::string::npos);
+}
+
+// The re-digitizing threshold sweep reuses one CombinationIndex across
+// points whose clamped input streams digitize identically (PR 3 follow-up);
+// its output must stay exactly what a per-point re-analysis produces.
+TEST(ThresholdSweepRedigitize, SharedIndexLeavesSweepOutputUnchanged) {
+  const auto spec = circuits::CircuitRepository::build("myers_and");
+  core::ExperimentConfig config;
+  config.total_time = 400.0;
+  config.seed = 9;
+  // Thresholds straddling the drive level (inputs applied at 15): {3, 10,
+  // 15} digitize the clamped inputs identically, 40 zeroes them — two
+  // index classes behind the scenes, four points of output.
+  const std::vector<double> thresholds = {3.0, 10.0, 15.0, 40.0};
+
+  const auto sweep =
+      core::threshold_sweep_redigitize(spec, config, thresholds, 2);
+  ASSERT_EQ(sweep.points.size(), thresholds.size());
+
+  // Reference: the shared simulation re-analyzed point by point through
+  // the generic analyzer entry (no index sharing).
+  const auto base = core::run_experiment(spec, config);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    core::ExperimentConfig point_config = config;
+    point_config.threshold = thresholds[i];
+    point_config.input_high_level = config.high_level();
+    const auto expected = core::reanalyze(spec, point_config, base.sweep);
+
+    const auto& actual = sweep.points[i].result;
+    EXPECT_EQ(actual.extraction.expression(),
+              expected.extraction.expression())
+        << "threshold " << thresholds[i];
+    EXPECT_EQ(actual.extraction.fitness(), expected.extraction.fitness());
+    EXPECT_EQ(actual.verification.matches, expected.verification.matches);
+    ASSERT_EQ(actual.extraction.variation.records.size(),
+              expected.extraction.variation.records.size());
+    for (std::size_t c = 0;
+         c < expected.extraction.variation.records.size(); ++c) {
+      const auto& ra = actual.extraction.variation.records[c];
+      const auto& re = expected.extraction.variation.records[c];
+      EXPECT_EQ(ra.case_count, re.case_count);
+      EXPECT_EQ(ra.high_count, re.high_count);
+      EXPECT_EQ(ra.variation_count, re.variation_count);
+      EXPECT_EQ(ra.fov_est, re.fov_est);
+    }
+  }
+
+  // And the reuse path agrees with the reference backend's sweep.
+  core::ExperimentConfig reference_config = config;
+  reference_config.backend = core::AnalysisBackend::kReference;
+  const auto reference_sweep =
+      core::threshold_sweep_redigitize(spec, reference_config, thresholds, 1);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    EXPECT_EQ(sweep.points[i].result.extraction.expression(),
+              reference_sweep.points[i].result.extraction.expression());
+    EXPECT_EQ(sweep.points[i].result.extraction.fitness(),
+              reference_sweep.points[i].result.extraction.fitness());
+  }
 }
 
 }  // namespace

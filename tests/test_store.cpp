@@ -1,0 +1,532 @@
+// Tests for the store/ streaming trace I/O subsystem: the TraceSink
+// contract, the .glvt spill format (round-trip fuzz, golden bytes, error
+// paths), fused sampler→ADC digitization, and the bit-identity of the
+// three sink kinds through the full experiment pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/circuit_repository.h"
+#include "core/adc.h"
+#include "core/ensemble.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/threshold_sweep.h"
+#include "sim/trace.h"
+#include "sim/virtual_lab.h"
+#include "store/digitizing_sink.h"
+#include "store/glvt.h"
+#include "store/memory_sink.h"
+#include "store/spill_reader.h"
+#include "store/spill_sink.h"
+#include "store/trace_sink.h"
+#include "util/errors.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace glva;
+namespace fs = std::filesystem;
+
+fs::path temp_path(const std::string& name) {
+  return fs::path(::testing::TempDir()) / name;
+}
+
+/// Stream a materialized trace through any sink, row by row — the same
+/// call sequence the TraceSampler produces.
+void stream_trace(const sim::Trace& trace, store::TraceSink& sink) {
+  sink.begin(trace.species_names());
+  std::vector<double> row(trace.species_count());
+  for (std::size_t k = 0; k < trace.sample_count(); ++k) {
+    for (std::size_t s = 0; s < trace.species_count(); ++s) {
+      row[s] = trace.series(s)[k];
+    }
+    sink.append(trace.times()[k], row);
+  }
+  sink.finish();
+}
+
+/// Deterministic synthetic trace mixing long constant runs (clamped-input
+/// shape, RLE-friendly) with per-sample variation (raw sections).
+sim::Trace synthetic_trace(std::size_t samples) {
+  sim::Trace trace({"A", "B", "GFP"});
+  std::vector<double> row(3);
+  for (std::size_t k = 0; k < samples; ++k) {
+    row[0] = (k / 10) % 2 == 0 ? 0.0 : 15.0;
+    row[1] = static_cast<double>(k % 7);
+    row[2] = k < samples / 2 ? 0.0 : 30.0;
+    trace.append(static_cast<double>(k) * 0.5, row);
+  }
+  return trace;
+}
+
+void expect_traces_identical(const sim::Trace& a, const sim::Trace& b) {
+  ASSERT_EQ(a.species_names(), b.species_names());
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  EXPECT_EQ(a.times(), b.times());
+  for (std::size_t s = 0; s < a.species_count(); ++s) {
+    EXPECT_EQ(a.series(s), b.series(s)) << "species " << s;
+  }
+}
+
+void expect_extractions_identical(const core::ExtractionResult& a,
+                                  const core::ExtractionResult& b) {
+  EXPECT_EQ(a.expression(), b.expression());
+  EXPECT_EQ(a.fitness(), b.fitness());
+  ASSERT_EQ(a.variation.records.size(), b.variation.records.size());
+  for (std::size_t c = 0; c < a.variation.records.size(); ++c) {
+    const auto& ra = a.variation.records[c];
+    const auto& rb = b.variation.records[c];
+    EXPECT_EQ(ra.case_count, rb.case_count) << "combination " << c;
+    EXPECT_EQ(ra.high_count, rb.high_count) << "combination " << c;
+    EXPECT_EQ(ra.variation_count, rb.variation_count) << "combination " << c;
+    EXPECT_EQ(ra.fov_est, rb.fov_est) << "combination " << c;
+  }
+  ASSERT_EQ(a.construction.outcomes.size(), b.construction.outcomes.size());
+  for (std::size_t c = 0; c < a.construction.outcomes.size(); ++c) {
+    EXPECT_EQ(a.construction.outcomes[c].verdict,
+              b.construction.outcomes[c].verdict)
+        << "combination " << c;
+  }
+}
+
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << "cannot open " << path;
+  std::ostringstream bytes;
+  bytes << file.rdbuf();
+  return bytes.str();
+}
+
+// --------------------------------------------------------------- SinkKind
+
+TEST(SinkKind, NamesRoundTrip) {
+  for (const auto kind : {store::SinkKind::kMemory, store::SinkKind::kSpill,
+                          store::SinkKind::kDigitize}) {
+    EXPECT_EQ(store::parse_sink_kind(store::sink_kind_name(kind)), kind);
+  }
+  EXPECT_EQ(store::parse_sink_kind("memory"), store::SinkKind::kMemory);
+  EXPECT_THROW((void)store::parse_sink_kind("disk"), InvalidArgument);
+}
+
+// ------------------------------------------------------------- MemorySink
+
+TEST(MemorySink, ReproducesStreamedTrace) {
+  const sim::Trace trace = synthetic_trace(100);
+  store::MemorySink sink;
+  stream_trace(trace, sink);
+  expect_traces_identical(trace, sink.trace());
+}
+
+// ------------------------------------------------------------ glvt codec
+
+TEST(GlvtCodec, SectionRoundTripPreservesBitPatterns) {
+  const std::vector<double> values = {
+      0.0, -0.0, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5,
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(), -3.25, 42.0};
+  std::string buffer;
+  store::glvt::encode_section(values, buffer);
+  std::size_t offset = 0;
+  const std::vector<double> decoded =
+      store::glvt::decode_section(buffer, offset, values.size());
+  EXPECT_EQ(offset, buffer.size());
+  ASSERT_EQ(decoded.size(), values.size());
+  EXPECT_EQ(std::memcmp(decoded.data(), values.data(),
+                        values.size() * sizeof(double)),
+            0)
+      << "round trip must preserve NaN and signed-zero bit patterns";
+}
+
+TEST(GlvtCodec, ConstantRunsCompress) {
+  const std::vector<double> constant(1000, 15.0);
+  std::string buffer;
+  store::glvt::encode_section(constant, buffer);
+  // One RLE run: tag + length + (count, bits) — far below 8000 raw bytes.
+  EXPECT_LT(buffer.size(), 64u);
+  std::size_t offset = 0;
+  EXPECT_EQ(store::glvt::decode_section(buffer, offset, constant.size()),
+            constant);
+}
+
+TEST(GlvtCodec, DecodeRejectsTruncationAndBadTags) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  std::string buffer;
+  store::glvt::encode_section(values, buffer);
+
+  std::string truncated = buffer.substr(0, buffer.size() - 3);
+  std::size_t offset = 0;
+  EXPECT_THROW((void)store::glvt::decode_section(truncated, offset, 3),
+               StorageError);
+
+  std::string bad_tag = buffer;
+  bad_tag[0] = 7;  // neither kRaw nor kRle
+  offset = 0;
+  EXPECT_THROW((void)store::glvt::decode_section(bad_tag, offset, 3),
+               StorageError);
+}
+
+// ------------------------------------------------------- spill round trip
+
+TEST(Spill, RoundTripReproducesTraceBitForBit) {
+  const sim::Trace trace = synthetic_trace(150);
+  const fs::path path = temp_path("roundtrip.glvt");
+
+  store::SpillSink::Options options;
+  options.chunk_samples = 64;
+  options.seed = 123;
+  options.sampling_period = 0.5;
+  store::SpillSink sink(path.string(), options);
+  stream_trace(trace, sink);
+  EXPECT_EQ(sink.sample_count(), 150u);
+  EXPECT_EQ(sink.chunk_count(), 3u);  // 64 + 64 + 22
+
+  store::SpillReader reader(path.string());
+  EXPECT_EQ(reader.species_names(), trace.species_names());
+  EXPECT_EQ(reader.sample_count(), 150u);
+  EXPECT_EQ(reader.chunk_count(), 3u);
+  EXPECT_EQ(reader.chunk_capacity(), 64u);
+  EXPECT_EQ(reader.seed(), 123u);
+  EXPECT_EQ(reader.sampling_period(), 0.5);
+
+  expect_traces_identical(trace, reader.read_all());
+
+  const store::SpillReader::Chunk last = reader.read_chunk(2);
+  EXPECT_EQ(last.first_sample, 128u);
+  EXPECT_EQ(last.times.size(), 22u);
+}
+
+TEST(Spill, RoundTripFuzzAcrossSizesAndChunkCapacities) {
+  for (const std::size_t samples : {0u, 1u, 63u, 64u, 65u, 129u, 1000u}) {
+    for (const std::uint32_t chunk : {64u, 128u, 4096u}) {
+      const sim::Trace trace = synthetic_trace(samples);
+      const fs::path path = temp_path("fuzz_" + std::to_string(samples) +
+                                      "_" + std::to_string(chunk) + ".glvt");
+      store::SpillSink::Options options;
+      options.chunk_samples = chunk;
+      store::SpillSink sink(path.string(), options);
+      stream_trace(trace, sink);
+
+      store::SpillReader reader(path.string());
+      ASSERT_EQ(reader.sample_count(), samples);
+      const std::size_t expected_chunks = (samples + chunk - 1) / chunk;
+      ASSERT_EQ(reader.chunk_count(), expected_chunks);
+      expect_traces_identical(trace, reader.read_all());
+    }
+  }
+}
+
+TEST(Spill, CsvStreamMatchesTraceToCsv) {
+  const sim::Trace trace = synthetic_trace(150);
+  const fs::path path = temp_path("csv.glvt");
+  store::SpillSink::Options options;
+  options.chunk_samples = 64;
+  store::SpillSink sink(path.string(), options);
+  stream_trace(trace, sink);
+
+  store::SpillReader reader(path.string());
+  std::ostringstream csv;
+  reader.write_csv(csv);
+  EXPECT_EQ(csv.str(), trace.to_csv());
+}
+
+TEST(Spill, ChunkSizeMustBeWordMultiple) {
+  EXPECT_THROW(store::SpillSink("x.glvt", {.chunk_samples = 0}),
+               InvalidArgument);
+  EXPECT_THROW(store::SpillSink("x.glvt", {.chunk_samples = 100}),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------ spill error paths
+
+TEST(Spill, RejectsBadMagic) {
+  const fs::path path = temp_path("bad_magic.glvt");
+  store::SpillSink sink(path.string(), {.chunk_samples = 64});
+  stream_trace(synthetic_trace(10), sink);
+
+  std::string bytes = read_file_bytes(path);
+  bytes[0] = 'X';
+  std::ofstream(path, std::ios::binary) << bytes;
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+}
+
+TEST(Spill, RejectsUnsupportedVersion) {
+  const fs::path path = temp_path("bad_version.glvt");
+  store::SpillSink sink(path.string(), {.chunk_samples = 64});
+  stream_trace(synthetic_trace(10), sink);
+
+  std::string bytes = read_file_bytes(path);
+  bytes[4] = 99;  // version field
+  std::ofstream(path, std::ios::binary) << bytes;
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+}
+
+TEST(Spill, RejectsTruncatedFile) {
+  const fs::path path = temp_path("truncated.glvt");
+  store::SpillSink sink(path.string(), {.chunk_samples = 64});
+  stream_trace(synthetic_trace(200), sink);
+
+  const std::string bytes = read_file_bytes(path);
+  // Chop the chunk index off the end: the index no longer fits the file.
+  std::ofstream(path, std::ios::binary)
+      << bytes.substr(0, bytes.size() - 12);
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+
+  // A file cut inside the header is rejected too.
+  std::ofstream(path, std::ios::binary) << bytes.substr(0, 20);
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+}
+
+TEST(Spill, RejectsOversizedHeaderFields) {
+  const fs::path path = temp_path("oversized.glvt");
+  store::SpillSink sink(path.string(), {.chunk_samples = 64});
+  stream_trace(synthetic_trace(10), sink);
+  const std::string bytes = read_file_bytes(path);
+
+  // A chunk_count near 2^61 would wrap a multiplicative fit check and
+  // escape as std::length_error from reserve(); it must stay StorageError.
+  std::string huge_chunks = bytes;
+  for (std::size_t b = 0; b < 8; ++b) {
+    huge_chunks[store::glvt::kChunkCountOffset + b] =
+        static_cast<char>(b == 7 ? 0x20 : 0x00);  // 2^61
+  }
+  std::ofstream(path, std::ios::binary) << huge_chunks;
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+
+  // A species-name length of 0xFFFFFFFF must be rejected before the
+  // reader trusts it with an allocation.
+  std::string huge_name = bytes;
+  for (std::size_t b = 0; b < 4; ++b) {
+    huge_name[store::glvt::kHeaderFixedBytes + b] = '\xff';
+  }
+  std::ofstream(path, std::ios::binary) << huge_name;
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+}
+
+TEST(Spill, RejectsUnfinishedFile) {
+  const fs::path path = temp_path("unfinished.glvt");
+  {
+    store::SpillSink sink(path.string(), {.chunk_samples = 64});
+    sink.begin({"A", "B"});
+    sink.append(0.0, {1.0, 2.0});
+    // No finish(): the header keeps its index_offset == 0 sentinel.
+  }
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+}
+
+TEST(Spill, RejectsCorruptChunkMagic) {
+  const fs::path path = temp_path("bad_chunk.glvt");
+  store::SpillSink sink(path.string(), {.chunk_samples = 64});
+  const sim::Trace trace = synthetic_trace(10);
+  stream_trace(trace, sink);
+
+  // The first chunk starts right after the header: fixed prefix + one
+  // (u32 length + bytes) record per species name.
+  std::size_t chunk_offset = store::glvt::kHeaderFixedBytes;
+  for (const auto& name : trace.species_names()) {
+    chunk_offset += sizeof(std::uint32_t) + name.size();
+  }
+  std::string bytes = read_file_bytes(path);
+  bytes[chunk_offset] = '?';
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  store::SpillReader reader(path.string());  // header and index still valid
+  EXPECT_THROW((void)reader.read_chunk(0), StorageError);
+}
+
+TEST(Spill, MissingFileRejected) {
+  EXPECT_THROW(store::SpillReader{"/nonexistent/dir/missing.glvt"},
+               StorageError);
+}
+
+// ----------------------------------------------------------- golden bytes
+
+TEST(Spill, GoldenFileBytesAreStable) {
+  const fs::path path = temp_path("golden_generated.glvt");
+  store::SpillSink::Options options;
+  options.chunk_samples = 64;
+  options.seed = 123;
+  options.sampling_period = 0.5;
+  store::SpillSink sink(path.string(), options);
+  stream_trace(synthetic_trace(150), sink);
+
+  const std::string generated = read_file_bytes(path);
+  const std::string golden =
+      read_file_bytes(fs::path(GLVA_GOLDEN_DIR) / "spill_fixed.glvt");
+  ASSERT_EQ(generated.size(), golden.size())
+      << "regenerate tests/golden/spill_fixed.glvt if the .glvt format "
+         "changed intentionally (and bump glvt::kVersion)";
+  EXPECT_TRUE(generated == golden)
+      << "byte-level .glvt drift — bump glvt::kVersion on format changes";
+}
+
+// -------------------------------------------------------- DigitizingSink
+
+TEST(DigitizingSink, MatchesDigitizePackedOverMaterializedTrace) {
+  const sim::Trace trace = synthetic_trace(500);
+  store::DigitizingSink sink({"A", "B", "GFP"}, 15.0);
+  stream_trace(trace, sink);
+  EXPECT_EQ(sink.sample_count(), 500u);
+
+  const core::PackedDigitalData expected =
+      core::digitize_packed(trace, {"A", "B"}, "GFP", 15.0);
+  EXPECT_EQ(sink.planes()[0], expected.inputs[0]);
+  EXPECT_EQ(sink.planes()[1], expected.inputs[1]);
+  EXPECT_EQ(sink.planes()[2], expected.output);
+}
+
+TEST(DigitizingSink, ReplayFromSpillMatchesDirectDigitization) {
+  const sim::Trace trace = synthetic_trace(300);
+  const fs::path path = temp_path("replay.glvt");
+  store::SpillSink sink(path.string(), {.chunk_samples = 64});
+  stream_trace(trace, sink);
+
+  store::SpillReader reader(path.string());
+  store::DigitizingSink digitizer({"GFP", "A"}, 10.0);
+  reader.replay(digitizer);
+
+  EXPECT_EQ(digitizer.planes()[0],
+            core::adc_packed(trace.series("GFP"), 10.0));
+  EXPECT_EQ(digitizer.planes()[1], core::adc_packed(trace.series("A"), 10.0));
+}
+
+TEST(DigitizingSink, ValidatesArguments) {
+  EXPECT_THROW(store::DigitizingSink({}, 15.0), InvalidArgument);
+  EXPECT_THROW(store::DigitizingSink({"A"}, 0.0), InvalidArgument);
+  store::DigitizingSink sink({"missing"}, 15.0);
+  EXPECT_THROW(sink.begin({"A", "B"}), InvalidArgument);
+  store::DigitizingSink ok({"A"}, 15.0);
+  ok.begin({"A"});
+  EXPECT_THROW((void)ok.take_plane(1), InvalidArgument);
+}
+
+// ------------------------------------------- experiment-level bit-identity
+
+TEST(ExperimentSinks, AllThreeSinksProduceBitIdenticalAnalyses) {
+  const auto spec = circuits::CircuitRepository::build("myers_and");
+  core::ExperimentConfig config;
+  config.total_time = 400.0;
+  config.seed = 11;
+
+  const auto memory = core::run_experiment(spec, config);
+
+  config.sink = store::SinkKind::kSpill;
+  config.spill_dir = (fs::path(::testing::TempDir()) / "exp_spill").string();
+  const auto spill = core::run_experiment(spec, config);
+
+  config.sink = store::SinkKind::kDigitize;
+  const auto digitize = core::run_experiment(spec, config);
+
+  expect_extractions_identical(memory.extraction, spill.extraction);
+  expect_extractions_identical(memory.extraction, digitize.extraction);
+  EXPECT_EQ(memory.verification.matches, spill.verification.matches);
+  EXPECT_EQ(memory.verification.matches, digitize.verification.matches);
+  EXPECT_EQ(memory.verification.wrong_state_count(),
+            digitize.verification.wrong_state_count());
+
+  // The spill path re-materializes the identical trace and leaves the
+  // .glvt behind; the digitize path never materializes one.
+  expect_traces_identical(memory.sweep.trace, spill.sweep.trace);
+  EXPECT_EQ(digitize.sweep.trace.sample_count(), 0u);
+  EXPECT_TRUE(fs::exists(fs::path(config.spill_dir) /
+                         (spec.name + "-s11.glvt")));
+}
+
+TEST(ExperimentSinks, SpillRequiresDirectory) {
+  const auto spec = circuits::CircuitRepository::build("myers_not");
+  core::ExperimentConfig config;
+  config.total_time = 100.0;
+  config.sink = store::SinkKind::kSpill;
+  EXPECT_THROW((void)core::run_experiment(spec, config), InvalidArgument);
+}
+
+TEST(ExperimentSinks, DigitizeRejectsReferenceBackend) {
+  const auto spec = circuits::CircuitRepository::build("myers_not");
+  core::ExperimentConfig config;
+  config.total_time = 100.0;
+  config.sink = store::SinkKind::kDigitize;
+  config.backend = core::AnalysisBackend::kReference;
+  EXPECT_THROW((void)core::run_experiment(spec, config), InvalidArgument);
+}
+
+TEST(ExperimentSinks, EnsembleSpillIsJobCountInvariantWithPerReplicateFiles) {
+  const auto spec = circuits::CircuitRepository::build("0x1");
+  core::ExperimentConfig config;
+  config.total_time = 300.0;
+  config.seed = 42;
+  config.sink = store::SinkKind::kSpill;
+  config.spill_dir =
+      (fs::path(::testing::TempDir()) / "ensemble_spill").string();
+
+  const auto serial = core::run_ensemble(spec, config, 3, 1);
+  const auto parallel = core::run_ensemble(spec, config, 3, 8);
+  EXPECT_EQ(core::render_ensemble_summary(serial),
+            core::render_ensemble_summary(parallel));
+
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_TRUE(fs::exists(
+        fs::path(config.spill_dir) /
+        (spec.name + "-s42-r" + std::to_string(r) + ".glvt")))
+        << "replicate " << r;
+  }
+}
+
+TEST(ExperimentSinks, DigitizeSinkIsJobCountInvariant) {
+  const auto spec = circuits::CircuitRepository::build("myers_and");
+  core::ExperimentConfig config;
+  config.total_time = 300.0;
+  config.seed = 5;
+  config.sink = store::SinkKind::kDigitize;
+
+  const auto serial = core::run_ensemble(spec, config, 3, 1);
+  const auto parallel = core::run_ensemble(spec, config, 3, 8);
+  EXPECT_EQ(core::render_ensemble_summary(serial),
+            core::render_ensemble_summary(parallel));
+}
+
+// ----------------------------------------------- ensemble confidence (CI)
+
+TEST(EnsembleConfidence, MatchesReplicateStatistics) {
+  const auto spec = circuits::CircuitRepository::build("myers_not");
+  core::ExperimentConfig config;
+  config.total_time = 300.0;
+  config.seed = 3;
+  const auto ensemble = core::run_ensemble(spec, config, 4, 1);
+
+  util::RunningStats pfobe;
+  util::RunningStats wrong;
+  for (const auto& replicate : ensemble.replicates) {
+    pfobe.add(replicate.extraction.fitness());
+    wrong.add(
+        static_cast<double>(replicate.verification.wrong_state_count()));
+  }
+  EXPECT_DOUBLE_EQ(ensemble.pfobe.mean, pfobe.mean());
+  EXPECT_DOUBLE_EQ(ensemble.pfobe.stddev, pfobe.stddev());
+  EXPECT_DOUBLE_EQ(ensemble.pfobe.half_width,
+                   util::normal_ci95_half_width(pfobe.stddev(), 4));
+  EXPECT_DOUBLE_EQ(ensemble.wrong_states.mean, wrong.mean());
+  EXPECT_DOUBLE_EQ(ensemble.pfobe.lower(),
+                   ensemble.pfobe.mean - ensemble.pfobe.half_width);
+
+  const std::string summary = core::render_ensemble_summary(ensemble);
+  EXPECT_NE(summary.find("95% normal CI"), std::string::npos);
+  const std::string csv = core::ensemble_confidence_csv(ensemble);
+  EXPECT_NE(csv.find("pfobe_percent"), std::string::npos);
+  EXPECT_NE(csv.find("wrong_states"), std::string::npos);
+}
+
+TEST(EnsembleConfidence, SingleReplicateHasZeroHalfWidth) {
+  EXPECT_EQ(util::normal_ci95_half_width(1.5, 1), 0.0);
+  EXPECT_GT(util::normal_ci95_half_width(1.5, 4), 0.0);
+}
+
+}  // namespace
