@@ -15,7 +15,19 @@
 // peak RSS under --rss-budget-mb (exit 1 otherwise) while producing the
 // same extraction the memory path does. With --no-timings the output is
 // byte-stable for a fixed seed (the golden regression pins `--sink all`).
+//
+// Two follow-on sections ride on the same run:
+//   - whenever a spill file was written, the .glvt is replayed into the
+//     digitizer twice — row-at-a-time (SpillReader::replay_rows, the
+//     reference) and chunk-at-a-time blocks (SpillReader::replay) — the
+//     planes are compared bit for bit and, with timings on, the block
+//     path's replay speedup is reported (target: >= 3x);
+//   - --ensemble-replicates N runs an N-replicate digitize-sink ensemble
+//     through the streaming reduction (core::run_ensemble) and reports the
+//     majority logic plus, with timings on, the process peak RSS — the
+//     O(1)-per-replicate memory bound made visible.
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -29,6 +41,8 @@
 
 #include "circuits/circuit_repository.h"
 #include "core/adc.h"
+#include "core/ensemble.h"
+#include "core/experiment.h"
 #include "core/logic_analyzer.h"
 #include "core/report.h"
 #include "sim/virtual_lab.h"
@@ -68,6 +82,13 @@ struct SinkRun {
   double analyze_seconds = 0.0;
 };
 
+std::string spill_path_for(const circuits::CircuitSpec& spec,
+                           const std::string& spill_dir, std::uint64_t seed) {
+  return (std::filesystem::path(spill_dir) /
+          (spec.name + "-bench-s" + std::to_string(seed) + ".glvt"))
+      .string();
+}
+
 SinkRun run_with_sink(const circuits::CircuitSpec& spec,
                       const std::string& sink_name, double total_time,
                       double sampling_period, double threshold, double fov_ud,
@@ -104,10 +125,7 @@ SinkRun run_with_sink(const circuits::CircuitSpec& spec,
     data = core::take_digitized(sink, spec.input_ids.size());
   } else {  // spill
     std::filesystem::create_directories(spill_dir);
-    const std::string path =
-        (std::filesystem::path(spill_dir) /
-         (spec.name + "-bench-s" + std::to_string(seed) + ".glvt"))
-            .string();
+    const std::string path = spill_path_for(spec, spill_dir, seed);
     store::SpillSink::Options spill_options;
     spill_options.seed = seed;
     spill_options.sampling_period = sampling_period;
@@ -168,6 +186,13 @@ int main(int argc, char** argv) {
   cli.add_option("rss-budget-mb", "512",
                  "fail (exit 1) when peak RSS exceeds this many MiB "
                  "(checked only when timings are on)");
+  cli.add_option("ensemble-replicates", "0",
+                 "also run an N-replicate digitize-sink ensemble through "
+                 "the streaming reduction and report its peak RSS (0 = "
+                 "skip; uses --total-time/--samples per replicate)");
+  cli.add_option("ensemble-jobs", "2",
+                 "worker threads for the ensemble section (0 = one per "
+                 "hardware thread)");
   cli.add_flag("no-timings",
                "omit wall-clock and RSS lines (deterministic output for the "
                "golden regression)");
@@ -247,6 +272,90 @@ int main(int argc, char** argv) {
   }
 
   int rc = agree ? 0 : 1;
+
+  // Replay comparison: the .glvt written above replayed into the digitizer
+  // row-at-a-time vs chunk-at-a-time. The planes must agree bit for bit
+  // (checked always); the speedup is the block data path's headline win.
+  if (std::find(sinks.begin(), sinks.end(), "spill") != sinks.end()) {
+    std::vector<std::string> tracked = spec.input_ids;
+    tracked.push_back(spec.output_id);
+    store::SpillReader reader(spill_path_for(spec, spill_dir, seed));
+
+    store::DigitizingSink by_rows(tracked, threshold);
+    const auto rows_start = std::chrono::steady_clock::now();
+    reader.replay_rows(by_rows);
+    const double rows_seconds = seconds_since(rows_start);
+
+    store::DigitizingSink by_blocks(tracked, threshold);
+    const auto blocks_start = std::chrono::steady_clock::now();
+    reader.replay(by_blocks);
+    const double blocks_seconds = seconds_since(blocks_start);
+
+    const bool replay_identical = by_rows.planes() == by_blocks.planes() &&
+                                  by_rows.sample_count() ==
+                                      by_blocks.sample_count();
+    std::cout << "\n--- replay: .glvt -> digitize, row vs block ---\n"
+              << "samples:    " << by_blocks.sample_count() << "\n"
+              << "block path bit-identical to row path: "
+              << (replay_identical ? "yes" : "NO") << "\n";
+    if (timings) {
+      const auto rate = [](std::size_t samples, double seconds) {
+        return seconds > 0.0
+                   ? static_cast<double>(samples) / seconds / 1e6
+                   : 0.0;
+      };
+      std::cout << "rows:       "
+                << util::format_double(rows_seconds, 3) << " s ("
+                << util::format_double(rate(by_rows.sample_count(),
+                                            rows_seconds), 1)
+                << " Msamples/s)\n"
+                << "blocks:     "
+                << util::format_double(blocks_seconds, 3) << " s ("
+                << util::format_double(rate(by_blocks.sample_count(),
+                                            blocks_seconds), 1)
+                << " Msamples/s)\n"
+                << "speedup:    "
+                << util::format_double(
+                       blocks_seconds > 0.0 ? rows_seconds / blocks_seconds
+                                            : 0.0, 2)
+                << "x (block over row)\n";
+    }
+    if (!replay_identical) rc = 1;
+  }
+
+  // Streaming-reduction ensemble: N digitize-sink replicates of the full
+  // combination-sweep experiment, folded replicate by replicate — the
+  // fleet never materializes, so peak RSS stays at the in-flight window.
+  const long long ensemble_replicates = cli.get_int("ensemble-replicates");
+  if (ensemble_replicates > 0) {
+    core::ExperimentConfig config;
+    config.total_time = total_time;
+    config.sampling_period = sampling_period;
+    config.threshold = threshold;
+    config.fov_ud = fov_ud;
+    config.seed = seed;
+    config.sink = store::SinkKind::kDigitize;
+    const auto ensemble_jobs =
+        static_cast<std::size_t>(cli.get_int("ensemble-jobs"));
+    const auto ensemble_start = std::chrono::steady_clock::now();
+    const auto ensemble = core::run_ensemble(
+        spec, config, static_cast<std::size_t>(ensemble_replicates),
+        ensemble_jobs);
+    const double ensemble_seconds = seconds_since(ensemble_start);
+    std::cout << "\n--- ensemble: streaming reduction, digitize sink ---\n"
+              << "replicates: " << ensemble.replicate_count << " x "
+              << util::format_double(samples, 0) << " samples (jobs "
+              << ensemble_jobs << ")\n"
+              << "majority:   " << ensemble.output_name << " bits 0x"
+              << std::hex << ensemble.majority_logic.to_bits() << std::dec
+              << ", " << ensemble.match_count << "/"
+              << ensemble.replicate_count << " replicates match\n";
+    if (timings) {
+      std::cout << "timing:     " << util::format_double(ensemble_seconds, 3)
+                << " s; peak RSS after ensemble "
+                << util::format_double(peak_rss_mb(), 1) << " MiB\n";
+    }
+  }
   if (timings) {
     const double rss = peak_rss_mb();
     const double budget = cli.get_double("rss-budget-mb");

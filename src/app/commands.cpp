@@ -281,33 +281,94 @@ int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
   }
   const auto spec =
       circuits::CircuitRepository::build(name, cli.get_flag("two-stage"));
-  const auto ensemble = core::run_ensemble(
-      spec, config_from(cli), static_cast<std::size_t>(replicates), jobs);
+
+  // Per-replicate analytics stream out of the ensemble's ordered commit
+  // stream as each replicate finishes — the runner never materializes the
+  // fleet, so --csv / --csv-dir stay O(1) per replicate too. The fleet CSV
+  // streams into a sibling temp file that is renamed onto --csv only after
+  // a fully successful run, so a failed rerun can never truncate, corrupt,
+  // or delete an earlier result file (matching the old write-after-success
+  // behavior). The temp file is opened (and directories created) before
+  // the run so argument errors surface without paying for the simulation.
+  const std::string csv_path = cli.get("csv");
+  const std::string csv_dir = cli.get("csv-dir");
+  const std::string csv_temp_path =
+      csv_path.empty() ? std::string() : csv_path + ".partial";
+  std::ofstream csv_stream;
+  if (!csv_path.empty()) {
+    csv_stream.open(csv_temp_path, std::ios::binary);
+    if (!csv_stream) throw Error("cannot open CSV output file: " + csv_path);
+    // --csv carries *all* replicates, distinguished by the leading
+    // `replicate` index column (see ensemble_analytics_csv_header).
+    csv_stream << core::ensemble_analytics_csv_header();
+  }
+  if (!csv_dir.empty()) std::filesystem::create_directories(csv_dir);
+
+  core::ReplicateObserver observer;
+  if (!csv_path.empty() || !csv_dir.empty()) {
+    observer = [&](std::size_t r, const core::ExperimentResult& result) {
+      if (csv_stream.is_open()) {
+        csv_stream << core::ensemble_analytics_csv_rows(r, result.extraction);
+        // Fail fast: a bad stream (disk full, pulled mount) aborts the run
+        // at this commit instead of simulating the rest of the fleet.
+        if (!csv_stream) {
+          throw Error("failed writing CSV output file: " + csv_path);
+        }
+      }
+      if (!csv_dir.empty()) {
+        // --csv-dir splits the same analytics into one file per replicate.
+        std::string index = std::to_string(r);
+        index.insert(0, index.size() < 3 ? 3 - index.size() : 0, '0');
+        write_csv_file(
+            (std::filesystem::path(csv_dir) / ("replicate_" + index + ".csv"))
+                .string(),
+            core::analytics_csv(result.extraction));
+      }
+    };
+  }
+
+  core::EnsembleResult ensemble;
+  try {
+    ensemble =
+        core::run_ensemble(spec, config_from(cli),
+                           static_cast<std::size_t>(replicates), jobs, observer);
+  } catch (...) {
+    // Only the temp file dies with a failed run; an earlier --csv result
+    // file is untouched. Completed replicate_NNN.csv files are each
+    // self-contained and are left in place.
+    if (csv_stream.is_open()) {
+      csv_stream.close();
+      std::error_code ec;
+      std::filesystem::remove(csv_temp_path, ec);
+    }
+    throw;
+  }
   out << core::render_ensemble_summary(ensemble);
-  // For an ensemble, --csv carries *all* replicates, distinguished by the
-  // leading `replicate` index column (see ensemble_analytics_csv).
-  if (const std::string path = cli.get("csv"); !path.empty()) {
-    write_csv_file(path, core::ensemble_analytics_csv(ensemble));
-    out << "analytics CSV (all replicates) written to " << path << "\n";
+  if (csv_stream.is_open()) {
+    // Seal the temp file, then move it onto the target in one step — the
+    // target is either the previous complete file or the new complete one,
+    // never a truncated half-fleet document.
+    csv_stream.close();
+    std::error_code ec;
+    if (!csv_stream) {
+      std::filesystem::remove(csv_temp_path, ec);
+      throw Error("failed writing CSV output file: " + csv_path);
+    }
+    std::filesystem::rename(csv_temp_path, csv_path, ec);
+    if (ec) {
+      std::filesystem::remove(csv_temp_path, ec);
+      throw Error("failed writing CSV output file: " + csv_path);
+    }
+    out << "analytics CSV (all replicates) written to " << csv_path << "\n";
   }
   // --ci-csv carries the replicate-level confidence intervals.
   if (const std::string path = cli.get("ci-csv"); !path.empty()) {
     write_csv_file(path, core::ensemble_confidence_csv(ensemble));
     out << "confidence-interval CSV written to " << path << "\n";
   }
-  // --csv-dir splits the same analytics into one file per replicate.
-  if (const std::string dir = cli.get("csv-dir"); !dir.empty()) {
-    std::filesystem::create_directories(dir);
-    for (std::size_t r = 0; r < ensemble.replicates.size(); ++r) {
-      std::string index = std::to_string(r);
-      index.insert(0, index.size() < 3 ? 3 - index.size() : 0, '0');
-      write_csv_file(
-          (std::filesystem::path(dir) / ("replicate_" + index + ".csv"))
-              .string(),
-          core::analytics_csv(ensemble.replicates[r].extraction));
-    }
-    out << ensemble.replicates.size() << " replicate CSV(s) written to "
-        << dir << "\n";
+  if (!csv_dir.empty()) {
+    out << ensemble.replicate_count << " replicate CSV(s) written to "
+        << csv_dir << "\n";
   }
   return ensemble.majority_matches ? 0 : 1;
 }

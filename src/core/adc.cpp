@@ -1,12 +1,8 @@
 #include "core/adc.h"
 
 #include <algorithm>
-#include <cstring>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
+#include "logic/word_pack.h"
 #include "util/errors.h"
 
 namespace glva::core {
@@ -19,35 +15,9 @@ void require_positive_threshold(double threshold, const char* what) {
   }
 }
 
-/// Pack 64 consecutive threshold comparisons into one word, bit j =
-/// (samples[j] >= threshold). The SSE2 path turns each pair of doubles
-/// into two mask bits with cmpge + movmskpd (NaN compares false, exactly
-/// like the scalar >=); the portable path compares into a byte buffer the
-/// autovectorizer handles, then gathers each 8-byte group into 8 bits with
-/// one multiply (magic 0x0102040810204080: byte t of the group lands at
-/// bit 56+t of the product).
-std::uint64_t pack_word64(const double* samples, double threshold) {
-#if defined(__SSE2__)
-  const __m128d vth = _mm_set1_pd(threshold);
-  std::uint64_t word = 0;
-  for (std::size_t j = 0; j < 64; j += 2) {
-    const int pair =
-        _mm_movemask_pd(_mm_cmpge_pd(_mm_loadu_pd(samples + j), vth));
-    word |= static_cast<std::uint64_t>(pair) << j;
-  }
-  return word;
-#else
-  unsigned char bytes[64];
-  for (std::size_t j = 0; j < 64; ++j) bytes[j] = samples[j] >= threshold;
-  std::uint64_t word = 0;
-  for (std::size_t g = 0; g < 8; ++g) {
-    std::uint64_t group;
-    std::memcpy(&group, bytes + g * 8, sizeof group);
-    word |= ((group * 0x0102040810204080ULL) >> 56) << (g * 8);
-  }
-  return word;
-#endif
-}
+// The 64-comparison word packer moved to logic/word_pack.h so the fused
+// sampler→ADC sink (store::DigitizingSink) shares the exact same kernel.
+using logic::pack_threshold_word64;
 
 }  // namespace
 
@@ -69,7 +39,7 @@ logic::BitStream adc_packed(const std::vector<double>& analog,
                                    kWordBits);
   const double* samples = analog.data();
   for (std::size_t w = 0; w < full_words; ++w) {
-    words[w] = pack_word64(samples + w * kWordBits, threshold);
+    words[w] = pack_threshold_word64(samples + w * kWordBits, threshold);
   }
   // Partial tail word (fewer than 64 remaining samples): plain loop.
   const std::size_t base = full_words * kWordBits;

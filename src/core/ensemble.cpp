@@ -1,20 +1,27 @@
 #include "core/ensemble.h"
 
 #include <sstream>
+#include <utility>
 
 #include "exec/parallel_runner.h"
 #include "exec/seed_sequence.h"
 #include "logic/quine_mccluskey.h"
 #include "util/errors.h"
-#include "util/stats.h"
 #include "util/string_util.h"
 #include "util/text_table.h"
 
 namespace glva::core {
 
+MeanConfidence mean_confidence(const util::RunningStats& stats) {
+  return MeanConfidence{
+      stats.mean(), stats.stddev(),
+      util::normal_ci95_half_width(stats.stddev(), stats.count())};
+}
+
 EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
                             const ExperimentConfig& config,
-                            std::size_t replicates, std::size_t jobs) {
+                            std::size_t replicates, std::size_t jobs,
+                            const ReplicateObserver& observer) {
   if (replicates == 0) {
     throw InvalidArgument("run_ensemble: need at least one replicate");
   }
@@ -23,15 +30,25 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
   ensemble.circuit_name = spec.name;
   ensemble.base_config = config;
   ensemble.replicate_count = replicates;
+  ensemble.replicate_matches.reserve(replicates);
 
   // Seeds are derived up front, before the fan-out, so each job is a pure
   // function of its index — the determinism contract of exec/.
   const exec::SeedSequence seeds(config.seed);
   ensemble.replicate_seeds = seeds.first(replicates);
 
+  // Welford accumulators the commit stream folds into; commits arrive in
+  // replicate order whatever the worker count, so every add() sequence —
+  // and therefore every derived mean/stddev bit — matches the serial run.
+  std::vector<util::RunningStats> fov_stats;
+  std::vector<std::size_t> high_votes;
+  util::RunningStats pfobe;
+  util::RunningStats wrong_states;
+
   const exec::ParallelRunner runner(jobs);
-  ensemble.replicates = runner.map<ExperimentResult>(
-      replicates, [&](std::size_t r) {
+  runner.run_reduce<ExperimentResult>(
+      replicates,
+      [&](std::size_t r) {
         ExperimentConfig replicate_config = config;
         replicate_config.seed = ensemble.replicate_seeds[r];
         if (replicate_config.sink == store::SinkKind::kSpill) {
@@ -41,26 +58,41 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
                                         std::to_string(r);
         }
         return run_experiment(spec, replicate_config);
+      },
+      [&](std::size_t r, ExperimentResult&& result) {
+        const std::size_t combinations =
+            result.extraction.variation.records.size();
+        if (r == 0) {
+          ensemble.input_count = result.extraction.input_count;
+          ensemble.input_names = result.extraction.input_names;
+          ensemble.output_name = result.extraction.output_name;
+          fov_stats.resize(combinations);
+          high_votes.assign(combinations, 0);
+        }
+        for (std::size_t c = 0; c < combinations; ++c) {
+          fov_stats[c].add(result.extraction.variation.records[c].fov_est);
+          if (result.extraction.extracted().output(c)) ++high_votes[c];
+        }
+        const bool matches = result.verification.matches;
+        ensemble.replicate_matches.push_back(matches);
+        ensemble.match_count += matches ? 1 : 0;
+        pfobe.add(result.extraction.fitness());
+        wrong_states.add(
+            static_cast<double>(result.verification.wrong_state_count()));
+        if (observer) observer(r, result);
+        // `result` is destroyed here: the replicate has collapsed to the
+        // accumulators above, the O(1)-per-replicate memory bound.
       });
 
-  // Aggregation is a serial post-pass in replicate order, so it is
-  // bit-identical however the replicates were scheduled.
-  const std::size_t combinations =
-      ensemble.replicates.front().extraction.variation.records.size();
-  ensemble.majority_logic =
-      logic::TruthTable(ensemble.replicates.front().extraction.input_count);
+  const std::size_t combinations = fov_stats.size();
+  ensemble.majority_logic = logic::TruthTable(ensemble.input_count);
   ensemble.combination_stats.resize(combinations);
-
   for (std::size_t c = 0; c < combinations; ++c) {
     CombinationEnsembleStats& stats = ensemble.combination_stats[c];
     stats.combination = c;
-    util::RunningStats fov;
-    for (const ExperimentResult& replicate : ensemble.replicates) {
-      fov.add(replicate.extraction.variation.records[c].fov_est);
-      if (replicate.extraction.extracted().output(c)) ++stats.high_votes;
-    }
-    stats.fov_mean = fov.mean();
-    stats.fov_stddev = fov.stddev();
+    stats.high_votes = high_votes[c];
+    stats.fov_mean = fov_stats[c].mean();
+    stats.fov_stddev = fov_stats[c].stddev();
     ensemble.majority_logic.set_output(c, 2 * stats.high_votes > replicates);
   }
 
@@ -69,28 +101,12 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
       ensemble.majority_logic.differing_rows(spec.expected);
   ensemble.majority_matches = ensemble.majority_wrong_states.empty();
 
-  ensemble.replicate_matches.reserve(replicates);
-  util::RunningStats pfobe;
-  util::RunningStats wrong_states;
-  for (const ExperimentResult& replicate : ensemble.replicates) {
-    const bool matches = replicate.verification.matches;
-    ensemble.replicate_matches.push_back(matches);
-    ensemble.match_count += matches ? 1 : 0;
-    pfobe.add(replicate.extraction.fitness());
-    wrong_states.add(
-        static_cast<double>(replicate.verification.wrong_state_count()));
-  }
-  ensemble.pfobe = MeanConfidence{
-      pfobe.mean(), pfobe.stddev(),
-      util::normal_ci95_half_width(pfobe.stddev(), replicates)};
-  ensemble.wrong_states = MeanConfidence{
-      wrong_states.mean(), wrong_states.stddev(),
-      util::normal_ci95_half_width(wrong_states.stddev(), replicates)};
+  ensemble.pfobe = mean_confidence(pfobe);
+  ensemble.wrong_states = mean_confidence(wrong_states);
   return ensemble;
 }
 
 std::string render_ensemble_summary(const EnsembleResult& ensemble) {
-  const ExtractionResult& first = ensemble.replicates.front().extraction;
   std::ostringstream out;
   out << "circuit:    " << ensemble.circuit_name << "\n"
       << "replicates: " << ensemble.replicate_count << " (base seed "
@@ -113,11 +129,12 @@ std::string render_ensemble_summary(const EnsembleResult& ensemble) {
   }
   out << table.str() << "\n";
 
-  out << "majority logic:  " << first.output_name << " = "
-      << logic::minimize(ensemble.majority_logic, first.input_names).to_string()
+  out << "majority logic:  " << ensemble.output_name << " = "
+      << logic::minimize(ensemble.majority_logic, ensemble.input_names)
+             .to_string()
       << "\n"
-      << "intended logic:  " << first.output_name << " = "
-      << logic::minimize(ensemble.expected, first.input_names).to_string()
+      << "intended logic:  " << ensemble.output_name << " = "
+      << logic::minimize(ensemble.expected, ensemble.input_names).to_string()
       << "\n"
       << "majority verify: ";
   if (ensemble.majority_matches) {

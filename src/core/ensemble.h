@@ -2,10 +2,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "util/stats.h"
 
 /// Replicate ensembles: N independent stochastic replicates of the paper's
 /// experiment, fanned out by the exec/ runtime. A single SSA run is one
@@ -14,6 +16,15 @@
 /// mean/stddev across replicates, a majority-vote logic extraction, and
 /// per-replicate verification verdicts — treating the circuit
 /// statistically, as related noise-aware work does.
+///
+/// Ensembles are a *streaming reduction* (exec::ParallelRunner::run_reduce):
+/// each replicate's ExperimentResult is folded into Welford accumulators
+/// (util::RunningStats) the moment its index-ordered commit arrives, then
+/// destroyed — resident memory is O(1) per replicate (a bounded in-flight
+/// window of results, never the whole fleet), which is what makes
+/// 10^3-replicate digitize-sink ensembles practical. Consumers that need
+/// per-replicate data (analytics CSV, per-replicate files, fingerprint
+/// tests) tap the same ordered commit stream through a ReplicateObserver.
 namespace glva::core {
 
 /// Cross-replicate statistics for one input combination.
@@ -46,17 +57,30 @@ struct MeanConfidence {
   [[nodiscard]] double upper() const noexcept { return mean + half_width; }
 };
 
-/// Everything an ensemble run produces. Bit-identical for a fixed
-/// (config.seed, replicate count) regardless of the job count used.
+/// Project a Welford accumulator onto its replicate-level confidence
+/// summary: mean, sample stddev, and the 95% normal CI half-width for the
+/// accumulated count.
+[[nodiscard]] MeanConfidence mean_confidence(const util::RunningStats& stats);
+
+/// Everything an ensemble run produces — the *reduced* statistics only;
+/// the per-replicate ExperimentResults are folded in commit order and
+/// released (stream them through a ReplicateObserver if you need them).
+/// Bit-identical for a fixed (config.seed, replicate count) regardless of
+/// the job count used.
 struct EnsembleResult {
   std::string circuit_name;
   ExperimentConfig base_config;  ///< seed here is the *base* seed
   std::size_t replicate_count = 0;
 
-  /// Per-replicate derived seeds (exec::derive_seed(base_seed, r)) and the
-  /// full experiment each produced, in replicate order.
+  /// Per-replicate derived seeds (exec::derive_seed(base_seed, r)), in
+  /// replicate order.
   std::vector<std::uint64_t> replicate_seeds;
-  std::vector<ExperimentResult> replicates;
+
+  /// The analyzed I/O identity, captured from the first replicate (all
+  /// replicates analyze the same circuit, so these are fleet-wide).
+  std::size_t input_count = 0;
+  std::vector<std::string> input_names;
+  std::string output_name;
 
   /// One entry per input combination, indexed by combination.
   std::vector<CombinationEnsembleStats> combination_stats;
@@ -70,8 +94,8 @@ struct EnsembleResult {
   bool majority_matches = false;  ///< majority_logic == expected
   std::vector<std::size_t> majority_wrong_states;  ///< differing combinations
 
-  /// Per-replicate verification verdict (replicates[r].verification.matches)
-  /// and how many replicates individually recovered the intended function.
+  /// Per-replicate verification verdict, in replicate order, and how many
+  /// replicates individually recovered the intended function.
   std::vector<bool> replicate_matches;
   std::size_t match_count = 0;
 
@@ -89,16 +113,27 @@ struct EnsembleResult {
   }
 };
 
+/// Tap on the ensemble's ordered commit stream: invoked once per replicate,
+/// in strict replicate order (r = 0, 1, ...), on the calling thread, with
+/// the full ExperimentResult just before it is released. Used to stream
+/// per-replicate analytics (CSV rows, per-replicate files) without the
+/// runner ever materializing the fleet.
+using ReplicateObserver =
+    std::function<void(std::size_t replicate, const ExperimentResult& result)>;
+
 /// Run `replicates` independent replicates of run_experiment, each seeded
 /// from (config.seed, replicate index) via exec::SeedSequence, across up to
 /// `jobs` worker threads (0 = one per hardware thread; results are
-/// identical for every jobs value). Throws glva::InvalidArgument when
+/// identical for every jobs value). Replicates reduce to running statistics
+/// in commit order (memory stays O(1) per replicate however many are
+/// requested); `observer`, when set, sees every replicate's result in
+/// replicate order before it is dropped. Throws glva::InvalidArgument when
 /// `replicates` is 0; experiment errors propagate from the lowest failed
 /// replicate index.
-[[nodiscard]] EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
-                                          const ExperimentConfig& config,
-                                          std::size_t replicates,
-                                          std::size_t jobs = 1);
+[[nodiscard]] EnsembleResult run_ensemble(
+    const circuits::CircuitSpec& spec, const ExperimentConfig& config,
+    std::size_t replicates, std::size_t jobs = 1,
+    const ReplicateObserver& observer = {});
 
 /// Deterministic text report of an ensemble: per-combination vote/FOV
 /// table, majority expression vs the ensemble's own intended function,

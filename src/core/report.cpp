@@ -123,14 +123,17 @@ std::string analytics_csv(const ExtractionResult& extraction) {
   return csv.str();
 }
 
-std::string ensemble_analytics_csv(const EnsembleResult& ensemble) {
+std::string ensemble_analytics_csv_header() {
   util::CsvWriter csv;
   csv.row("replicate", "case", "case_count", "high_count", "variation_count",
           "fov_est", "filter1_pass", "filter2_pass", "verdict");
-  for (std::size_t r = 0; r < ensemble.replicates.size(); ++r) {
-    append_analytics_rows(csv, ensemble.replicates[r].extraction,
-                          std::to_string(r));
-  }
+  return csv.str();
+}
+
+std::string ensemble_analytics_csv_rows(std::size_t replicate,
+                                        const ExtractionResult& extraction) {
+  util::CsvWriter csv;
+  append_analytics_rows(csv, extraction, std::to_string(replicate));
   return csv.str();
 }
 

@@ -30,12 +30,20 @@ namespace glva::core {
 /// filter1_pass, filter2_pass, verdict.
 [[nodiscard]] std::string analytics_csv(const ExtractionResult& extraction);
 
-/// CSV of *every* replicate's per-combination analytics, one block per
-/// replicate in replicate order, distinguished by the leading `replicate`
-/// index column (0-based). Columns: replicate, then the analytics_csv
-/// columns. This is the `glva ensemble --csv` format; `--csv-dir` writes
-/// the same analytics as one analytics_csv file per replicate instead.
-[[nodiscard]] std::string ensemble_analytics_csv(const EnsembleResult& ensemble);
+/// The `glva ensemble --csv` document — every replicate's per-combination
+/// analytics, one block per replicate in replicate order, distinguished by
+/// the leading `replicate` index column (0-based); columns: replicate,
+/// then the analytics_csv columns — is *streamed*: the header below, then
+/// one `ensemble_analytics_csv_rows` block per replicate, emitted from a
+/// core::ReplicateObserver as each ordered commit arrives, so the writer
+/// never holds more than one replicate. (`--csv-dir` streams the same
+/// analytics as one analytics_csv file per replicate instead.)
+[[nodiscard]] std::string ensemble_analytics_csv_header();
+
+/// One replicate's block of the ensemble analytics CSV: the analytics_csv
+/// rows prefixed with the replicate index, no header.
+[[nodiscard]] std::string ensemble_analytics_csv_rows(
+    std::size_t replicate, const ExtractionResult& extraction);
 
 /// CSV of the ensemble's replicate-level confidence intervals (the `glva
 /// ensemble --ci-csv` format): one row per metric. Columns: metric, mean,

@@ -1,8 +1,17 @@
 #pragma once
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <utility>
 #include <vector>
+
+#include "exec/thread_pool.h"
 
 /// The job-scheduler layer of the execution subsystem: deterministic
 /// indexed fan-out over a fixed-size ThreadPool.
@@ -54,6 +63,107 @@ public:
     std::vector<T> results(count);
     for_each_index(count, [&](std::size_t i) { results[i] = make(i); });
     return results;
+  }
+
+  /// Streaming reduce with ordered commits: fan `make(i)` out over
+  /// [0, count) like `map`, but instead of materializing all results,
+  /// `commit(i, std::move(result))` is invoked on the *calling* thread in
+  /// strict index order as soon as each result's turn arrives — result i
+  /// is destroyed after its commit, so resident memory is bounded by the
+  /// in-flight window, not by `count`. This is what makes 10^3-replicate
+  /// ensembles O(1) memory per replicate (see core::run_ensemble).
+  ///
+  /// Bounded-window backpressure: workers stall before *starting* job i
+  /// until i < committed + window (window = 2 · jobs), so at most ~window
+  /// uncommitted results ever exist even when the commit head lags.
+  /// Progress is guaranteed because the pool is FIFO: the head job is
+  /// always dequeued before any job its window could wait on.
+  ///
+  /// Determinism matches `map`: commits happen in index order whatever the
+  /// completion order, so any reduction that folds commits sequentially is
+  /// bit-identical across worker counts; `jobs == 1` runs
+  /// make(0), commit(0), make(1), ... inline — the reference path.
+  ///
+  /// Failure contract: commits form a prefix [0, f) where f is the lowest
+  /// failed index; that job's exception (or the commit's own, if a commit
+  /// throws) is rethrown after every in-flight job drains. Jobs past a
+  /// detected failure that have not started yet are skipped (their results
+  /// could never be committed).
+  template <typename T, typename Make, typename Commit>
+  void run_reduce(std::size_t count, Make&& make, Commit&& commit) const {
+    if (count == 0) return;
+    if (jobs_ == 1 || count == 1) {
+      for (std::size_t i = 0; i < count; ++i) commit(i, make(i));
+      return;
+    }
+
+    const std::size_t window = 2 * jobs_;
+    std::mutex mutex;
+    std::condition_variable produced;  // a result (or failure) landed
+    std::condition_variable released;  // the commit head advanced
+    std::map<std::size_t, T> ready;
+    std::map<std::size_t, std::exception_ptr> failed;
+    std::size_t committed = 0;
+    bool draining = false;
+
+    ThreadPool pool(std::min(jobs_, count));
+    std::vector<std::future<void>> pending;
+    pending.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      pending.push_back(pool.submit([&, i] {
+        {
+          std::unique_lock lock(mutex);
+          released.wait(lock,
+                        [&] { return draining || i < committed + window; });
+          if (draining) return;  // a failure upstream: this result is moot
+        }
+        try {
+          T result = make(i);
+          const std::lock_guard lock(mutex);
+          ready.emplace(i, std::move(result));
+        } catch (...) {
+          const std::lock_guard lock(mutex);
+          failed.emplace(i, std::current_exception());
+        }
+        produced.notify_all();
+      }));
+    }
+
+    std::exception_ptr failure;
+    {
+      std::unique_lock lock(mutex);
+      for (std::size_t i = 0; i < count && !failure; ++i) {
+        produced.wait(lock, [&] {
+          return ready.count(i) != 0 || failed.count(i) != 0;
+        });
+        if (const auto f = failed.find(i); f != failed.end()) {
+          failure = f->second;
+          break;
+        }
+        T result = std::move(ready.at(i));
+        ready.erase(i);
+        lock.unlock();
+        try {
+          commit(i, std::move(result));
+        } catch (...) {
+          failure = std::current_exception();
+        }
+        lock.lock();
+        ++committed;
+        released.notify_all();
+      }
+      draining = true;  // wake gated workers so the pool can drain
+      released.notify_all();
+    }
+    for (auto& job : pending) {
+      try {
+        job.get();
+      } catch (...) {
+        // Exceptions were already captured per index; the rethrow below
+        // reports the lowest one.
+      }
+    }
+    if (failure) std::rethrow_exception(failure);
   }
 
 private:

@@ -44,6 +44,37 @@ void BitStream::push_back(bool bit) {
   if (bit) words_.back() |= std::uint64_t{1} << (index % kWordBits);
 }
 
+void BitStream::append_word(std::uint64_t word) {
+  if (size_ % kWordBits != 0) {
+    throw InvalidArgument(
+        "BitStream::append_word: size() must be a word multiple");
+  }
+  words_.push_back(word);
+  size_ += kWordBits;
+}
+
+void BitStream::append_words(std::span<const std::uint64_t> words) {
+  if (size_ % kWordBits != 0) {
+    throw InvalidArgument(
+        "BitStream::append_words: size() must be a word multiple");
+  }
+  words_.insert(words_.end(), words.begin(), words.end());
+  size_ += words.size() * kWordBits;
+}
+
+void BitStream::append_bits(std::uint64_t word, std::size_t count) {
+  if (size_ % kWordBits != 0) {
+    throw InvalidArgument(
+        "BitStream::append_bits: size() must be a word multiple");
+  }
+  if (count > kWordBits) {
+    throw InvalidArgument("BitStream::append_bits: count must be <= 64");
+  }
+  if (count == 0) return;
+  size_ += count;
+  words_.push_back(word & tail_mask());
+}
+
 bool BitStream::test(std::size_t index) const {
   if (index >= size_) {
     throw InvalidArgument("BitStream::test: index out of range");

@@ -55,6 +55,27 @@ public:
   /// Append one bit. Amortized O(1).
   void push_back(bool bit);
 
+  /// Append 64 bits in one store (bit j of `word` becomes sample
+  /// size() + j) — the bulk path of word-buffering producers like
+  /// `store::DigitizingSink`, 64 samples per call instead of 64
+  /// read-modify-writes. Requires size() to be a word multiple; throws
+  /// glva::InvalidArgument otherwise. Amortized O(1).
+  void append_word(std::uint64_t word);
+
+  /// Append the low `count` bits of `word` (count <= 64; higher bits are
+  /// ignored) — the tail flush of a word-buffering producer. Same
+  /// word-alignment precondition as `append_word`; throws
+  /// glva::InvalidArgument when size() is not a word multiple or
+  /// count > 64. O(1).
+  void append_bits(std::uint64_t word, std::size_t count);
+
+  /// Append a run of whole words in one bulk insert (one alignment check
+  /// and one capacity step for the batch instead of per word) — the
+  /// batched commit of `store::DigitizingSink::append_block`. Same
+  /// word-alignment precondition as `append_word`. Amortized
+  /// O(words.size()).
+  void append_words(std::span<const std::uint64_t> words);
+
   /// Read bit `index` without a range check (precondition: index < size()).
   [[nodiscard]] bool operator[](std::size_t index) const noexcept {
     return ((words_[index / kWordBits] >> (index % kWordBits)) & 1U) != 0;

@@ -17,7 +17,30 @@ TraceSampler::TraceSampler(const crn::ReactionNetwork& network,
   if (sampling_period <= 0.0) {
     throw InvalidArgument("sampling_period must be positive");
   }
+  const std::size_t species = network.species_names().size();
+  block_times_.reserve(kBlockSamples);
+  block_series_.resize(species);
+  for (auto& column : block_series_) column.reserve(kBlockSamples);
+  block_view_.resize(species);
   sink_->begin(network.species_names());
+}
+
+void TraceSampler::buffer(double grid_time, const std::vector<double>& values) {
+  block_times_.push_back(grid_time);
+  for (std::size_t s = 0; s < block_series_.size(); ++s) {
+    block_series_[s].push_back(values[s]);
+  }
+  if (block_times_.size() == kBlockSamples) flush_block();
+}
+
+void TraceSampler::flush_block() {
+  if (block_times_.empty()) return;
+  for (std::size_t s = 0; s < block_series_.size(); ++s) {
+    block_view_[s] = block_series_[s];
+  }
+  sink_->append_block(block_times_, block_view_);
+  block_times_.clear();
+  for (auto& column : block_series_) column.clear();
 }
 
 void TraceSampler::advance_before(double t, const std::vector<double>& values) {
@@ -25,7 +48,7 @@ void TraceSampler::advance_before(double t, const std::vector<double>& values) {
     const double grid_time =
         static_cast<double>(next_index_) * sampling_period_;
     if (grid_time >= t) return;
-    sink_->append(grid_time, values);
+    buffer(grid_time, values);
     ++next_index_;
   }
 }
@@ -36,9 +59,10 @@ void TraceSampler::finish(double t_end, const std::vector<double>& values) {
         static_cast<double>(next_index_) * sampling_period_;
     // Tolerate rounding when t_end is an exact multiple of the period.
     if (grid_time > t_end + sampling_period_ * 1e-9) break;
-    sink_->append(grid_time, values);
+    buffer(grid_time, values);
     ++next_index_;
   }
+  flush_block();
   sink_->finish();
 }
 

@@ -30,13 +30,22 @@ struct SimulationOptions {
 /// event at time t, so every grid point in [previous event, t) carries the
 /// state that was live across it.
 ///
-/// Samples stream straight into a `store::TraceSink` (begin() is called
-/// here with the network's species names; finish(t_end, ...) seals the
-/// sink) — where rows accumulate is the sink's policy, not the sampler's.
-/// The historical "materialize a Trace" behaviour is a `store::MemorySink`
-/// behind `StochasticSimulator::run`.
+/// Samples stream into a `store::TraceSink` (begin() is called here with
+/// the network's species names; finish(t_end, ...) seals the sink) — where
+/// rows accumulate is the sink's policy, not the sampler's. Grid rows are
+/// accumulated column-wise into a fixed-size sample block of
+/// `kBlockSamples` rows and flushed through `TraceSink::append_block`, so
+/// live simulation and `SpillReader::replay` drive sinks through one block
+/// contract; the delivered samples are bit-identical to the historical
+/// row-at-a-time stream. The historical "materialize a Trace" behaviour is
+/// a `store::MemorySink` behind `StochasticSimulator::run`.
 class TraceSampler {
 public:
+  /// Rows buffered per block flush. A multiple of 64 (the BitStream word
+  /// size), so a digitizing sink sees word-aligned blocks from the first
+  /// flush to the last full one.
+  static constexpr std::size_t kBlockSamples = 256;
+
   /// `sink` must outlive the sampler. Throws glva::InvalidArgument for a
   /// non-positive sampling period.
   TraceSampler(const crn::ReactionNetwork& network, double sampling_period,
@@ -45,14 +54,22 @@ public:
   /// Emit all unrecorded grid points strictly before `t` with `values`.
   void advance_before(double t, const std::vector<double>& values);
 
-  /// Emit all remaining grid points up to and including `t_end`, then
-  /// finish() the sink.
+  /// Emit all remaining grid points up to and including `t_end`, flush the
+  /// partial block, then finish() the sink.
   void finish(double t_end, const std::vector<double>& values);
 
 private:
+  /// Buffer one grid row, flushing the block when it fills.
+  void buffer(double grid_time, const std::vector<double>& values);
+  /// Hand the buffered block to the sink (no-op when empty).
+  void flush_block();
+
   double sampling_period_;
   std::size_t next_index_ = 0;  // next grid point to record
   store::TraceSink* sink_;
+  std::vector<double> block_times_;
+  std::vector<std::vector<double>> block_series_;  // [species][buffered row]
+  std::vector<std::span<const double>> block_view_;  // scratch for flushes
 };
 
 /// Interface of the exact/approximate stochastic simulation algorithms.

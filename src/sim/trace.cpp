@@ -20,6 +20,24 @@ void Trace::append(double time, const std::vector<double>& species_values) {
   }
 }
 
+void Trace::append_block(std::span<const double> times,
+                         std::span<const std::span<const double>> series) {
+  if (series.size() < species_names_.size()) {
+    throw InvalidArgument(
+        "Trace::append_block: series block narrower than species list");
+  }
+  for (std::size_t i = 0; i < species_names_.size(); ++i) {
+    if (series[i].size() != times.size()) {
+      throw InvalidArgument(
+          "Trace::append_block: column length differs from time column");
+    }
+  }
+  times_.insert(times_.end(), times.begin(), times.end());
+  for (std::size_t i = 0; i < species_names_.size(); ++i) {
+    series_[i].insert(series_[i].end(), series[i].begin(), series[i].end());
+  }
+}
+
 const std::vector<double>& Trace::series(std::size_t species) const {
   if (species >= series_.size()) {
     throw InvalidArgument("Trace::series: species index out of range");

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,14 @@ public:
 
   /// Append one sample row (values.size() must equal species count).
   void append(double time, const std::vector<double>& species_values);
+
+  /// Append a block of samples column-wise: `series` holds at least one
+  /// column per species (extra trailing columns are ignored), each exactly
+  /// `times.size()` values long. Equivalent to `times.size()` `append`
+  /// calls but one bulk insert per column. Throws glva::InvalidArgument on
+  /// a narrow block or a column whose length differs from the time column.
+  void append_block(std::span<const double> times,
+                    std::span<const std::span<const double>> series);
 
   [[nodiscard]] std::size_t sample_count() const noexcept { return times_.size(); }
   [[nodiscard]] std::size_t species_count() const noexcept {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "logic/word_pack.h"
 #include "util/errors.h"
 
 namespace glva::store {
@@ -36,7 +37,16 @@ void DigitizingSink::begin(const std::vector<std::string>& species_names) {
     min_row_width_ = std::max(min_row_width_, column + 1);
   }
   planes_.assign(species_ids_.size(), logic::BitStream());
+  pending_.assign(species_ids_.size(), 0);
   samples_ = 0;
+  tail_committed_ = false;
+}
+
+void DigitizingSink::commit_words() {
+  for (std::size_t i = 0; i < planes_.size(); ++i) {
+    planes_[i].append_word(pending_[i]);
+    pending_[i] = 0;
+  }
 }
 
 void DigitizingSink::append(double /*time*/,
@@ -46,10 +56,85 @@ void DigitizingSink::append(double /*time*/,
         "DigitizingSink::append: value row narrower than the tracked "
         "species columns");
   }
+  const std::size_t bit = samples_ % logic::BitStream::kWordBits;
   for (std::size_t i = 0; i < columns_.size(); ++i) {
-    planes_[i].push_back(values[columns_[i]] >= threshold_);
+    pending_[i] |=
+        static_cast<std::uint64_t>(values[columns_[i]] >= threshold_) << bit;
   }
   ++samples_;
+  if (samples_ % logic::BitStream::kWordBits == 0) commit_words();
+}
+
+void DigitizingSink::append_block(
+    std::span<const double> times,
+    std::span<const std::span<const double>> series) {
+  constexpr std::size_t kWordBits = logic::BitStream::kWordBits;
+  if (series.size() < min_row_width_) {
+    throw InvalidArgument(
+        "DigitizingSink::append_block: block narrower than the tracked "
+        "species columns");
+  }
+  for (const std::size_t column : columns_) {
+    if (series[column].size() != times.size()) {
+      throw InvalidArgument(
+          "DigitizingSink::append_block: column length differs from time "
+          "column");
+    }
+  }
+  const std::size_t n = times.size();
+  std::size_t k = 0;
+  while (k < n) {
+    const std::size_t bit = samples_ % kWordBits;
+    if (bit != 0 || n - k < kWordBits) {
+      // Fill the pending word up to the next boundary (or the block end).
+      const std::size_t m = std::min(kWordBits - bit, n - k);
+      for (std::size_t i = 0; i < columns_.size(); ++i) {
+        const std::span<const double> column = series[columns_[i]];
+        std::uint64_t word = pending_[i];
+        for (std::size_t j = 0; j < m; ++j) {
+          word |= static_cast<std::uint64_t>(column[k + j] >= threshold_)
+                  << (bit + j);
+        }
+        pending_[i] = word;
+      }
+      samples_ += m;
+      k += m;
+      if (samples_ % kWordBits == 0) commit_words();
+    } else {
+      // Word-aligned bulk: the shared adc_packed kernel packs 64
+      // comparisons per word into a small batch, committed to the plane
+      // with one bulk insert per batch.
+      constexpr std::size_t kBatchWords = 64;  // 4096 samples per commit
+      std::uint64_t batch[kBatchWords];
+      const std::size_t words = (n - k) / kWordBits;
+      for (std::size_t i = 0; i < columns_.size(); ++i) {
+        const double* base = series[columns_[i]].data() + k;
+        for (std::size_t w = 0; w < words;) {
+          const std::size_t take = std::min(kBatchWords, words - w);
+          for (std::size_t j = 0; j < take; ++j) {
+            batch[j] = logic::pack_threshold_word64(
+                base + (w + j) * kWordBits, threshold_);
+          }
+          planes_[i].append_words(std::span<const std::uint64_t>(batch, take));
+          w += take;
+        }
+      }
+      samples_ += words * kWordBits;
+      k += words * kWordBits;
+    }
+  }
+}
+
+void DigitizingSink::finish() {
+  if (tail_committed_) return;
+  const std::size_t rem = samples_ % logic::BitStream::kWordBits;
+  if (rem != 0) {
+    for (std::size_t i = 0; i < planes_.size(); ++i) {
+      planes_[i].append_bits(pending_[i], rem);
+      pending_[i] = 0;
+    }
+  }
+  tail_committed_ = true;
 }
 
 logic::BitStream DigitizingSink::take_plane(std::size_t i) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,13 @@ namespace glva::store {
 /// the doubles the memory path would have stored, so the resulting planes
 /// are bit-identical to `core::digitize_packed` over the materialized
 /// trace — the equivalence `tests/test_store.cpp` pins.
+///
+/// Bits are word-buffered (the `adc_packed` trick): each plane accumulates
+/// 64 comparisons in a pending register and commits whole BitStream words,
+/// one store per 64 samples instead of a read-modify-write per bit;
+/// `append_block` packs straight from the column spans. The partial tail
+/// word is committed by `finish()`, so planes are complete only after the
+/// stream is finished.
 class DigitizingSink final : public TraceSink {
 public:
   /// Track `species_ids` (any order, duplicates allowed — each entry gets
@@ -31,14 +39,24 @@ public:
 
   void append(double time, const std::vector<double>& values) override;
 
-  void finish() override {}
+  /// Block fast path: packs each tracked column 64 samples per word
+  /// directly from the spans, bit-identical to the row path. Throws
+  /// glva::InvalidArgument on a block narrower than the tracked columns.
+  void append_block(std::span<const double> times,
+                    std::span<const std::span<const double>> series) override;
+
+  /// Commits the pending partial word of every plane. Planes are complete
+  /// (and word counts final) only after this.
+  void finish() override;
 
   [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
   [[nodiscard]] const std::vector<std::string>& species_ids() const noexcept {
     return species_ids_;
   }
 
-  /// The digitized planes, one per tracked id, in construction order.
+  /// The digitized planes, one per tracked id, in construction order
+  /// (complete after finish(); mid-stream they hold only whole committed
+  /// words).
   [[nodiscard]] const std::vector<logic::BitStream>& planes() const noexcept {
     return planes_;
   }
@@ -48,12 +66,18 @@ public:
   [[nodiscard]] logic::BitStream take_plane(std::size_t i);
 
 private:
+  /// Commit every plane's pending word (precondition: samples_ % 64 == 0
+  /// and 64 pending bits).
+  void commit_words();
+
   std::vector<std::string> species_ids_;
   double threshold_;
   std::vector<std::size_t> columns_;  ///< tracked id -> species column
   std::size_t min_row_width_ = 0;     ///< 1 + max(columns_), row precondition
   std::vector<logic::BitStream> planes_;
-  std::size_t samples_ = 0;
+  std::vector<std::uint64_t> pending_;  ///< one partial word per plane
+  std::size_t samples_ = 0;  ///< total samples, committed + pending
+  bool tail_committed_ = false;
 };
 
 }  // namespace glva::store

@@ -16,7 +16,7 @@ void append_pod(std::string& out, T value) {
 }
 
 template <typename T>
-T read_pod(const std::string& buffer, std::size_t& offset, const char* what) {
+T read_pod(std::string_view buffer, std::size_t& offset, const char* what) {
   if (buffer.size() - offset < sizeof(T) || offset > buffer.size()) {
     throw StorageError(std::string(what) + ": truncated section");
   }
@@ -79,8 +79,8 @@ void encode_section(const std::vector<double>& values, std::string& out) {
   }
 }
 
-std::vector<double> decode_section(const std::string& buffer,
-                                   std::size_t& offset, std::size_t count) {
+void decode_section_into(std::string_view buffer, std::size_t& offset,
+                         std::size_t count, std::vector<double>& values) {
   const auto tag = read_pod<std::uint8_t>(buffer, offset, "glvt section");
   const auto payload_bytes =
       read_pod<std::uint32_t>(buffer, offset, "glvt section");
@@ -89,16 +89,17 @@ std::vector<double> decode_section(const std::string& buffer,
   }
   const std::size_t payload_end = offset + payload_bytes;
 
-  std::vector<double> values;
-  values.reserve(count);
+  values.clear();
   if (tag == static_cast<std::uint8_t>(SectionEncoding::kRaw)) {
     if (payload_bytes != count * sizeof(double)) {
       throw StorageError("glvt section: raw payload size mismatch");
     }
-    for (std::size_t k = 0; k < count; ++k) {
-      values.push_back(read_pod<double>(buffer, offset, "glvt section"));
-    }
+    // Doubles are stored bit-exactly in file order: one bulk copy.
+    values.resize(count);
+    std::memcpy(values.data(), buffer.data() + offset, payload_bytes);
+    offset = payload_end;
   } else if (tag == static_cast<std::uint8_t>(SectionEncoding::kRle)) {
+    values.reserve(count);
     while (offset < payload_end) {
       const auto run = read_pod<std::uint32_t>(buffer, offset, "glvt section");
       const auto bits = read_pod<std::uint64_t>(buffer, offset, "glvt section");
@@ -116,6 +117,12 @@ std::vector<double> decode_section(const std::string& buffer,
   if (offset != payload_end) {
     throw StorageError("glvt section: payload size mismatch");
   }
+}
+
+std::vector<double> decode_section(std::string_view buffer,
+                                   std::size_t& offset, std::size_t count) {
+  std::vector<double> values;
+  decode_section_into(buffer, offset, count, values);
   return values;
 }
 

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 /// The `.glvt` ("GLVA trace") on-disk format shared by `SpillSink`
@@ -66,9 +67,17 @@ void encode_section(const std::vector<double>& values, std::string& out);
 /// Decode one section of exactly `count` doubles from `buffer` starting at
 /// `offset`; advances `offset` past the section. Throws glva::StorageError
 /// on a truncated payload, an unknown encoding tag, or an RLE stream whose
-/// run lengths do not sum to `count`.
-[[nodiscard]] std::vector<double> decode_section(const std::string& buffer,
+/// run lengths do not sum to `count`. (`buffer` is a view so chunk bytes
+/// can come from a read buffer or straight from a memory-mapped file.)
+[[nodiscard]] std::vector<double> decode_section(std::string_view buffer,
                                                  std::size_t& offset,
                                                  std::size_t count);
+
+/// Allocation-reusing form of `decode_section`: `values` is cleared and
+/// refilled in place (raw sections land as one memcpy), so a chunked
+/// replay that hands the same column vectors back per chunk decodes with
+/// no per-chunk allocations after the first. Same error contract.
+void decode_section_into(std::string_view buffer, std::size_t& offset,
+                         std::size_t count, std::vector<double>& values);
 
 }  // namespace glva::store::glvt

@@ -21,6 +21,11 @@ public:
     trace_.append(time, values);
   }
 
+  void append_block(std::span<const double> times,
+                    std::span<const std::span<const double>> series) override {
+    trace_.append_block(times, series);
+  }
+
   void finish() override {}
 
   /// The accumulated trace (valid after finish(); empty before begin()).

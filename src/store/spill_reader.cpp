@@ -2,6 +2,13 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define GLVA_SPILL_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 #include "store/glvt.h"
 #include "store/memory_sink.h"
 #include "util/csv.h"
@@ -23,7 +30,7 @@ std::string read_bytes(std::ifstream& file, std::size_t count,
 }
 
 template <typename T>
-T take(const std::string& buffer, std::size_t& offset) {
+T take(std::string_view buffer, std::size_t& offset) {
   T value;
   std::memcpy(&value, buffer.data() + offset, sizeof(T));
   offset += sizeof(T);
@@ -108,9 +115,49 @@ SpillReader::SpillReader(std::string path) : path_(std::move(path)) {
     }
     chunk_offsets_.push_back(chunk_offset);
   }
+
+#if GLVA_SPILL_MMAP
+  // Map the (validated) file read-only: chunk decodes then run zero-copy
+  // out of the page cache. Failure is not an error — reads fall back to
+  // the ifstream path byte for byte.
+  if (file_size > 0) {
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(file_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);  // the mapping outlives the descriptor
+      if (map != MAP_FAILED) {
+        map_ = static_cast<const char*>(map);
+        map_size_ = static_cast<std::size_t>(file_size);
+      }
+    }
+  }
+#endif
 }
 
-SpillReader::Chunk SpillReader::read_chunk(std::size_t index) {
+SpillReader::~SpillReader() {
+#if GLVA_SPILL_MMAP
+  if (map_ != nullptr) ::munmap(const_cast<char*>(map_), map_size_);
+#endif
+}
+
+std::string_view SpillReader::file_bytes(std::uint64_t begin,
+                                         std::uint64_t end) {
+  if (map_ != nullptr) {
+    return std::string_view(map_ + begin, static_cast<std::size_t>(end - begin));
+  }
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(begin));
+  chunk_buffer_.resize(static_cast<std::size_t>(end - begin));
+  file_.read(chunk_buffer_.data(),
+             static_cast<std::streamsize>(chunk_buffer_.size()));
+  if (static_cast<std::size_t>(file_.gcount()) != chunk_buffer_.size()) {
+    throw StorageError("SpillReader: truncated chunk");
+  }
+  return chunk_buffer_;
+}
+
+void SpillReader::read_chunk_into(std::size_t index, Chunk& chunk) {
   if (index >= chunk_offsets_.size()) {
     throw InvalidArgument("SpillReader::read_chunk: index out of range");
   }
@@ -121,45 +168,95 @@ SpillReader::Chunk SpillReader::read_chunk(std::size_t index) {
   if (end <= begin) {
     throw StorageError("SpillReader: corrupt chunk index: " + path_);
   }
-  file_.clear();
-  file_.seekg(static_cast<std::streamoff>(begin));
-  const std::string buffer =
-      read_bytes(file_, static_cast<std::size_t>(end - begin), "chunk");
+  const std::string_view bytes = file_bytes(begin, end);
 
   std::size_t offset = 0;
-  if (buffer.size() < 2 * sizeof(std::uint32_t) ||
-      take<std::uint32_t>(buffer, offset) != glvt::kChunkMagic) {
+  if (bytes.size() < 2 * sizeof(std::uint32_t) ||
+      take<std::uint32_t>(bytes, offset) != glvt::kChunkMagic) {
     throw StorageError("SpillReader: bad chunk magic: " + path_);
   }
-  const auto samples = take<std::uint32_t>(buffer, offset);
+  const auto samples = take<std::uint32_t>(bytes, offset);
   if (samples == 0 || samples > chunk_capacity_) {
     throw StorageError("SpillReader: corrupt chunk sample count: " + path_);
   }
 
-  Chunk chunk;
   chunk.first_sample =
       static_cast<std::uint64_t>(index) * chunk_capacity_;
-  chunk.times = glvt::decode_section(buffer, offset, samples);
-  chunk.series.reserve(species_names_.size());
+  glvt::decode_section_into(bytes, offset, samples, chunk.times);
+  chunk.series.resize(species_names_.size());
   for (std::size_t s = 0; s < species_names_.size(); ++s) {
-    chunk.series.push_back(glvt::decode_section(buffer, offset, samples));
+    glvt::decode_section_into(bytes, offset, samples, chunk.series[s]);
   }
-  if (offset != buffer.size()) {
+  if (offset != bytes.size()) {
     throw StorageError("SpillReader: trailing bytes in chunk: " + path_);
   }
+}
+
+SpillReader::Chunk SpillReader::read_chunk(std::size_t index) {
+  Chunk chunk;
+  read_chunk_into(index, chunk);
   return chunk;
 }
 
 void SpillReader::replay(TraceSink& sink) {
   sink.begin(species_names_);
+  Chunk chunk;  // decode buffers reused across every chunk
+  std::vector<std::span<const double>> columns(species_names_.size());
+  for (std::size_t c = 0; c < chunk_offsets_.size(); ++c) {
+    read_chunk_into(c, chunk);
+    for (std::size_t s = 0; s < columns.size(); ++s) {
+      columns[s] = chunk.series[s];
+    }
+    sink.append_block(chunk.times, columns);
+  }
+  sink.finish();
+}
+
+void SpillReader::replay_rows(TraceSink& sink) {
+  // The pre-block-path replay, preserved verbatim as the reference the
+  // block path must be bit-identical to and the baseline `bench_trace_io`
+  // measures against: buffered ifstream reads (no mapping), a freshly
+  // allocated decode per chunk, and one append per sample row.
+  sink.begin(species_names_);
   std::vector<double> row(species_names_.size());
   for (std::size_t c = 0; c < chunk_offsets_.size(); ++c) {
-    const Chunk chunk = read_chunk(c);
-    for (std::size_t k = 0; k < chunk.times.size(); ++k) {
+    const std::uint64_t begin = chunk_offsets_[c];
+    const std::uint64_t end = c + 1 < chunk_offsets_.size()
+                                  ? chunk_offsets_[c + 1]
+                                  : index_offset_;
+    if (end <= begin) {
+      throw StorageError("SpillReader: corrupt chunk index: " + path_);
+    }
+    file_.clear();
+    file_.seekg(static_cast<std::streamoff>(begin));
+    const std::string buffer =
+        read_bytes(file_, static_cast<std::size_t>(end - begin), "chunk");
+
+    std::size_t offset = 0;
+    if (buffer.size() < 2 * sizeof(std::uint32_t) ||
+        take<std::uint32_t>(buffer, offset) != glvt::kChunkMagic) {
+      throw StorageError("SpillReader: bad chunk magic: " + path_);
+    }
+    const auto samples = take<std::uint32_t>(buffer, offset);
+    if (samples == 0 || samples > chunk_capacity_) {
+      throw StorageError("SpillReader: corrupt chunk sample count: " + path_);
+    }
+    const std::vector<double> times =
+        glvt::decode_section(buffer, offset, samples);
+    std::vector<std::vector<double>> series;
+    series.reserve(species_names_.size());
+    for (std::size_t s = 0; s < species_names_.size(); ++s) {
+      series.push_back(glvt::decode_section(buffer, offset, samples));
+    }
+    if (offset != buffer.size()) {
+      throw StorageError("SpillReader: trailing bytes in chunk: " + path_);
+    }
+
+    for (std::size_t k = 0; k < times.size(); ++k) {
       for (std::size_t s = 0; s < row.size(); ++s) {
-        row[s] = chunk.series[s][k];
+        row[s] = series[s][k];
       }
-      sink.append(chunk.times[k], row);
+      sink.append(times[k], row);
     }
   }
   sink.finish();
@@ -179,8 +276,9 @@ void SpillReader::write_csv(std::ostream& out) {
     header.add_row(fields);
     out << header.str();
   }
+  Chunk chunk;  // decode buffers reused across every chunk
   for (std::size_t c = 0; c < chunk_offsets_.size(); ++c) {
-    const Chunk chunk = read_chunk(c);
+    read_chunk_into(c, chunk);
     util::CsvWriter rows;
     std::vector<std::string> row;
     for (std::size_t k = 0; k < chunk.times.size(); ++k) {

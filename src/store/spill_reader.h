@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/trace.h"
@@ -17,6 +18,12 @@ namespace glva::store {
 /// either chunk-at-a-time (`read_chunk`, `replay` — bounded memory) or
 /// all at once (`read_all` — re-materializes the `sim::Trace` for the
 /// figure renderers and the reference analysis path).
+///
+/// On POSIX targets the file is memory-mapped read-only and chunks decode
+/// straight out of the mapping (no read() copy per chunk — page-cache
+/// pages are the buffer); when mapping is unavailable or fails, chunk
+/// bytes are read into a reused buffer instead. Both paths hand
+/// `glvt::decode_section_into` identical bytes.
 class SpillReader {
 public:
   /// One decoded chunk: `chunk_capacity()` rows for every chunk but the
@@ -33,6 +40,12 @@ public:
   /// path, wrong magic, unsupported version, an unfinished/truncated file,
   /// or a chunk index that does not fit the file.
   explicit SpillReader(std::string path);
+  ~SpillReader();
+
+  SpillReader(const SpillReader&) = delete;
+  SpillReader& operator=(const SpillReader&) = delete;
+  SpillReader(SpillReader&&) = delete;
+  SpillReader& operator=(SpillReader&&) = delete;
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] const std::vector<std::string>& species_names()
@@ -57,11 +70,25 @@ public:
   /// out-of-range index and glva::StorageError for a corrupt chunk.
   [[nodiscard]] Chunk read_chunk(std::size_t index);
 
-  /// Stream every sample, in order, into another sink (begin → append per
-  /// row → finish). Replaying into a `MemorySink` reproduces the original
-  /// trace bit for bit; replaying into a `DigitizingSink` digitizes a
-  /// spilled trace without ever materializing it.
+  /// Allocation-reusing form of `read_chunk`: refills `chunk` in place
+  /// (same columns, same scratch), so a sequential replay decodes every
+  /// chunk after the first with zero allocations. Same error contract.
+  void read_chunk_into(std::size_t index, Chunk& chunk);
+
+  /// Stream every sample, in order, into another sink (begin →
+  /// append_block per decoded chunk → finish): each 4096-sample chunk is
+  /// handed to the sink as one column-wise block instead of 4096 row
+  /// appends — the block fast path of the replay pipeline. Replaying into
+  /// a `MemorySink` reproduces the original trace bit for bit; replaying
+  /// into a `DigitizingSink` digitizes a spilled trace without ever
+  /// materializing it. Chunk capacities are multiples of 64, so every
+  /// block a digitizing sink sees is word-aligned.
   void replay(TraceSink& sink);
+
+  /// Row-wise replay (begin → one append per sample → finish): the
+  /// reference path `replay` is bit-identical to, kept for the
+  /// block-vs-row equivalence tests and the `bench_trace_io` comparison.
+  void replay_rows(TraceSink& sink);
 
   /// Re-materialize the full trace (replay into a MemorySink).
   [[nodiscard]] sim::Trace read_all();
@@ -71,6 +98,11 @@ public:
   void write_csv(std::ostream& out);
 
 private:
+  /// Bytes [begin, end) of the file: a zero-copy view into the mapping
+  /// when one exists, otherwise read into `chunk_buffer_` (reused).
+  [[nodiscard]] std::string_view file_bytes(std::uint64_t begin,
+                                            std::uint64_t end);
+
   std::string path_;
   std::ifstream file_;
   std::vector<std::string> species_names_;
@@ -80,6 +112,9 @@ private:
   std::uint32_t chunk_capacity_ = 0;
   double sampling_period_ = 1.0;
   std::uint64_t seed_ = 0;
+  std::string chunk_buffer_;  ///< raw chunk bytes, reused across reads
+  const char* map_ = nullptr;  ///< read-only file mapping (POSIX), or null
+  std::size_t map_size_ = 0;
 };
 
 }  // namespace glva::store

@@ -1,5 +1,6 @@
 #include "store/spill_sink.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/errors.h"
@@ -60,6 +61,34 @@ void SpillSink::append(double time, const std::vector<double>& values) {
   }
   ++sample_count_;
   if (times_.size() == options_.chunk_samples) flush_chunk();
+}
+
+void SpillSink::append_block(std::span<const double> times,
+                             std::span<const std::span<const double>> series) {
+  if (series.size() < species_names_.size()) {
+    throw InvalidArgument(
+        "SpillSink::append_block: block narrower than species list");
+  }
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (series[i].size() != times.size()) {
+      throw InvalidArgument(
+          "SpillSink::append_block: column length differs from time column");
+    }
+  }
+  std::size_t offset = 0;
+  while (offset < times.size()) {
+    const std::size_t room = options_.chunk_samples - times_.size();
+    const std::size_t take = std::min(room, times.size() - offset);
+    times_.insert(times_.end(), times.begin() + offset,
+                  times.begin() + offset + take);
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      series_[i].insert(series_[i].end(), series[i].begin() + offset,
+                        series[i].begin() + offset + take);
+    }
+    sample_count_ += take;
+    offset += take;
+    if (times_.size() == options_.chunk_samples) flush_chunk();
+  }
 }
 
 void SpillSink::flush_chunk() {

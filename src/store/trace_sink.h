@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,17 +17,21 @@
 namespace glva::store {
 
 /// Receiver of uniformly sampled simulation rows. The producer calls
-/// `begin` exactly once, then `append` once per grid sample in time order,
-/// then `finish` exactly once. Sinks are single-run, single-threaded
-/// objects: the exec/ runtime gives every parallel job its own sink and
-/// commits results in job-index order, so the determinism contract of
-/// `exec::ParallelRunner` is untouched by where samples land.
+/// `begin` exactly once, then any interleaving of `append` (one row) and
+/// `append_block` (a column-wise run of rows) in time order, then `finish`
+/// exactly once. Row and block deliveries are equivalent by contract: a
+/// sink must produce bit-identical state for the same samples however they
+/// were sliced into calls (the equivalence `tests/test_store.cpp` fuzzes).
+/// Sinks are single-run, single-threaded objects: the exec/ runtime gives
+/// every parallel job its own sink and commits results in job-index order,
+/// so the determinism contract of `exec::ParallelRunner` is untouched by
+/// where samples land.
 class TraceSink {
 public:
   virtual ~TraceSink() = default;
 
   /// Start a stream: one column per species, in network order. Called
-  /// before the first `append`.
+  /// before the first `append` / `append_block`.
   virtual void begin(const std::vector<std::string>& species_names) = 0;
 
   /// One sample row on the uniform time grid. `values` holds at least one
@@ -34,8 +39,20 @@ public:
   /// mirroring `sim::Trace::append`).
   virtual void append(double time, const std::vector<double>& values) = 0;
 
+  /// A block of consecutive grid samples, column-wise: `series` holds at
+  /// least one column per declared species (extra trailing columns are
+  /// ignored), each exactly `times.size()` values long. Semantically
+  /// identical to `times.size()` `append` calls in order — the base
+  /// implementation is exactly that row-wise loop — but sinks override it
+  /// to move whole columns at once: `MemorySink` bulk-copies,
+  /// `SpillSink` encodes full chunks, and `DigitizingSink` packs 64
+  /// samples per BitStream word. This is the fast path `sim::TraceSampler`
+  /// and `SpillReader::replay` drive.
+  virtual void append_block(std::span<const double> times,
+                            std::span<const std::span<const double>> series);
+
   /// Stream complete: flush buffers, seal files, release what can be
-  /// released. No `append` may follow.
+  /// released. No `append` / `append_block` may follow.
   virtual void finish() = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -168,6 +169,29 @@ TEST(Cli, UnknownSinkIsUsageError) {
       run({"verify", "myers_not", "--total-time", "100", "--sink", "tape"});
   EXPECT_EQ(result.code, 2);
   EXPECT_NE(result.err.find("mem | spill | digitize"), std::string::npos);
+}
+
+TEST(Cli, EnsembleFailureLeavesNoPartialAnalyticsCsv) {
+  // The analytics CSV streams into a temp file renamed onto --csv only
+  // after a successful run: a replicate failure (unwritable spill
+  // directory) must leave no half-fleet CSV behind — and must not
+  // destroy a result file from an earlier successful run.
+  TempPath csv_path("ensemble_partial.csv");
+  TempPath temp_path("ensemble_partial.csv.partial");
+  {
+    std::ofstream previous(csv_path.str(), std::ios::binary);
+    previous << "previous successful result\n";
+  }
+  const auto result =
+      run({"ensemble", "0x1", "--replicates", "2", "--total-time", "200",
+           "--csv", csv_path.str(), "--sink", "spill", "--spill-dir",
+           "/proc/glva-nonexistent/spill"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_FALSE(std::filesystem::exists(temp_path.str()));
+  std::ifstream survivor(csv_path.str(), std::ios::binary);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(survivor, first_line));
+  EXPECT_EQ(first_line, "previous successful result");
 }
 
 TEST(Cli, EnsembleWritesConfidenceCsv) {

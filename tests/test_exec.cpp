@@ -13,6 +13,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "app/commands.h"
@@ -128,6 +129,87 @@ TEST(ParallelRunner, DrainsStragglersBeforeThrowing) {
                                      }),
                std::runtime_error);
   EXPECT_EQ(completed.load(), 15);
+}
+
+// ------------------------------------------------ ParallelRunner::run_reduce
+
+TEST(RunReduce, CommitsEveryResultInIndexOrderOnTheCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    const exec::ParallelRunner runner(jobs);
+    std::vector<std::size_t> committed;
+    runner.run_reduce<std::size_t>(
+        100, [](std::size_t i) { return i * i; },
+        [&](std::size_t i, std::size_t&& value) {
+          EXPECT_EQ(std::this_thread::get_id(), caller);
+          EXPECT_EQ(value, i * i);
+          committed.push_back(i);
+        });
+    ASSERT_EQ(committed.size(), 100u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < committed.size(); ++i) {
+      EXPECT_EQ(committed[i], i) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(RunReduce, MatchesMapBitForBitAcrossJobCounts) {
+  const exec::ParallelRunner serial(1);
+  const exec::ParallelRunner parallel(8);
+  const auto reference =
+      serial.map<std::size_t>(64, [](std::size_t i) { return i * 31 + 7; });
+  std::vector<std::size_t> streamed;
+  parallel.run_reduce<std::size_t>(
+      64, [](std::size_t i) { return i * 31 + 7; },
+      [&](std::size_t, std::size_t&& value) { streamed.push_back(value); });
+  EXPECT_EQ(streamed, reference);
+}
+
+TEST(RunReduce, FailureCommitsThePrefixAndRethrowsTheLowestFailedIndex) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    const exec::ParallelRunner runner(jobs);
+    std::vector<std::size_t> committed;
+    try {
+      runner.run_reduce<int>(
+          16,
+          [](std::size_t i) {
+            if (i == 3) throw std::runtime_error("failure at 3");
+            if (i == 5) throw std::runtime_error("failure at 5");
+            return static_cast<int>(i);
+          },
+          [&](std::size_t i, int&&) { committed.push_back(i); });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "failure at 3") << "jobs=" << jobs;
+    }
+    // Commits are exactly the prefix below the lowest failed index.
+    EXPECT_EQ(committed, (std::vector<std::size_t>{0, 1, 2})) << "jobs=" << jobs;
+  }
+}
+
+TEST(RunReduce, CommitExceptionPropagatesAfterDraining) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    const exec::ParallelRunner runner(jobs);
+    std::vector<std::size_t> committed;
+    try {
+      runner.run_reduce<int>(
+          12, [](std::size_t i) { return static_cast<int>(i); },
+          [&](std::size_t i, int&&) {
+            if (i == 2) throw std::runtime_error("commit rejects 2");
+            committed.push_back(i);
+          });
+      FAIL() << "expected the commit's exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "commit rejects 2") << "jobs=" << jobs;
+    }
+    EXPECT_EQ(committed, (std::vector<std::size_t>{0, 1})) << "jobs=" << jobs;
+  }
+}
+
+TEST(RunReduce, EmptyCountIsANoOp) {
+  const exec::ParallelRunner runner(4);
+  runner.run_reduce<int>(
+      0, [](std::size_t) { return 1; },
+      [](std::size_t, int&&) { FAIL() << "no commits expected"; });
 }
 
 // ---------------------------------------------------------- SeedSequence
@@ -251,8 +333,34 @@ std::string fingerprint(const core::EnsembleResult& ensemble) {
     out << stats.combination << ':' << stats.high_votes << ':'
         << bits_of(stats.fov_mean) << ':' << bits_of(stats.fov_stddev) << '\n';
   }
-  for (const auto& replicate : ensemble.replicates) out << fingerprint(replicate);
+  out << bits_of(ensemble.pfobe.mean) << ':' << bits_of(ensemble.pfobe.stddev)
+      << ':' << bits_of(ensemble.wrong_states.mean) << '\n';
   return out.str();
+}
+
+/// An ensemble run plus the fingerprint of every replicate, captured from
+/// the ordered commit stream (run_ensemble no longer materializes the
+/// replicates, so the observer is where per-replicate bits are seen).
+struct FingerprintedEnsemble {
+  core::EnsembleResult ensemble;
+  std::vector<std::string> replicates;
+};
+
+FingerprintedEnsemble run_fingerprinted_ensemble(
+    const circuits::CircuitSpec& spec, const core::ExperimentConfig& config,
+    std::size_t replicates, std::size_t jobs) {
+  FingerprintedEnsemble run;
+  run.replicates.resize(replicates);
+  std::size_t commits = 0;
+  run.ensemble = core::run_ensemble(
+      spec, config, replicates, jobs,
+      [&](std::size_t r, const core::ExperimentResult& result) {
+        EXPECT_EQ(r, commits) << "observer must see replicates in index order";
+        ++commits;
+        run.replicates[r] = fingerprint(result);
+      });
+  EXPECT_EQ(commits, replicates);
+  return run;
 }
 
 core::ExperimentConfig fast_config() {
@@ -264,13 +372,15 @@ core::ExperimentConfig fast_config() {
 
 TEST(Determinism, EnsembleIsBitIdenticalAcrossJobCounts) {
   const auto spec = circuits::CircuitRepository::build("0x1");
-  const auto serial = core::run_ensemble(spec, fast_config(), 5, 1);
-  const auto parallel = core::run_ensemble(spec, fast_config(), 5, 8);
-  EXPECT_EQ(fingerprint(serial), fingerprint(parallel));
+  const auto serial = run_fingerprinted_ensemble(spec, fast_config(), 5, 1);
+  const auto parallel = run_fingerprinted_ensemble(spec, fast_config(), 5, 8);
+  EXPECT_EQ(fingerprint(serial.ensemble), fingerprint(parallel.ensemble));
+  // Every replicate — full trace CSV included — is bit-identical whatever
+  // the worker count, replicate by replicate.
+  EXPECT_EQ(serial.replicates, parallel.replicates);
   // Replicates genuinely differ from one another (derived streams, not a
   // replayed base seed).
-  EXPECT_NE(fingerprint(serial.replicates[0]),
-            fingerprint(serial.replicates[1]));
+  EXPECT_NE(serial.replicates[0], serial.replicates[1]);
 }
 
 TEST(Determinism, ThresholdSweepIsBitIdenticalAcrossJobCounts) {

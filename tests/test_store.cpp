@@ -5,12 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -409,6 +411,212 @@ TEST(DigitizingSink, ValidatesArguments) {
   EXPECT_THROW((void)ok.take_plane(1), InvalidArgument);
 }
 
+// ------------------------------------------------- block-path equivalence
+
+/// Deliver rows [offset, offset + count) of a materialized trace as one
+/// column-wise block.
+void stream_block(const sim::Trace& trace, store::TraceSink& sink,
+                  std::size_t offset, std::size_t count) {
+  std::vector<std::span<const double>> columns(trace.species_count());
+  for (std::size_t s = 0; s < trace.species_count(); ++s) {
+    columns[s] = std::span<const double>(trace.series(s)).subspan(offset, count);
+  }
+  sink.append_block(
+      std::span<const double>(trace.times()).subspan(offset, count), columns);
+}
+
+/// Stream a trace through `sink` as a sequence of blocks whose sizes cycle
+/// through `block_sizes` (the tail block is whatever remains).
+void stream_trace_blocks(const sim::Trace& trace, store::TraceSink& sink,
+                         const std::vector<std::size_t>& block_sizes) {
+  sink.begin(trace.species_names());
+  std::size_t offset = 0;
+  std::size_t next = 0;
+  while (offset < trace.sample_count()) {
+    const std::size_t count = std::min(block_sizes[next % block_sizes.size()],
+                                       trace.sample_count() - offset);
+    stream_block(trace, sink, offset, count);
+    offset += count;
+    ++next;
+  }
+  sink.finish();
+}
+
+/// A sink implementing only the row contract: append_block must fall back
+/// to the base class's row-wise loop.
+class RowOnlySink final : public store::TraceSink {
+public:
+  void begin(const std::vector<std::string>& species_names) override {
+    trace_ = sim::Trace(species_names);
+  }
+  void append(double time, const std::vector<double>& values) override {
+    trace_.append(time, values);
+  }
+  void finish() override {}
+  [[nodiscard]] const sim::Trace& trace() const noexcept { return trace_; }
+
+private:
+  sim::Trace trace_;
+};
+
+// The block sizes the fuzz slices streams into: single rows, one-off-word
+// boundaries, exact words, a whole chunk, and a ragged cycle.
+const std::vector<std::vector<std::size_t>> kBlockSlicings = {
+    {1}, {63}, {64}, {65}, {4096}, {1, 7, 64, 65, 3, 256, 31}};
+
+TEST(AppendBlock, MemorySinkMatchesRowPathAcrossBlockSizes) {
+  for (const std::size_t samples : {1u, 150u, 1000u}) {
+    const sim::Trace trace = synthetic_trace(samples);
+    store::MemorySink rows;
+    stream_trace(trace, rows);
+    for (const auto& slicing : kBlockSlicings) {
+      store::MemorySink blocks;
+      stream_trace_blocks(trace, blocks, slicing);
+      expect_traces_identical(rows.trace(), blocks.trace());
+    }
+  }
+}
+
+TEST(AppendBlock, SpillSinkWritesIdenticalBytesAcrossBlockSizes) {
+  for (const std::uint32_t chunk : {64u, 4096u}) {
+    const sim::Trace trace = synthetic_trace(333);
+    store::SpillSink::Options options;
+    options.chunk_samples = chunk;
+    const fs::path row_path = temp_path("block_rows.glvt");
+    store::SpillSink row_sink(row_path.string(), options);
+    stream_trace(trace, row_sink);
+    const std::string row_bytes = read_file_bytes(row_path);
+
+    for (std::size_t v = 0; v < kBlockSlicings.size(); ++v) {
+      const fs::path block_path =
+          temp_path("block_" + std::to_string(chunk) + "_" +
+                    std::to_string(v) + ".glvt");
+      store::SpillSink block_sink(block_path.string(), options);
+      stream_trace_blocks(trace, block_sink, kBlockSlicings[v]);
+      EXPECT_EQ(read_file_bytes(block_path), row_bytes)
+          << "chunk " << chunk << ", slicing " << v;
+    }
+  }
+}
+
+TEST(AppendBlock, DigitizingSinkMatchesRowPathAcrossBlockSizes) {
+  for (const std::size_t samples : {1u, 63u, 64u, 65u, 500u, 1000u}) {
+    const sim::Trace trace = synthetic_trace(samples);
+    store::DigitizingSink rows({"A", "B", "GFP"}, 15.0);
+    stream_trace(trace, rows);
+    for (std::size_t v = 0; v < kBlockSlicings.size(); ++v) {
+      store::DigitizingSink blocks({"A", "B", "GFP"}, 15.0);
+      stream_trace_blocks(trace, blocks, kBlockSlicings[v]);
+      ASSERT_EQ(blocks.sample_count(), rows.sample_count());
+      for (std::size_t p = 0; p < 3; ++p) {
+        EXPECT_EQ(blocks.planes()[p], rows.planes()[p])
+            << "samples " << samples << ", slicing " << v << ", plane " << p;
+      }
+    }
+  }
+}
+
+TEST(AppendBlock, RowAndBlockDeliveriesInterleave) {
+  const sim::Trace trace = synthetic_trace(200);
+  store::DigitizingSink reference({"GFP"}, 15.0);
+  stream_trace(trace, reference);
+
+  store::DigitizingSink mixed({"GFP"}, 15.0);
+  mixed.begin(trace.species_names());
+  std::vector<double> row(trace.species_count());
+  std::size_t offset = 0;
+  // 10 single rows, then a 70-row block, then rows to 150, a tail block.
+  const auto append_rows = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count; ++k, ++offset) {
+      for (std::size_t s = 0; s < row.size(); ++s) {
+        row[s] = trace.series(s)[offset];
+      }
+      mixed.append(trace.times()[offset], row);
+    }
+  };
+  append_rows(10);
+  stream_block(trace, mixed, offset, 70);
+  offset += 70;
+  append_rows(70);
+  stream_block(trace, mixed, offset, trace.sample_count() - offset);
+  mixed.finish();
+
+  EXPECT_EQ(mixed.planes()[0], reference.planes()[0]);
+}
+
+TEST(AppendBlock, BaseClassFallbackDeliversRowwise) {
+  const sim::Trace trace = synthetic_trace(150);
+  RowOnlySink sink;
+  stream_trace_blocks(trace, sink, {64, 3});
+  expect_traces_identical(trace, sink.trace());
+}
+
+TEST(AppendBlock, RejectsColumnsShorterThanTheTimeColumn) {
+  const sim::Trace trace = synthetic_trace(10);
+  const std::span<const double> times(trace.times());
+  std::vector<std::span<const double>> ragged(trace.species_count());
+  for (std::size_t s = 0; s < trace.species_count(); ++s) {
+    ragged[s] = std::span<const double>(trace.series(s))
+                    .subspan(0, s == 1 ? 9 : 10);  // one short column
+  }
+
+  RowOnlySink base_fallback;
+  base_fallback.begin(trace.species_names());
+  EXPECT_THROW(base_fallback.append_block(times, ragged), InvalidArgument);
+
+  store::MemorySink memory;
+  memory.begin(trace.species_names());
+  EXPECT_THROW(memory.append_block(times, ragged), InvalidArgument);
+
+  store::DigitizingSink digitize({"B"}, 15.0);
+  digitize.begin(trace.species_names());
+  EXPECT_THROW(digitize.append_block(times, ragged), InvalidArgument);
+}
+
+// ------------------------------------------------------------ chunk replay
+
+TEST(Replay, BlockReplayMatchesRowReplay) {
+  const sim::Trace trace = synthetic_trace(500);
+  const fs::path path = temp_path("replay_block.glvt");
+  store::SpillSink sink(path.string(), {.chunk_samples = 64});
+  stream_trace(trace, sink);
+
+  store::SpillReader reader(path.string());
+  store::MemorySink by_rows;
+  reader.replay_rows(by_rows);
+  store::MemorySink by_blocks;
+  reader.replay(by_blocks);
+  expect_traces_identical(by_rows.trace(), by_blocks.trace());
+
+  store::DigitizingSink digitize_rows({"GFP", "A"}, 10.0);
+  reader.replay_rows(digitize_rows);
+  store::DigitizingSink digitize_blocks({"GFP", "A"}, 10.0);
+  reader.replay(digitize_blocks);
+  EXPECT_EQ(digitize_blocks.planes()[0], digitize_rows.planes()[0]);
+  EXPECT_EQ(digitize_blocks.planes()[1], digitize_rows.planes()[1]);
+}
+
+TEST(Replay, ChunkReplayOfGoldenFileIsByteIdentical) {
+  // Replaying the checked-in golden spill chunk-by-chunk into a fresh
+  // SpillSink with the golden's own parameters must reproduce the file
+  // byte for byte — blocks cross the whole write path (chunking, RLE/raw
+  // section choice, index, header patch) without perturbing a bit.
+  const fs::path golden_path = fs::path(GLVA_GOLDEN_DIR) / "spill_fixed.glvt";
+  store::SpillReader reader(golden_path.string());
+
+  const fs::path replayed_path = temp_path("golden_replayed.glvt");
+  store::SpillSink::Options options;
+  options.chunk_samples = reader.chunk_capacity();
+  options.seed = reader.seed();
+  options.sampling_period = reader.sampling_period();
+  store::SpillSink sink(replayed_path.string(), options);
+  reader.replay(sink);
+
+  EXPECT_TRUE(read_file_bytes(replayed_path) ==
+              read_file_bytes(golden_path))
+      << "block-path chunk replay drifted from the golden .glvt bytes";
+}
+
 // ------------------------------------------- experiment-level bit-identity
 
 TEST(ExperimentSinks, AllThreeSinksProduceBitIdenticalAnalyses) {
@@ -500,19 +708,27 @@ TEST(EnsembleConfidence, MatchesReplicateStatistics) {
   core::ExperimentConfig config;
   config.total_time = 300.0;
   config.seed = 3;
-  const auto ensemble = core::run_ensemble(spec, config, 4, 1);
 
+  // The replicates stream through the ordered commit observer — fold the
+  // same statistics by hand and compare against the reduced ensemble.
   util::RunningStats pfobe;
   util::RunningStats wrong;
-  for (const auto& replicate : ensemble.replicates) {
-    pfobe.add(replicate.extraction.fitness());
-    wrong.add(
-        static_cast<double>(replicate.verification.wrong_state_count()));
-  }
+  const auto ensemble = core::run_ensemble(
+      spec, config, 4, 1,
+      [&](std::size_t, const core::ExperimentResult& replicate) {
+        pfobe.add(replicate.extraction.fitness());
+        wrong.add(
+            static_cast<double>(replicate.verification.wrong_state_count()));
+      });
   EXPECT_DOUBLE_EQ(ensemble.pfobe.mean, pfobe.mean());
   EXPECT_DOUBLE_EQ(ensemble.pfobe.stddev, pfobe.stddev());
   EXPECT_DOUBLE_EQ(ensemble.pfobe.half_width,
                    util::normal_ci95_half_width(pfobe.stddev(), 4));
+  // mean_confidence is exactly this projection of a Welford accumulator.
+  const core::MeanConfidence projected = core::mean_confidence(pfobe);
+  EXPECT_DOUBLE_EQ(projected.mean, ensemble.pfobe.mean);
+  EXPECT_DOUBLE_EQ(projected.stddev, ensemble.pfobe.stddev);
+  EXPECT_DOUBLE_EQ(projected.half_width, ensemble.pfobe.half_width);
   EXPECT_DOUBLE_EQ(ensemble.wrong_states.mean, wrong.mean());
   EXPECT_DOUBLE_EQ(ensemble.pfobe.lower(),
                    ensemble.pfobe.mean - ensemble.pfobe.half_width);

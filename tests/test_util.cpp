@@ -207,6 +207,54 @@ TEST(Stats, RunningStatsMergeEqualsSequential) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
 }
 
+TEST(Stats, RunningStatsMergeFuzzAcrossEverySplitPoint) {
+  // Deterministic sample with spread and repeats; every split of it must
+  // merge back to the sequential statistics (parallel-Welford identity).
+  std::vector<double> xs;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(((i * 7919) % 23) * 0.125 - 1.0);
+  }
+  RunningStats all;
+  for (const double x : xs) all.add(x);
+  for (std::size_t split = 0; split <= xs.size(); ++split) {
+    RunningStats left, right;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      (i < split ? left : right).add(xs[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count()) << "split " << split;
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12) << "split " << split;
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-10) << "split " << split;
+    EXPECT_DOUBLE_EQ(left.min(), all.min()) << "split " << split;
+    EXPECT_DOUBLE_EQ(left.max(), all.max()) << "split " << split;
+  }
+}
+
+TEST(Stats, RunningStatsEmptyAndSingletonEdges) {
+  RunningStats empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.variance(), 0.0);
+  EXPECT_EQ(empty.stddev(), 0.0);
+
+  RunningStats one;
+  one.add(3.5);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.mean(), 3.5);
+  EXPECT_EQ(one.variance(), 0.0);  // no spread information
+  EXPECT_DOUBLE_EQ(one.min(), 3.5);
+  EXPECT_DOUBLE_EQ(one.max(), 3.5);
+
+  // Merging an empty accumulator in either direction changes nothing.
+  RunningStats lhs = one;
+  lhs.merge(empty);
+  EXPECT_EQ(lhs.count(), 1u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 3.5);
+  empty.merge(one);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.5);
+}
+
 TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 1.0), 4.0);
