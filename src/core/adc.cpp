@@ -15,10 +15,6 @@ void require_positive_threshold(double threshold, const char* what) {
   }
 }
 
-// The 64-comparison word packer moved to logic/word_pack.h so the fused
-// sampler→ADC sink (store::DigitizingSink) shares the exact same kernel.
-using logic::pack_threshold_word64;
-
 }  // namespace
 
 std::vector<bool> adc(const std::vector<double>& analog, double threshold) {
@@ -38,17 +34,17 @@ logic::BitStream adc_packed(const std::vector<double>& analog,
   std::vector<std::uint64_t> words((analog.size() + kWordBits - 1) /
                                    kWordBits);
   const double* samples = analog.data();
-  for (std::size_t w = 0; w < full_words; ++w) {
-    words[w] = pack_threshold_word64(samples + w * kWordBits, threshold);
+  // One dispatched block call packs every full word (the active SIMD
+  // kernel compares 2/4/8 doubles per instruction); the ragged tail goes
+  // through the length-taking packer so no out-of-bounds doubles are read.
+  if (full_words > 0) {
+    logic::simd::active().pack_threshold_block(samples, full_words, threshold,
+                                               words.data());
   }
-  // Partial tail word (fewer than 64 remaining samples): plain loop.
   const std::size_t base = full_words * kWordBits;
   if (base < analog.size()) {
-    std::uint64_t word = 0;
-    for (std::size_t j = 0; base + j < analog.size(); ++j) {
-      word |= static_cast<std::uint64_t>(samples[base + j] >= threshold) << j;
-    }
-    words[full_words] = word;
+    words[full_words] = logic::pack_threshold_bits(
+        samples + base, analog.size() - base, threshold);
   }
   return logic::BitStream::from_words(analog.size(), std::move(words));
 }

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "logic/simd/kernel_set.h"
 #include "util/errors.h"
 
 namespace glva::logic {
@@ -109,29 +110,14 @@ void BitStream::set_word(std::size_t w, std::uint64_t value) {
   words_[w] = value;
 }
 
-std::size_t BitStream::popcount() const noexcept {
-  std::size_t count = 0;
-  for (const std::uint64_t word : words_) {
-    count += static_cast<std::size_t>(std::popcount(word));
-  }
-  return count;
+std::size_t BitStream::popcount() const {
+  return simd::active().popcount_words(words_.data(), words_.size());
 }
 
-std::size_t BitStream::transition_count() const noexcept {
+std::size_t BitStream::transition_count() const {
   if (size_ < 2) return 0;
-  std::size_t count = 0;
-  std::uint64_t carry = 0;  // bit 0 := last bit of the previous word
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    const std::uint64_t word = words_[w];
-    // diff bit k set iff sample 64w+k differs from its predecessor.
-    const std::uint64_t diff = word ^ ((word << 1) | carry);
-    std::uint64_t valid = ~std::uint64_t{0};
-    if (w == 0) valid &= ~std::uint64_t{1};           // sample 0: no predecessor
-    if (w + 1 == words_.size()) valid &= tail_mask();  // exclude the zero tail
-    count += static_cast<std::size_t>(std::popcount(diff & valid));
-    carry = word >> (kWordBits - 1);
-  }
-  return count;
+  return simd::active().transition_count_words(words_.data(), words_.size(),
+                                               tail_mask());
 }
 
 namespace {
@@ -187,11 +173,7 @@ std::size_t and_popcount(const BitStream& a, const BitStream& b) {
   require_same_size(a, b, "and_popcount");
   const std::span<const std::uint64_t> wa = a.words();
   const std::span<const std::uint64_t> wb = b.words();
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < wa.size(); ++w) {
-    count += static_cast<std::size_t>(std::popcount(wa[w] & wb[w]));
-  }
-  return count;
+  return simd::active().and_popcount_words(wa.data(), wb.data(), wa.size());
 }
 
 std::size_t masked_transition_count(const BitStream& mask,
@@ -199,9 +181,17 @@ std::size_t masked_transition_count(const BitStream& mask,
   require_same_size(mask, stream, "masked_transition_count");
   const std::span<const std::uint64_t> mask_words = mask.words();
   const std::span<const std::uint64_t> stream_words = stream.words();
-  std::size_t count = 0;
+
+  // Word-parallel common case — transitions between consecutive samples
+  // that are both selected — is the dispatched bulk kernel.
+  std::size_t count = simd::active().masked_pair_transitions(
+      mask_words.data(), stream_words.data(), mask_words.size());
+
+  // Run starts (a selected sample whose predecessor sample is not
+  // selected) are patched scalar: compare against the most recent
+  // selected sample across the gap. Rare — one per input-combination
+  // phase in sweep data.
   std::uint64_t carry_m = 0;  // bit 0 := last mask bit of the previous word
-  std::uint64_t carry_s = 0;  // bit 0 := last stream bit of the previous word
   bool have_prev = false;     // a selected sample has been seen
   bool prev_bit = false;      // stream bit of the most recent selected sample
 
@@ -209,15 +199,7 @@ std::size_t masked_transition_count(const BitStream& mask,
     const std::uint64_t m = mask_words[w];
     const std::uint64_t s = stream_words[w];
     if (m != 0) {
-      // Word-parallel common case: consecutive samples both selected.
       const std::uint64_t m_prev = (m << 1) | carry_m;
-      const std::uint64_t s_prev = (s << 1) | carry_s;
-      count += static_cast<std::size_t>(
-          std::popcount(m & m_prev & (s ^ s_prev)));
-
-      // Run starts (selected sample whose predecessor sample is not
-      // selected): compare against the most recent selected sample across
-      // the gap. Rare — one per input-combination phase in sweep data.
       std::uint64_t starts = m & ~m_prev;
       while (starts != 0) {
         const int p = std::countr_zero(starts);
@@ -239,7 +221,6 @@ std::size_t masked_transition_count(const BitStream& mask,
       have_prev = true;
     }
     carry_m = m >> (BitStream::kWordBits - 1);
-    carry_s = s >> (BitStream::kWordBits - 1);
   }
   return count;
 }

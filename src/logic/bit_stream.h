@@ -102,12 +102,15 @@ public:
   /// glva::InvalidArgument when w >= word_count().
   void set_word(std::size_t w, std::uint64_t value);
 
-  /// Number of 1-bits, one hardware popcount per word. O(size()/64).
-  [[nodiscard]] std::size_t popcount() const noexcept;
+  /// Number of 1-bits, counted word-parallel through the active SIMD
+  /// kernel set (simd::active(); may throw glva::InvalidArgument on the
+  /// first call when GLVA_SIMD names an unavailable level). O(size()/64).
+  [[nodiscard]] std::size_t popcount() const;
 
   /// Number of adjacent 0→1 / 1→0 transitions (the paper's O_Var counting
-  /// applied to the whole stream). O(size()/64).
-  [[nodiscard]] std::size_t transition_count() const noexcept;
+  /// applied to the whole stream), word-parallel through the active SIMD
+  /// kernel set. O(size()/64).
+  [[nodiscard]] std::size_t transition_count() const;
 
   // Word-parallel bitwise combinations. The binary operators throw
   // glva::InvalidArgument when the sizes differ; operator~ re-masks the

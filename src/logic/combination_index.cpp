@@ -1,8 +1,8 @@
 #include "logic/combination_index.h"
 
 #include <array>
-#include <bit>
 
+#include "logic/simd/kernel_set.h"
 #include "util/errors.h"
 
 namespace glva::logic {
@@ -32,27 +32,24 @@ CombinationIndex::CombinationIndex(const std::vector<BitStream>& inputs) {
   // paper's "input combination 100" notation and the reference
   // CaseAnalyzer's bit order. Selecting plane-vs-complement is one XOR
   // with an all-ones/all-zero constant hoisted out of the word loop, so
-  // the inner loop is pure load/xor/and/store + a popcount that
-  // accumulates Case_I as the mask is written (set_word re-masks the
-  // tail, so the final word's popcount is exact).
+  // the build is pure load/xor/and/store — the `combine_masks` entry of
+  // the active SIMD kernel set (4/8 words per pass on AVX tiers).
   const std::size_t words = inputs.front().word_count();
-  std::array<std::span<const std::uint64_t>, kMaxInputs> planes;
-  for (std::size_t i = 0; i < input_count_; ++i) planes[i] = inputs[i].words();
+  const simd::KernelSet& kernels = simd::active();
+  std::array<const std::uint64_t*, kMaxInputs> planes{};
+  for (std::size_t i = 0; i < input_count_; ++i) {
+    planes[i] = inputs[i].words().data();
+  }
 
   for (std::size_t c = 0; c < combinations; ++c) {
-    std::array<std::uint64_t, kMaxInputs> invert;
+    std::array<std::uint64_t, kMaxInputs> invert{};
     for (std::size_t i = 0; i < input_count_; ++i) {
       const bool bit_set = ((c >> (input_count_ - 1 - i)) & 1U) != 0;
       invert[i] = bit_set ? 0 : ~std::uint64_t{0};
     }
     std::vector<std::uint64_t> mask_words(words);
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t bits = planes[0][w] ^ invert[0];
-      for (std::size_t i = 1; i < input_count_; ++i) {
-        bits &= planes[i][w] ^ invert[i];
-      }
-      mask_words[w] = bits;
-    }
+    kernels.combine_masks(planes.data(), invert.data(), input_count_, words,
+                          mask_words.data());
     // Complemented planes can select the zero tail bits of the last input
     // word, which are not samples; from_words masks them off, so counting
     // the adopted stream (still cache-hot) gives the exact Case_I.

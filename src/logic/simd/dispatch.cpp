@@ -1,0 +1,135 @@
+#include <atomic>
+#include <cstdlib>
+
+#include "logic/simd/kernels.h"
+#include "util/errors.h"
+
+namespace glva::logic::simd {
+
+namespace {
+
+constexpr const char* kLevelNames[kIsaLevelCount] = {"scalar", "sse2", "avx2",
+                                                     "avx512"};
+
+/// The resolved dispatch table. A benign race is possible on first use
+/// (two threads both resolve the same value); once non-null it only
+/// changes through set_active().
+std::atomic<const KernelSet*> g_active{nullptr};
+
+const KernelSet* compiled(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::kScalar: return detail::scalar_kernels();
+    case IsaLevel::kSSE2: return detail::sse2_kernels();
+    case IsaLevel::kAVX2: return detail::avx2_kernels();
+    case IsaLevel::kAVX512: return detail::avx512_kernels();
+  }
+  return nullptr;
+}
+
+/// Resolve the default table: GLVA_SIMD override first (an unknown or
+/// unavailable name is an error — a forced CI level must never silently
+/// fall back), else the widest available tier.
+const KernelSet* resolve_default() {
+  const char* env = std::getenv("GLVA_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    const IsaLevel level = parse_isa_level(env);
+    const KernelSet* set = kernel_set(level);
+    if (set == nullptr) {
+      throw InvalidArgument(
+          std::string("GLVA_SIMD=") + env +
+          ": level not available on this host (not compiled in, or the "
+          "CPU lacks the instructions)");
+    }
+    return set;
+  }
+  const KernelSet* best = detail::scalar_kernels();
+  for (std::size_t i = 0; i < kIsaLevelCount; ++i) {
+    if (const KernelSet* set = kernel_set(static_cast<IsaLevel>(i))) {
+      best = set;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* isa_level_name(IsaLevel level) noexcept {
+  return kLevelNames[static_cast<std::size_t>(level)];
+}
+
+IsaLevel parse_isa_level(const std::string& name) {
+  for (std::size_t i = 0; i < kIsaLevelCount; ++i) {
+    if (name == kLevelNames[i]) return static_cast<IsaLevel>(i);
+  }
+  throw InvalidArgument("unknown SIMD level '" + name +
+                        "' (expected scalar, sse2, avx2, or avx512)");
+}
+
+bool cpu_supports(IsaLevel level) noexcept {
+  if (level == IsaLevel::kScalar) return true;
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+  __builtin_cpu_init();
+  switch (level) {
+    case IsaLevel::kScalar:
+      return true;
+    case IsaLevel::kSSE2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case IsaLevel::kAVX2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case IsaLevel::kAVX512:
+      // Gate on every feature the AVX-512 TU is compiled with, not just
+      // the ones its intrinsics strictly need — the compiler is free to
+      // use any of them anywhere in that TU.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+  }
+#endif
+  return false;
+}
+
+const KernelSet* compiled_kernel_set(IsaLevel level) noexcept {
+  return compiled(level);
+}
+
+const KernelSet* kernel_set(IsaLevel level) noexcept {
+  const KernelSet* set = compiled(level);
+  return (set != nullptr && cpu_supports(level)) ? set : nullptr;
+}
+
+std::vector<const KernelSet*> available_kernel_sets() {
+  std::vector<const KernelSet*> sets;
+  for (std::size_t i = 0; i < kIsaLevelCount; ++i) {
+    if (const KernelSet* set = kernel_set(static_cast<IsaLevel>(i))) {
+      sets.push_back(set);
+    }
+  }
+  return sets;
+}
+
+const KernelSet& active() {
+  const KernelSet* set = g_active.load(std::memory_order_acquire);
+  if (set == nullptr) {
+    set = resolve_default();
+    g_active.store(set, std::memory_order_release);
+  }
+  return *set;
+}
+
+IsaLevel active_level() { return active().level; }
+
+void set_active(IsaLevel level) {
+  const KernelSet* set = kernel_set(level);
+  if (set == nullptr) {
+    throw InvalidArgument(
+        std::string("SIMD level '") + isa_level_name(level) +
+        "' is not available on this host (not compiled in, or the CPU "
+        "lacks the instructions)");
+  }
+  g_active.store(set, std::memory_order_release);
+}
+
+}  // namespace glva::logic::simd

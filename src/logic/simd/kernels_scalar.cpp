@@ -1,0 +1,111 @@
+#include <bit>
+#include <cstring>
+
+#include "logic/simd/kernels.h"
+
+/// The scalar reference tier: portable C++ only, no intrinsics. Every
+/// wider tier is fuzz-pinned bit-identical to these functions, so this
+/// file is the executable specification of the kernel contracts.
+namespace glva::logic::simd::detail {
+
+void scalar_pack_threshold_block(const double* samples, std::size_t words,
+                                 double threshold, std::uint64_t* out) {
+  for (std::size_t w = 0; w < words; ++w) {
+    // Compare into a byte buffer the autovectorizer handles, then gather
+    // each 8-byte group into 8 bits with one multiply (magic
+    // 0x0102040810204080: byte t of the group lands at bit 56+t of the
+    // product). NaN compares false, exactly like every other tier.
+    const double* block = samples + w * 64;
+    unsigned char bytes[64];
+    for (std::size_t j = 0; j < 64; ++j) bytes[j] = block[j] >= threshold;
+    std::uint64_t word = 0;
+    for (std::size_t g = 0; g < 8; ++g) {
+      std::uint64_t group;
+      std::memcpy(&group, bytes + g * 8, sizeof group);
+      word |= ((group * 0x0102040810204080ULL) >> 56) << (g * 8);
+    }
+    out[w] = word;
+  }
+}
+
+std::size_t scalar_popcount_words(const std::uint64_t* words, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return count;
+}
+
+std::size_t scalar_and_popcount_words(const std::uint64_t* a,
+                                      const std::uint64_t* b, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+std::size_t scalar_transition_count_words(const std::uint64_t* words,
+                                          std::size_t n,
+                                          std::uint64_t tail_mask) {
+  std::size_t count = 0;
+  std::uint64_t carry = 0;  // bit 0 := last bit of the previous word
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::uint64_t word = words[w];
+    // diff bit k set iff sample 64w+k differs from its predecessor.
+    const std::uint64_t diff = word ^ ((word << 1) | carry);
+    std::uint64_t valid = ~std::uint64_t{0};
+    if (w == 0) valid &= ~std::uint64_t{1};  // sample 0: no predecessor
+    if (w + 1 == n) valid &= tail_mask;      // exclude the zero tail
+    count += static_cast<std::size_t>(std::popcount(diff & valid));
+    carry = word >> 63;
+  }
+  return count;
+}
+
+std::size_t scalar_masked_pair_transitions(const std::uint64_t* mask,
+                                           const std::uint64_t* stream,
+                                           std::size_t n) {
+  std::size_t count = 0;
+  std::uint64_t carry_m = 0;  // bit 0 := last mask bit of the previous word
+  std::uint64_t carry_s = 0;  // bit 0 := last stream bit of the previous word
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::uint64_t m = mask[w];
+    const std::uint64_t s = stream[w];
+    const std::uint64_t m_prev = (m << 1) | carry_m;
+    const std::uint64_t s_prev = (s << 1) | carry_s;
+    count +=
+        static_cast<std::size_t>(std::popcount(m & m_prev & (s ^ s_prev)));
+    carry_m = m >> 63;
+    carry_s = s >> 63;
+  }
+  return count;
+}
+
+void scalar_combine_masks(const std::uint64_t* const* planes,
+                          const std::uint64_t* invert, std::size_t inputs,
+                          std::size_t words, std::uint64_t* out) {
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = planes[0][w] ^ invert[0];
+    for (std::size_t i = 1; i < inputs; ++i) {
+      bits &= planes[i][w] ^ invert[i];
+    }
+    out[w] = bits;
+  }
+}
+
+const KernelSet* scalar_kernels() noexcept {
+  static constexpr KernelSet kSet = {
+      IsaLevel::kScalar,
+      "scalar",
+      &scalar_pack_threshold_block,
+      &scalar_popcount_words,
+      &scalar_and_popcount_words,
+      &scalar_transition_count_words,
+      &scalar_masked_pair_transitions,
+      &scalar_combine_masks,
+  };
+  return &kSet;
+}
+
+}  // namespace glva::logic::simd::detail

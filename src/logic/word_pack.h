@@ -1,49 +1,50 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
+#include "logic/simd/kernel_set.h"
 
-/// The threshold word packer shared by the analysis-stage ADC
+/// The threshold word packers shared by the analysis-stage ADC
 /// (`core::adc_packed`) and the fused sampler→ADC sink
-/// (`store::DigitizingSink::append_block`): 64 double comparisons packed
-/// into one BitStream word per call. Lives in logic/ so both layers reuse
-/// one kernel without a core/ ↔ store/ dependency cycle.
+/// (`store::DigitizingSink`). Lives in logic/ so both layers reuse one
+/// kernel without a core/ ↔ store/ dependency cycle. Since the SIMD
+/// dispatch layer landed, these are thin wrappers over the active
+/// `simd::KernelSet` — bulk producers should call
+/// `simd::active().pack_threshold_block` directly and amortize the
+/// dispatch over a whole batch of words.
 namespace glva::logic {
 
 /// Pack 64 consecutive threshold comparisons into one word, bit j =
-/// (samples[j] >= threshold). The SSE2 path turns each pair of doubles
-/// into two mask bits with cmpge + movmskpd (NaN compares false, exactly
-/// like the scalar >=); the portable path compares into a byte buffer the
-/// autovectorizer handles, then gathers each 8-byte group into 8 bits with
-/// one multiply (magic 0x0102040810204080: byte t of the group lands at
-/// bit 56+t of the product).
+/// (samples[j] >= threshold); NaN compares false, exactly like the
+/// scalar `>=`.
+///
+/// PRECONDITION: `samples` points at exactly 64 readable doubles — this
+/// function always reads all 64 (asserted in debug builds; in release
+/// a short buffer is out-of-bounds UB). For a ragged tail of fewer than
+/// 64 samples use `pack_threshold_bits`, which takes the length.
 inline std::uint64_t pack_threshold_word64(const double* samples,
                                            double threshold) {
-#if defined(__SSE2__)
-  const __m128d vth = _mm_set1_pd(threshold);
+  assert(samples != nullptr && "pack_threshold_word64: 64 doubles required");
   std::uint64_t word = 0;
-  for (std::size_t j = 0; j < 64; j += 2) {
-    const int pair =
-        _mm_movemask_pd(_mm_cmpge_pd(_mm_loadu_pd(samples + j), vth));
-    word |= static_cast<std::uint64_t>(pair) << j;
+  simd::active().pack_threshold_block(samples, 1, threshold, &word);
+  return word;
+}
+
+/// Length-taking safe variant for ragged tails: pack the first `count`
+/// comparisons (count <= 64, asserted) into the low `count` bits of the
+/// result; higher bits are zero — ready for `BitStream::append_bits` or
+/// ORing into a partially filled pending word. Reads exactly `count`
+/// doubles, so it is safe on buffers shorter than a full word. O(count).
+inline std::uint64_t pack_threshold_bits(const double* samples,
+                                         std::size_t count, double threshold) {
+  assert(count <= 64 && "pack_threshold_bits: at most one word per call");
+  std::uint64_t word = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    word |= static_cast<std::uint64_t>(samples[j] >= threshold) << j;
   }
   return word;
-#else
-  unsigned char bytes[64];
-  for (std::size_t j = 0; j < 64; ++j) bytes[j] = samples[j] >= threshold;
-  std::uint64_t word = 0;
-  for (std::size_t g = 0; g < 8; ++g) {
-    std::uint64_t group;
-    std::memcpy(&group, bytes + g * 8, sizeof group);
-    word |= ((group * 0x0102040810204080ULL) >> 56) << (g * 8);
-  }
-  return word;
-#endif
 }
 
 }  // namespace glva::logic

@@ -90,31 +90,26 @@ void DigitizingSink::append_block(
       const std::size_t m = std::min(kWordBits - bit, n - k);
       for (std::size_t i = 0; i < columns_.size(); ++i) {
         const std::span<const double> column = series[columns_[i]];
-        std::uint64_t word = pending_[i];
-        for (std::size_t j = 0; j < m; ++j) {
-          word |= static_cast<std::uint64_t>(column[k + j] >= threshold_)
-                  << (bit + j);
-        }
-        pending_[i] = word;
+        pending_[i] |=
+            logic::pack_threshold_bits(column.data() + k, m, threshold_) << bit;
       }
       samples_ += m;
       k += m;
       if (samples_ % kWordBits == 0) commit_words();
     } else {
-      // Word-aligned bulk: the shared adc_packed kernel packs 64
-      // comparisons per word into a small batch, committed to the plane
-      // with one bulk insert per batch.
+      // Word-aligned bulk: one dispatched pack_threshold_block call fills
+      // each batch (64 comparisons per word, 2/4/8 doubles per compare on
+      // the SIMD tiers), committed to the plane with one bulk insert.
       constexpr std::size_t kBatchWords = 64;  // 4096 samples per commit
       std::uint64_t batch[kBatchWords];
       const std::size_t words = (n - k) / kWordBits;
+      const logic::simd::KernelSet& kernels = logic::simd::active();
       for (std::size_t i = 0; i < columns_.size(); ++i) {
         const double* base = series[columns_[i]].data() + k;
         for (std::size_t w = 0; w < words;) {
           const std::size_t take = std::min(kBatchWords, words - w);
-          for (std::size_t j = 0; j < take; ++j) {
-            batch[j] = logic::pack_threshold_word64(
-                base + (w + j) * kWordBits, threshold_);
-          }
+          kernels.pack_threshold_block(base + w * kWordBits, take, threshold_,
+                                       batch);
           planes_[i].append_words(std::span<const std::uint64_t>(batch, take));
           w += take;
         }

@@ -1,0 +1,127 @@
+#pragma once
+
+// Shared fuzz-vs-naive machinery for the packed-analysis test suites
+// (test_bitstream, test_store, test_simd_kernels): seeded generators for
+// bool/word/double streams, the naive bit-counting references the
+// word-parallel kernels are checked against, and the ragged block
+// slicings the streaming tests cut their deliveries into. Header-only so
+// each suite stays a single translation unit.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace glva::testutil {
+
+// ------------------------------------------------------------- generators
+
+/// n independent fair coin flips.
+inline std::vector<bool> random_bools(std::size_t n, sim::Rng& rng) {
+  std::vector<bool> bits(n);
+  for (std::size_t k = 0; k < n; ++k) bits[k] = rng.below(2) == 1;
+  return bits;
+}
+
+/// n uniformly random 64-bit words (dense bit patterns for word-kernel
+/// fuzz; every bit is fair).
+inline std::vector<std::uint64_t> random_words(std::size_t n, sim::Rng& rng) {
+  std::vector<std::uint64_t> words(n);
+  for (std::uint64_t& w : words) w = rng.next_u64();
+  return words;
+}
+
+/// n doubles straddling `threshold`, salted with every special value a
+/// `>= threshold` comparison must classify exactly like the scalar
+/// operator: NaN (compares false), ±infinity, ±0.0, the threshold itself
+/// and its immediate neighbours. Roughly a third of the samples are
+/// specials; the rest are normals centred on the threshold.
+inline std::vector<double> special_doubles(std::size_t n, double threshold,
+                                           sim::Rng& rng) {
+  const double specials[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      -std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      0.0,
+      -0.0,
+      threshold,
+      std::nextafter(threshold, std::numeric_limits<double>::infinity()),
+      std::nextafter(threshold, -std::numeric_limits<double>::infinity()),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+  };
+  constexpr std::size_t kSpecialCount = sizeof(specials) / sizeof(specials[0]);
+  std::vector<double> values(n);
+  for (double& v : values) {
+    v = rng.below(3) == 0 ? specials[rng.below(kSpecialCount)]
+                          : threshold + rng.normal() * 10.0;
+  }
+  return values;
+}
+
+// ----------------------------------------------------- naive references
+
+/// Reference popcount over the unpacked representation.
+inline std::size_t naive_popcount(const std::vector<bool>& bits) {
+  std::size_t count = 0;
+  for (const bool b : bits) count += b ? 1 : 0;
+  return count;
+}
+
+/// Reference adjacent-transition count (the paper's O_Var applied to a
+/// whole stream).
+inline std::size_t naive_transitions(const std::vector<bool>& bits) {
+  std::size_t count = 0;
+  for (std::size_t k = 1; k < bits.size(); ++k) {
+    if (bits[k] != bits[k - 1]) ++count;
+  }
+  return count;
+}
+
+/// Reference masked transition count — the CaseAnalyzer semantics:
+/// compact the stream to the selected samples, then count adjacent
+/// differences.
+inline std::size_t naive_masked_transitions(const std::vector<bool>& mask,
+                                            const std::vector<bool>& stream) {
+  std::vector<bool> compacted;
+  for (std::size_t k = 0; k < mask.size(); ++k) {
+    if (mask[k]) compacted.push_back(stream[k]);
+  }
+  return naive_transitions(compacted);
+}
+
+// ------------------------------------------------------- ragged slicing
+
+/// The block sizes streaming fuzz cuts deliveries into: single rows,
+/// one-off-word boundaries, exact words, a whole chunk, and a ragged
+/// cycle. Shared by the sink block-path tests and the SIMD batch tests.
+inline const std::vector<std::vector<std::size_t>>& block_slicings() {
+  static const std::vector<std::vector<std::size_t>> kSlicings = {
+      {1}, {63}, {64}, {65}, {4096}, {1, 7, 64, 65, 3, 256, 31}};
+  return kSlicings;
+}
+
+/// Cut `total` items into consecutive block lengths cycling through
+/// `cycle` (the final block is whatever remains). The returned lengths
+/// sum to exactly `total`.
+inline std::vector<std::size_t> ragged_slices(
+    std::size_t total, const std::vector<std::size_t>& cycle) {
+  std::vector<std::size_t> slices;
+  std::size_t offset = 0;
+  std::size_t next = 0;
+  while (offset < total) {
+    const std::size_t count =
+        std::min(cycle[next % cycle.size()], total - offset);
+    slices.push_back(count);
+    offset += count;
+    ++next;
+  }
+  return slices;
+}
+
+}  // namespace glva::testutil

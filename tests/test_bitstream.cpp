@@ -13,6 +13,7 @@
 #include "core/adc.h"
 #include "core/case_analyzer.h"
 #include "core/variation_analyzer.h"
+#include "fuzz_util.h"
 #include "logic/bit_stream.h"
 #include "logic/combination_index.h"
 #include "sim/rng.h"
@@ -24,38 +25,12 @@ using namespace glva;
 using logic::BitStream;
 using logic::CombinationIndex;
 
-std::vector<bool> random_bools(std::size_t n, sim::Rng& rng) {
-  std::vector<bool> bits(n);
-  for (std::size_t k = 0; k < n; ++k) bits[k] = rng.below(2) == 1;
-  return bits;
-}
-
-// Naive references the word-parallel implementations are checked against.
-
-std::size_t naive_popcount(const std::vector<bool>& bits) {
-  std::size_t count = 0;
-  for (const bool b : bits) count += b ? 1 : 0;
-  return count;
-}
-
-std::size_t naive_transitions(const std::vector<bool>& bits) {
-  std::size_t count = 0;
-  for (std::size_t k = 1; k < bits.size(); ++k) {
-    if (bits[k] != bits[k - 1]) ++count;
-  }
-  return count;
-}
-
-std::size_t naive_masked_transitions(const std::vector<bool>& mask,
-                                     const std::vector<bool>& stream) {
-  // The reference CaseAnalyzer semantics: compact the stream to the
-  // selected samples, then count adjacent differences.
-  std::vector<bool> compacted;
-  for (std::size_t k = 0; k < mask.size(); ++k) {
-    if (mask[k]) compacted.push_back(stream[k]);
-  }
-  return naive_transitions(compacted);
-}
+// Generators and naive references shared with test_store and
+// test_simd_kernels (tests/fuzz_util.h).
+using testutil::naive_masked_transitions;
+using testutil::naive_popcount;
+using testutil::naive_transitions;
+using testutil::random_bools;
 
 // ------------------------------------------------------------ edge cases
 
@@ -243,6 +218,58 @@ TEST(CombinationIndex, Validation) {
   const CombinationIndex empty;
   EXPECT_EQ(empty.input_count(), 0u);
   EXPECT_EQ(empty.combination_count(), 0u);
+}
+
+TEST(CombinationIndex, MaxInputsBoundaryPartitionsMatchReference) {
+  // 7 and 8 inputs (kMaxInputs) exercise the widest mask builds: 128 and
+  // 256 combinations, most with empty masks at these sample counts. The
+  // masks must still partition the samples and agree with the naive
+  // classifier.
+  sim::Rng rng(81);
+  for (const std::size_t n_inputs : {CombinationIndex::kMaxInputs - 1,
+                                     CombinationIndex::kMaxInputs}) {
+    for (const std::size_t samples : {1ul, 65ul, 300ul}) {
+      std::vector<std::vector<bool>> planes;
+      std::vector<BitStream> packed;
+      for (std::size_t i = 0; i < n_inputs; ++i) {
+        planes.push_back(random_bools(samples, rng));
+        packed.push_back(BitStream::pack(planes.back()));
+      }
+      const CombinationIndex index(packed);
+      ASSERT_EQ(index.combination_count(), std::size_t{1} << n_inputs);
+      std::vector<std::size_t> expected_counts(index.combination_count(), 0);
+      for (std::size_t k = 0; k < samples; ++k) {
+        std::size_t combination = 0;
+        for (std::size_t i = 0; i < n_inputs; ++i) {
+          combination = (combination << 1) | (planes[i][k] ? 1U : 0U);
+        }
+        ++expected_counts[combination];
+        ASSERT_EQ(index.id(k), combination)
+            << n_inputs << " inputs, sample " << k;
+      }
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < index.combination_count(); ++c) {
+        EXPECT_EQ(index.count(c), expected_counts[c])
+            << n_inputs << " inputs, combination " << c;
+        total += index.count(c);
+      }
+      EXPECT_EQ(total, samples);
+    }
+  }
+}
+
+TEST(BitStream, MaskedTransitionCountDegenerateMasks) {
+  sim::Rng rng(91);
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 500u}) {
+    const std::vector<bool> bits = random_bools(n, rng);
+    const BitStream stream = BitStream::pack(bits);
+    // All-zero mask selects nothing: zero transitions.
+    EXPECT_EQ(logic::masked_transition_count(BitStream(n), stream), 0u) << n;
+    // All-one mask selects everything: exactly transition_count().
+    EXPECT_EQ(logic::masked_transition_count(~BitStream(n), stream),
+              stream.transition_count())
+        << n;
+  }
 }
 
 TEST(CombinationIndex, FuzzIdsMatchReferenceClassifier) {

@@ -23,6 +23,7 @@
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/threshold_sweep.h"
+#include "fuzz_util.h"
 #include "sim/trace.h"
 #include "sim/virtual_lab.h"
 #include "store/digitizing_sink.h"
@@ -459,10 +460,11 @@ private:
   sim::Trace trace_;
 };
 
-// The block sizes the fuzz slices streams into: single rows, one-off-word
-// boundaries, exact words, a whole chunk, and a ragged cycle.
-const std::vector<std::vector<std::size_t>> kBlockSlicings = {
-    {1}, {63}, {64}, {65}, {4096}, {1, 7, 64, 65, 3, 256, 31}};
+// The block sizes the fuzz slices streams into (single rows, one-off-word
+// boundaries, exact words, a whole chunk, a ragged cycle) — shared with
+// the SIMD conformance suite through tests/fuzz_util.h.
+const std::vector<std::vector<std::size_t>>& kBlockSlicings =
+    testutil::block_slicings();
 
 TEST(AppendBlock, MemorySinkMatchesRowPathAcrossBlockSizes) {
   for (const std::size_t samples : {1u, 150u, 1000u}) {
