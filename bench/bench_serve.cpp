@@ -1,0 +1,491 @@
+// Load generator for the `glva serve` daemon: N client connections drive
+// the framed JSON protocol with a verify workload, first with distinct
+// requests (cold cache: every request executes) and then with repeats
+// (warm cache: every request should be served without execution). Reports
+// requests/sec and p50/p99 latency per pass, plus the server's own
+// cache/admission accounting fetched through a `status` request.
+//
+// Modes:
+//   - default: an in-process serve::Server is started on a temporary
+//     Unix socket, so the bench is self-contained and golden-testable;
+//   - --unix PATH / --connect HOST:PORT: drive an external daemon (the
+//     CI smoke starts `glva serve --unix ...` and points the bench at it);
+//   - --mode open --rate R: the warm pass issues requests on a fixed
+//     schedule (open loop; latency includes queueing behind the schedule)
+//     instead of back-to-back (closed loop).
+//
+// With --no-timings all wall-clock dependent lines are suppressed and the
+// remaining accounting is byte-deterministic; --require-cache-hits makes
+// a zero warm-cache hit count a failure (exit 1), which is what the CI
+// smoke asserts.
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+namespace {
+
+using glva::serve::FrameDecoder;
+using glva::serve::Json;
+
+/// One blocking protocol connection.
+class Client {
+public:
+  static Client connect_unix(const std::string& path) {
+    sockaddr_un address{};
+    if (path.size() >= sizeof(address.sun_path)) {
+      throw glva::Error("socket path too long: " + path);
+    }
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                            sizeof(address)) != 0) {
+      if (fd >= 0) ::close(fd);
+      throw glva::Error("cannot connect to unix socket " + path + ": " +
+                        std::strerror(errno));
+    }
+    return Client(fd);
+  }
+
+  static Client connect_tcp(const std::string& host, const std::string& port) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* results = nullptr;
+    if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &results) != 0) {
+      throw glva::Error("cannot resolve " + host + ":" + port);
+    }
+    int fd = -1;
+    for (const addrinfo* it = results; it != nullptr; it = it->ai_next) {
+      fd = ::socket(it->ai_family, it->ai_socktype, it->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, it->ai_addr, it->ai_addrlen) == 0) break;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(results);
+    if (fd < 0) {
+      throw glva::Error("cannot connect to " + host + ":" + port);
+    }
+    return Client(fd);
+  }
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client& operator=(Client&&) = delete;
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Send one request payload and block for its response payload.
+  Json round_trip(const std::string& payload) {
+    const std::string frame = glva::serve::encode_frame(payload);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n =
+          ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw glva::Error(std::string("send failed: ") + std::strerror(errno));
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    while (true) {
+      if (auto response = decoder_.take_frame()) {
+        return glva::serve::parse_json(*response);
+      }
+      char buffer[64 * 1024];
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n == 0) throw glva::Error("server closed the connection");
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw glva::Error(std::string("recv failed: ") + std::strerror(errno));
+      }
+      decoder_.feed(buffer, static_cast<std::size_t>(n));
+    }
+  }
+
+private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_;
+  FrameDecoder decoder_;
+};
+
+struct Workload {
+  std::string endpoint_kind;  // "unix" | "tcp"
+  std::string unix_path;
+  std::string tcp_host;
+  std::string tcp_port;
+
+  Client connect() const {
+    return endpoint_kind == "unix" ? Client::connect_unix(unix_path)
+                                   : Client::connect_tcp(tcp_host, tcp_port);
+  }
+};
+
+/// The request payload for distinct-request index `k`: same circuit and
+/// config, per-index seed — distinct content addresses, equal cost.
+std::string request_payload(const std::string& circuit, double total_time,
+                            std::uint64_t seed, std::size_t k) {
+  return Json::object_of(
+             {{"op", Json::of("verify")},
+              {"target", Json::of(circuit)},
+              {"options",
+               Json::array_of({Json::of("--total-time"),
+                               Json::of(glva::util::format_double(total_time)),
+                               Json::of("--seed"),
+                               Json::of(std::to_string(seed + k)),
+                               Json::of("--no-timings")})},
+              {"id", Json::of_u64(k)}})
+      .dump();
+}
+
+struct PassResult {
+  std::size_t requests = 0;
+  std::size_t executed = 0;          // responses with cached:false
+  std::size_t served_from_cache = 0; // responses with cached:true
+  std::vector<double> latencies_ms;
+  bool bodies_consistent = true;
+};
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::max(0.0, p / 100.0 * static_cast<double>(values.size()) - 1.0));
+  return values[std::min(rank, values.size() - 1)];
+}
+
+/// Run one pass: each client issues its assigned request indices in
+/// order. `interval_ms` > 0 schedules sends on a fixed per-client period
+/// (open loop); 0 is closed loop.
+PassResult run_pass(const Workload& workload, std::size_t clients,
+                    const std::vector<std::string>& payloads,
+                    const std::vector<std::vector<std::size_t>>& assignments,
+                    std::map<std::size_t, std::string>& reference_bodies,
+                    double interval_ms) {
+  PassResult pass;
+  std::mutex mutex;
+  std::vector<std::string> errors;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        Client client = workload.connect();
+        std::vector<double> local_latencies;
+        std::size_t local_executed = 0;
+        std::size_t local_cached = 0;
+        bool local_consistent = true;
+        std::vector<std::pair<std::size_t, std::string>> local_bodies;
+        const auto pass_start = std::chrono::steady_clock::now();
+        std::size_t sent = 0;
+        for (const std::size_t k : assignments[c]) {
+          auto reference = pass_start;
+          if (interval_ms > 0.0) {
+            // Open loop: latency is measured from the *scheduled* send
+            // time, so falling behind the arrival schedule shows up as
+            // queueing latency instead of silently stretching the run.
+            reference =
+                pass_start + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double, std::milli>(
+                                     interval_ms *
+                                     static_cast<double>(sent)));
+            std::this_thread::sleep_until(reference);
+          } else {
+            reference = std::chrono::steady_clock::now();
+          }
+          const Json response = client.round_trip(payloads[k]);
+          const auto end = std::chrono::steady_clock::now();
+          local_latencies.push_back(
+              std::chrono::duration<double, std::milli>(end - reference)
+                  .count());
+          const Json* ok = response.find("ok");
+          if (ok == nullptr || ok->kind != Json::Kind::kBool || !ok->boolean) {
+            throw glva::Error("request " + std::to_string(k) +
+                              " failed: " + response.dump());
+          }
+          const Json* cached = response.find("cached");
+          if (cached != nullptr && cached->boolean) {
+            ++local_cached;
+          } else {
+            ++local_executed;
+          }
+          const Json* body = response.find("body");
+          if (body == nullptr || !body->is_string() || body->string.empty()) {
+            local_consistent = false;
+          } else {
+            local_bodies.emplace_back(k, body->string);
+          }
+          ++sent;
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        pass.requests += assignments[c].size();
+        pass.executed += local_executed;
+        pass.served_from_cache += local_cached;
+        pass.latencies_ms.insert(pass.latencies_ms.end(),
+                                 local_latencies.begin(),
+                                 local_latencies.end());
+        if (!local_consistent) pass.bodies_consistent = false;
+        for (auto& [k, body] : local_bodies) {
+          // Determinism check: every response for request k — across
+          // clients, passes, cached or fresh — must be byte-identical.
+          const auto it = reference_bodies.find(k);
+          if (it == reference_bodies.end()) {
+            reference_bodies.emplace(k, std::move(body));
+          } else if (it->second != body) {
+            pass.bodies_consistent = false;
+          }
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        errors.emplace_back(e.what());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (!errors.empty()) throw glva::Error("client error: " + errors.front());
+  return pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace glva;
+
+  util::CliParser cli;
+  cli.add_option("circuit", "0x0B", "catalog circuit for the verify workload");
+  cli.add_option("clients", "4", "concurrent client connections");
+  cli.add_option("distinct", "2",
+                 "distinct requests (per-index seeds; the cold pass issues "
+                 "each once)");
+  cli.add_option("repeat", "3",
+                 "warm-pass repeats: each client issues every distinct "
+                 "request this many times");
+  cli.add_option("total-time", "400", "sweep duration per request");
+  cli.add_option("seed", "7", "base seed (request k uses seed+k)");
+  cli.add_option("jobs", "2",
+                 "in-process server pool threads (ignored with --unix / "
+                 "--connect)");
+  cli.add_option("mode", "closed", "warm-pass load model: closed | open");
+  cli.add_option("rate", "50",
+                 "open-loop arrival rate, requests/sec across all clients");
+  cli.add_option("unix", "", "drive an external daemon on this unix socket");
+  cli.add_option("connect", "",
+                 "drive an external daemon at host:port (TCP)");
+  cli.add_option("min-speedup", "0",
+                 "fail unless cold p50 / warm p50 is at least this (0 = off)");
+  cli.add_flag("no-timings",
+               "suppress wall-clock dependent lines (byte-stable output)");
+  cli.add_flag("require-cache-hits",
+               "fail unless the server reports warm-cache hits > 0");
+  if (!cli.parse(argc, argv)) {
+    std::cout << cli.help("bench_serve");
+    return 0;
+  }
+
+  const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
+  const auto distinct = static_cast<std::size_t>(cli.get_int("distinct"));
+  const auto repeat = static_cast<std::size_t>(cli.get_int("repeat"));
+  const double total_time = cli.get_double("total-time");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const bool no_timings = cli.get_flag("no-timings");
+  const std::string mode = cli.get("mode");
+  if (clients == 0 || distinct == 0 || repeat == 0) {
+    std::cerr << "bench_serve: --clients, --distinct, --repeat must be >= 1\n";
+    return 2;
+  }
+  if (mode != "closed" && mode != "open") {
+    std::cerr << "bench_serve: --mode must be closed or open\n";
+    return 2;
+  }
+
+  // Endpoint: external daemon, or an in-process server on a temp socket.
+  Workload workload;
+  std::unique_ptr<serve::Server> local_server;
+  std::string endpoint_label;
+  if (const std::string path = cli.get("unix"); !path.empty()) {
+    workload.endpoint_kind = "unix";
+    workload.unix_path = path;
+    endpoint_label = path + " (external, unix)";
+  } else if (const std::string addr = cli.get("connect"); !addr.empty()) {
+    const auto colon = addr.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "bench_serve: --connect expects host:port\n";
+      return 2;
+    }
+    workload.endpoint_kind = "tcp";
+    workload.tcp_host = addr.substr(0, colon);
+    workload.tcp_port = addr.substr(colon + 1);
+    endpoint_label = addr + " (external, tcp)";
+  } else {
+    serve::ServerOptions options;
+    options.unix_path =
+        (std::filesystem::temp_directory_path() /
+         ("glva-bench-serve-" + std::to_string(::getpid()) + ".sock"))
+            .string();
+    options.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    local_server = std::make_unique<serve::Server>(options);
+    local_server->start();
+    workload.endpoint_kind = "unix";
+    workload.unix_path = options.unix_path;
+    endpoint_label = "in-process server (unix socket)";
+  }
+
+  try {
+    std::vector<std::string> payloads;
+    payloads.reserve(distinct);
+    for (std::size_t k = 0; k < distinct; ++k) {
+      payloads.push_back(
+          request_payload(cli.get("circuit"), total_time, seed, k));
+    }
+
+    // Cold pass: each distinct request exactly once, round-robin over
+    // clients — every one is a cache miss and executes.
+    std::vector<std::vector<std::size_t>> cold_assignments(clients);
+    for (std::size_t k = 0; k < distinct; ++k) {
+      cold_assignments[k % clients].push_back(k);
+    }
+    // Warm pass: every client issues every distinct request `repeat`
+    // times — all should be served without execution.
+    std::vector<std::vector<std::size_t>> warm_assignments(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      for (std::size_t r = 0; r < repeat; ++r) {
+        for (std::size_t k = 0; k < distinct; ++k) {
+          warm_assignments[c].push_back(k);
+        }
+      }
+    }
+
+    std::map<std::size_t, std::string> reference_bodies;
+    const auto cold_start = std::chrono::steady_clock::now();
+    const PassResult cold = run_pass(workload, clients, payloads,
+                                     cold_assignments, reference_bodies, 0.0);
+    const double cold_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      cold_start)
+            .count();
+
+    const double rate = cli.get_double("rate");
+    const double interval_ms =
+        mode == "open" && rate > 0.0
+            ? 1000.0 / rate * static_cast<double>(clients)
+            : 0.0;
+    const auto warm_start = std::chrono::steady_clock::now();
+    const PassResult warm = run_pass(workload, clients, payloads,
+                                     warm_assignments, reference_bodies,
+                                     interval_ms);
+    const double warm_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      warm_start)
+            .count();
+
+    // Server-side accounting over the same connection protocol.
+    Client status_client = workload.connect();
+    const Json status = status_client.round_trip(
+        Json::object_of({{"op", Json::of("status")}}).dump());
+    const Json* result = status.find("result");
+    auto status_u64 = [&](const char* group, const char* field) -> std::uint64_t {
+      if (result == nullptr) return 0;
+      const Json* section = result->find(group);
+      if (section == nullptr) return 0;
+      const Json* value = section->find(field);
+      if (value == nullptr) return 0;
+      return std::strtoull(value->number.c_str(), nullptr, 10);
+    };
+    const std::uint64_t cache_hits = status_u64("cache", "hits");
+    const std::uint64_t coalesced = status_u64("requests", "coalesced");
+    const std::uint64_t rejected = status_u64("admission", "rejected");
+    const std::uint64_t evictions = status_u64("cache", "evictions");
+
+    std::cout << "=== glva serve load bench ===\n"
+              << "endpoint:    " << endpoint_label << "\n"
+              << "workload:    verify " << cli.get("circuit") << ", "
+              << clients << " client(s), " << distinct
+              << " distinct request(s), " << repeat << " repeat(s), "
+              << mode << " loop\n"
+              << "cold pass:   " << cold.requests << " request(s), "
+              << cold.executed << " executed, " << cold.served_from_cache
+              << " served without execution\n"
+              << "warm pass:   " << warm.requests << " request(s), "
+              << warm.executed << " executed, " << warm.served_from_cache
+              << " served without execution\n"
+              << "server:      cache hits " << cache_hits << ", coalesced "
+              << coalesced << ", rejected " << rejected << ", evictions "
+              << evictions << "\n"
+              << "determinism: "
+              << (cold.bodies_consistent && warm.bodies_consistent
+                      ? "all responses byte-identical per request: ok"
+                      : "MISMATCH: responses differ for the same request")
+              << "\n";
+
+    const double cold_p50 = percentile(cold.latencies_ms, 50.0);
+    const double warm_p50 = percentile(warm.latencies_ms, 50.0);
+    if (!no_timings) {
+      std::cout << "cold:        p50 " << util::format_double(cold_p50, 3)
+                << " ms, p99 "
+                << util::format_double(percentile(cold.latencies_ms, 99.0), 3)
+                << " ms, "
+                << util::format_double(
+                       static_cast<double>(cold.requests) / cold_seconds, 1)
+                << " req/s\n"
+                << "warm:        p50 " << util::format_double(warm_p50, 3)
+                << " ms, p99 "
+                << util::format_double(percentile(warm.latencies_ms, 99.0), 3)
+                << " ms, "
+                << util::format_double(
+                       static_cast<double>(warm.requests) / warm_seconds, 1)
+                << " req/s\n"
+                << "speedup:     warm-cache p50 is "
+                << util::format_double(
+                       warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0, 1)
+                << "x below cold-cache p50\n";
+    }
+
+    int rc = 0;
+    if (!cold.bodies_consistent || !warm.bodies_consistent) rc = 1;
+    if (cli.get_flag("require-cache-hits") && cache_hits + coalesced == 0) {
+      std::cout << "FAIL: no warm-cache hits\n";
+      rc = 1;
+    }
+    if (const double min_speedup = cli.get_double("min-speedup");
+        min_speedup > 0.0 &&
+        (warm_p50 <= 0.0 || cold_p50 / warm_p50 < min_speedup)) {
+      std::cout << "FAIL: warm-cache speedup "
+                << util::format_double(
+                       warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0, 1)
+                << "x below required "
+                << util::format_double(min_speedup, 1) << "x\n";
+      rc = 1;
+    }
+    if (local_server != nullptr) local_server->stop();
+    return rc;
+  } catch (const std::exception& e) {
+    if (local_server != nullptr) local_server->stop();
+    std::cerr << "bench_serve: " << e.what() << "\n";
+    return 2;
+  }
+}

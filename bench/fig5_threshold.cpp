@@ -57,14 +57,6 @@ int main(int argc, char** argv) {
     return 2;
   }
   const auto jobs = static_cast<std::size_t>(jobs_arg);
-  const core::ThresholdSweepResult sweep =
-      cli.get_flag("redigitize-only")
-          ? core::threshold_sweep_redigitize(spec, config, thresholds, jobs)
-          : core::threshold_sweep(spec, config, thresholds, jobs);
-
-  std::cout << "=== Figure 5: circuit " << spec.name
-            << " under threshold variation ===\n"
-            << "(inputs are applied at the threshold level, as in the paper)\n\n";
 
   util::TextTable table({"ThVAL", "expression", "PFoBE %", "total Var_O",
                          "verify"});
@@ -76,7 +68,13 @@ int main(int argc, char** argv) {
   csv.row("threshold", "case", "case_count", "high_count", "variation_count",
           "verdict_high");
 
-  for (const auto& point : sweep.points) {
+  // Points arrive through the sweep's ordered commit stream and are
+  // dropped once their table row, CSV records, and rendered analytics
+  // block are folded out — a dense grid never materializes every point's
+  // ExperimentResult (only the formatted text accumulates).
+  std::string analytics_blocks;
+  const core::ThresholdPointObserver fold = [&](std::size_t,
+                                                core::ThresholdPoint&& point) {
     const auto& extraction = point.result.extraction;
     std::size_t total_variation = 0;
     for (const auto& record : extraction.variation.records) {
@@ -96,13 +94,22 @@ int main(int argc, char** argv) {
                    util::format_double(extraction.fitness(), 5),
                    std::to_string(total_variation),
                    core::summarize(point.result.verification, spec.expected)});
+    analytics_blocks += "--- ThVAL = " + util::format_double(point.threshold) +
+                        " ---\n" + core::render_analytics_table(extraction) +
+                        "\n";
+  };
+  const glva::exec::ParallelRunner runner(jobs);
+  if (cli.get_flag("redigitize-only")) {
+    core::threshold_sweep_redigitize(spec, config, thresholds, runner, fold);
+  } else {
+    core::threshold_sweep(spec, config, thresholds, runner, fold);
   }
-  std::cout << table.str() << "\n";
 
-  for (const auto& point : sweep.points) {
-    std::cout << "--- ThVAL = " << point.threshold << " ---\n"
-              << core::render_analytics_table(point.result.extraction) << "\n";
-  }
+  std::cout << "=== Figure 5: circuit " << spec.name
+            << " under threshold variation ===\n"
+            << "(inputs are applied at the threshold level, as in the paper)\n\n"
+            << table.str() << "\n"
+            << analytics_blocks;
 
   if (const std::string path = cli.get("csv"); !path.empty()) {
     csv.save(path);

@@ -92,41 +92,43 @@ int main(int argc, char** argv) {
     std::cerr << "table1_all_circuits: --jobs must be >= 0\n";
     return 2;
   }
-  // One exec/ job per circuit, fanned out across --jobs workers; rows come
-  // back in catalog order whatever finishes first.
-  const auto results =
-      core::run_batch(specs, config, static_cast<std::size_t>(jobs));
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto& spec = specs[i];
-    const core::ExperimentResult& result = results[i];
-    const bool ok = result.verification.matches;
-    matched += ok ? 1 : 0;
-    std::vector<std::string> row = {
-        spec.name, std::to_string(spec.input_ids.size()),
-        std::to_string(spec.gate_count), std::to_string(spec.parts.total()),
-        result.extraction.expression(),
-        util::format_double(result.extraction.fitness(), 5),
-        core::summarize(result.verification, spec.expected)};
-    if (timings) {
-      row.push_back(util::format_double(result.simulate_seconds, 3));
-      row.push_back(util::format_double(result.analyze_seconds, 3));
-    }
-    table.add_row(row);
-    std::vector<std::string> csv_row = {
-        spec.name,
-        std::to_string(spec.input_ids.size()),
-        std::to_string(spec.gate_count),
-        std::to_string(spec.parts.total()),
-        result.extraction.expression(),
-        util::format_double(result.extraction.fitness()),
-        ok ? "1" : "0",
-        std::to_string(result.verification.wrong_state_count())};
-    if (timings) {
-      csv_row.push_back(util::format_double(result.simulate_seconds));
-      csv_row.push_back(util::format_double(result.analyze_seconds));
-    }
-    csv.add_row(csv_row);
-  }
+  // One exec/ job per circuit, fanned out across --jobs workers; rows are
+  // folded out of the ordered commit stream in catalog order whatever
+  // finishes first, and each ExperimentResult is released as soon as its
+  // table/CSV rows are formatted — the fleet is never materialized.
+  core::run_batch(
+      specs, config,
+      glva::exec::ParallelRunner(static_cast<std::size_t>(jobs)),
+      [&](std::size_t i, core::ExperimentResult&& result) {
+        const auto& spec = specs[i];
+        const bool ok = result.verification.matches;
+        matched += ok ? 1 : 0;
+        std::vector<std::string> row = {
+            spec.name, std::to_string(spec.input_ids.size()),
+            std::to_string(spec.gate_count), std::to_string(spec.parts.total()),
+            result.extraction.expression(),
+            util::format_double(result.extraction.fitness(), 5),
+            core::summarize(result.verification, spec.expected)};
+        if (timings) {
+          row.push_back(util::format_double(result.simulate_seconds, 3));
+          row.push_back(util::format_double(result.analyze_seconds, 3));
+        }
+        table.add_row(row);
+        std::vector<std::string> csv_row = {
+            spec.name,
+            std::to_string(spec.input_ids.size()),
+            std::to_string(spec.gate_count),
+            std::to_string(spec.parts.total()),
+            result.extraction.expression(),
+            util::format_double(result.extraction.fitness()),
+            ok ? "1" : "0",
+            std::to_string(result.verification.wrong_state_count())};
+        if (timings) {
+          csv_row.push_back(util::format_double(result.simulate_seconds));
+          csv_row.push_back(util::format_double(result.analyze_seconds));
+        }
+        csv.add_row(csv_row);
+      });
 
   std::cout << table.str() << "\n"
             << matched << "/" << specs.size()

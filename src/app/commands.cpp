@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "app/request.h"
+#include "app/version.h"
 #include "circuits/cello_circuits.h"
 #include "circuits/circuit_repository.h"
 #include "logic/quine_mccluskey.h"
@@ -10,15 +12,15 @@
 #include "core/ensemble.h"
 #include "core/experiment.h"
 #include "core/report.h"
-#include "sbml/reader.h"
 #include "sbml/validate.h"
 #include "sbml/writer.h"
-#include "store/trace_sink.h"
+#include "serve/server.h"
 #include "sbol/converter.h"
 #include "sbol/sbol_io.h"
 #include "timing/delay_estimator.h"
 #include "timing/threshold_estimator.h"
 #include "util/cli.h"
+#include "util/csv.h"
 #include "util/errors.h"
 #include "util/string_util.h"
 #include "util/text_table.h"
@@ -37,7 +39,10 @@ constexpr const char* kUsage =
     "  analyze <model.sbml>         extract logic from a model file\n"
     "  verify <circuit>             run the paper's experiment on a catalog circuit\n"
     "  ensemble <circuit>           N-replicate ensemble: majority logic + FOV stats\n"
+    "  sweep <circuit>              threshold-robustness sweep (Figure 5 methodology)\n"
     "  estimate <circuit>           estimate threshold and propagation delay\n"
+    "  serve                        long-lived analysis daemon (see docs/SERVE.md)\n"
+    "  version                      build, SIMD tier, and dispatch information\n"
     "\n"
     "global options:\n"
     "  --jobs N                     worker threads for parallel workloads\n"
@@ -51,56 +56,12 @@ constexpr const char* kUsage =
     "\n"
     "run `glva <command> --help` for per-command options\n";
 
-/// Shared analysis options on a parser.
-void add_analysis_options(util::CliParser& cli) {
-  cli.add_option("threshold", "15", "ThVAL (molecules); inputs applied at it");
-  cli.add_option("fov-ud", "0.25", "acceptable fraction of output variation");
-  cli.add_option("total-time", "10000", "sweep duration (time units)");
-  cli.add_option("sampling-period", "1",
-                 "trace grid (time units per sample; samples = total-time / "
-                 "sampling-period)");
-  cli.add_option("seed", "1", "simulation seed");
-  cli.add_option("method", "direct", "SSA: direct | next-reaction | tau-leap");
-  cli.add_option("backend", "packed",
-                 "analysis streams: packed | reference (bit-identical)");
-  cli.add_option("sink", "mem",
-                 "trace storage: mem | spill | digitize (bit-identical "
-                 "results; see docs/STORAGE.md)");
-  cli.add_option("spill-dir", "",
-                 "directory for .glvt spill files (required for --sink "
-                 "spill)");
-  cli.add_option("csv", "", "write per-combination analytics CSV here");
-}
-
-core::ExperimentConfig config_from(const util::CliParser& cli) {
-  core::ExperimentConfig config;
-  config.threshold = cli.get_double("threshold");
-  config.fov_ud = cli.get_double("fov-ud");
-  config.total_time = cli.get_double("total-time");
-  config.sampling_period = cli.get_double("sampling-period");
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  config.method = sim::parse_ssa_method(cli.get("method"));
-  config.backend = core::parse_analysis_backend(cli.get("backend"));
-  config.sink = store::parse_sink_kind(cli.get("sink"));
-  config.spill_dir = cli.get("spill-dir");
-  return config;
-}
-
 /// Write one CSV document to `path`; throws glva::Error when the file
 /// cannot be opened.
 void write_csv_file(const std::string& path, const std::string& content) {
   std::ofstream f(path, std::ios::binary);
   if (!f) throw Error("cannot open CSV output file: " + path);
   f << content;
-}
-
-void maybe_write_csv(const util::CliParser& cli,
-                     const core::ExtractionResult& extraction,
-                     std::ostream& out) {
-  if (const std::string path = cli.get("csv"); !path.empty()) {
-    write_csv_file(path, core::analytics_csv(extraction));
-    out << "analytics CSV written to " << path << "\n";
-  }
 }
 
 int cmd_list(const std::vector<std::string>& args, std::ostream& out) {
@@ -189,115 +150,92 @@ int cmd_export(const std::string& name, const std::vector<std::string>& args,
   return 0;
 }
 
+// The analysis commands below all parse into an app::Request and run it
+// through app::execute — the exact path the `glva serve` daemon uses — so
+// daemon responses are byte-identical to CLI output by construction. Only
+// CLI-side extras (CSV files and their "written to" messages) live here.
+
 int cmd_analyze(const std::string& path, const std::vector<std::string>& args,
                 std::ostream& out) {
   util::CliParser cli;
-  cli.add_option("inputs", "", "comma-separated input species ids (MSB first)");
-  cli.add_option("output", "GFP", "output species id");
-  cli.add_option("expected", "",
-                 "optional expected function as minterm hex (bit i = "
-                 "combination i), e.g. 0x8 for 2-input AND");
-  add_analysis_options(cli);
+  add_request_options(cli, Request::Op::kAnalyze);
+  cli.add_option("csv", "", "write per-combination analytics CSV here");
   std::vector<const char*> argv{"glva-analyze"};
   for (const auto& arg : args) argv.push_back(arg.c_str());
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
     out << cli.help("glva analyze <model.sbml>");
     return 0;
   }
-
-  std::vector<std::string> input_ids;
-  for (const auto& field : util::split(cli.get("inputs"), ',')) {
-    const auto trimmed = util::trim(field);
-    if (!trimmed.empty()) input_ids.emplace_back(trimmed);
+  const Request request = request_from_cli(Request::Op::kAnalyze, path, cli);
+  ExecutionHooks hooks;
+  std::string csv_message;
+  const std::string csv_path = cli.get("csv");
+  if (!csv_path.empty()) {
+    hooks.on_extraction = [&](const core::ExtractionResult& extraction) {
+      write_csv_file(csv_path, core::analytics_csv(extraction));
+      csv_message = "analytics CSV written to " + csv_path + "\n";
+    };
   }
-  if (input_ids.empty()) {
-    throw InvalidArgument("analyze: --inputs is required (e.g. --inputs A,B)");
-  }
-
-  circuits::CircuitSpec spec;
-  spec.name = path;
-  spec.model = sbml::read_sbml_file(path);
-  spec.input_ids = input_ids;
-  spec.output_id = cli.get("output");
-  spec.expected = logic::TruthTable(input_ids.size());
-
-  const auto config = config_from(cli);
-  const auto result = core::run_experiment(spec, config);
-
-  out << core::render_analytics_table(result.extraction) << "\n"
-      << "expression: " << spec.output_id << " = "
-      << result.extraction.expression() << "\n"
-      << "fitness:    "
-      << util::format_double(result.extraction.fitness(), 6) << " %\n";
-
-  maybe_write_csv(cli, result.extraction, out);
-
-  if (const std::string expected_hex = cli.get("expected");
-      !expected_hex.empty()) {
-    const auto bits =
-        std::stoull(expected_hex, nullptr, 16);  // accepts 0x prefix? no
-    const auto expected = logic::TruthTable::from_bits(input_ids.size(), bits);
-    const auto report = core::verify(result.extraction, expected);
-    out << "verify:     " << core::summarize(report, expected) << "\n";
-    return report.matches ? 0 : 1;
-  }
-  return 0;
+  const Response response = execute(request, {}, hooks);
+  out << response.body << csv_message;
+  return response.exit_code;
 }
 
 int cmd_verify(const std::string& name, const std::vector<std::string>& args,
                std::ostream& out) {
   util::CliParser cli;
-  add_analysis_options(cli);
-  cli.add_flag("two-stage", "expand gates to transcription+translation");
+  add_request_options(cli, Request::Op::kVerify);
+  cli.add_option("csv", "", "write per-combination analytics CSV here");
   std::vector<const char*> argv{"glva-verify"};
   for (const auto& arg : args) argv.push_back(arg.c_str());
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
     out << cli.help("glva verify <circuit>");
     return 0;
   }
-  const auto spec =
-      circuits::CircuitRepository::build(name, cli.get_flag("two-stage"));
-  const auto result = core::run_experiment(spec, config_from(cli));
-  out << core::render_analytics_table(result.extraction) << "\n"
-      << core::render_experiment_summary(result, spec.expected);
-  maybe_write_csv(cli, result.extraction, out);
-  return result.verification.matches ? 0 : 1;
+  const Request request = request_from_cli(Request::Op::kVerify, name, cli);
+  ExecutionHooks hooks;
+  std::string csv_message;
+  const std::string csv_path = cli.get("csv");
+  if (!csv_path.empty()) {
+    hooks.on_extraction = [&](const core::ExtractionResult& extraction) {
+      write_csv_file(csv_path, core::analytics_csv(extraction));
+      csv_message = "analytics CSV written to " + csv_path + "\n";
+    };
+  }
+  const Response response = execute(request, {}, hooks);
+  out << response.body << csv_message;
+  return response.exit_code;
 }
 
 int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
                  std::size_t jobs, std::ostream& out) {
   util::CliParser cli;
-  cli.add_option("replicates", "8", "independent stochastic replicates");
-  add_analysis_options(cli);
+  add_request_options(cli, Request::Op::kEnsemble);
+  cli.add_option("csv", "", "write per-combination analytics CSV here");
   cli.add_option("csv-dir", "",
                  "write one per-replicate analytics CSV into this directory");
   cli.add_option("ci-csv", "",
                  "write the replicate-level 95% confidence-interval summary "
                  "CSV here (PFoBE, wrong states)");
-  cli.add_flag("two-stage", "expand gates to transcription+translation");
   std::vector<const char*> argv{"glva-ensemble"};
   for (const auto& arg : args) argv.push_back(arg.c_str());
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
     out << cli.help("glva ensemble <circuit>");
     return 0;
   }
-  const long long replicates = cli.get_int("replicates");
-  if (replicates <= 0) {
-    throw InvalidArgument("ensemble: --replicates must be at least 1");
-  }
-  const auto spec =
-      circuits::CircuitRepository::build(name, cli.get_flag("two-stage"));
+  const Request request = request_from_cli(Request::Op::kEnsemble, name, cli);
 
   // Per-replicate analytics stream out of the ensemble's ordered commit
   // stream as each replicate finishes — the runner never materializes the
   // fleet, so --csv / --csv-dir stay O(1) per replicate too. The fleet CSV
   // streams into a sibling temp file that is renamed onto --csv only after
   // a fully successful run, so a failed rerun can never truncate, corrupt,
-  // or delete an earlier result file (matching the old write-after-success
-  // behavior). The temp file is opened (and directories created) before
-  // the run so argument errors surface without paying for the simulation.
+  // or delete an earlier result file. The temp file is opened (and
+  // directories created) before the run so argument errors surface without
+  // paying for the simulation.
   const std::string csv_path = cli.get("csv");
   const std::string csv_dir = cli.get("csv-dir");
+  const std::string ci_csv_path = cli.get("ci-csv");
   const std::string csv_temp_path =
       csv_path.empty() ? std::string() : csv_path + ".partial";
   std::ofstream csv_stream;
@@ -310,9 +248,10 @@ int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
   }
   if (!csv_dir.empty()) std::filesystem::create_directories(csv_dir);
 
-  core::ReplicateObserver observer;
+  ExecutionHooks hooks;
   if (!csv_path.empty() || !csv_dir.empty()) {
-    observer = [&](std::size_t r, const core::ExperimentResult& result) {
+    hooks.on_replicate = [&](std::size_t r,
+                             const core::ExperimentResult& result) {
       if (csv_stream.is_open()) {
         csv_stream << core::ensemble_analytics_csv_rows(r, result.extraction);
         // Fail fast: a bad stream (disk full, pulled mount) aborts the run
@@ -332,12 +271,20 @@ int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
       }
     };
   }
+  std::string ci_csv_content;
+  std::size_t replicate_count = 0;
+  hooks.on_ensemble = [&](const core::EnsembleResult& ensemble) {
+    replicate_count = ensemble.replicate_count;
+    if (!ci_csv_path.empty()) {
+      ci_csv_content = core::ensemble_confidence_csv(ensemble);
+    }
+  };
 
-  core::EnsembleResult ensemble;
+  ExecutionContext context;
+  context.jobs = jobs;
+  Response response;
   try {
-    ensemble =
-        core::run_ensemble(spec, config_from(cli),
-                           static_cast<std::size_t>(replicates), jobs, observer);
+    response = execute(request, context, hooks);
   } catch (...) {
     // Only the temp file dies with a failed run; an earlier --csv result
     // file is untouched. Completed replicate_NNN.csv files are each
@@ -349,7 +296,7 @@ int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
     }
     throw;
   }
-  out << core::render_ensemble_summary(ensemble);
+  out << response.body;
   if (csv_stream.is_open()) {
     // Seal the temp file, then move it onto the target in one step — the
     // target is either the previous complete file or the new complete one,
@@ -368,15 +315,62 @@ int cmd_ensemble(const std::string& name, const std::vector<std::string>& args,
     out << "analytics CSV (all replicates) written to " << csv_path << "\n";
   }
   // --ci-csv carries the replicate-level confidence intervals.
-  if (const std::string path = cli.get("ci-csv"); !path.empty()) {
-    write_csv_file(path, core::ensemble_confidence_csv(ensemble));
-    out << "confidence-interval CSV written to " << path << "\n";
+  if (!ci_csv_path.empty()) {
+    write_csv_file(ci_csv_path, ci_csv_content);
+    out << "confidence-interval CSV written to " << ci_csv_path << "\n";
   }
   if (!csv_dir.empty()) {
-    out << ensemble.replicate_count << " replicate CSV(s) written to "
-        << csv_dir << "\n";
+    out << replicate_count << " replicate CSV(s) written to " << csv_dir
+        << "\n";
   }
-  return ensemble.majority_matches ? 0 : 1;
+  return response.exit_code;
+}
+
+int cmd_sweep(const std::string& name, const std::vector<std::string>& args,
+              std::size_t jobs, std::ostream& out) {
+  util::CliParser cli;
+  add_request_options(cli, Request::Op::kSweep);
+  cli.add_option("csv", "",
+                 "write per-point per-combination variation CSV here");
+  std::vector<const char*> argv{"glva-sweep"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva sweep <circuit>");
+    return 0;
+  }
+  const Request request = request_from_cli(Request::Op::kSweep, name, cli);
+
+  const std::string csv_path = cli.get("csv");
+  util::CsvWriter csv;
+  ExecutionHooks hooks;
+  if (!csv_path.empty()) {
+    csv.row("threshold", "case", "case_count", "high_count",
+            "variation_count", "verdict_high");
+    hooks.on_point = [&](const core::ThresholdPoint& point) {
+      const auto& extraction = point.result.extraction;
+      for (const auto& record : extraction.variation.records) {
+        csv.row(point.threshold,
+                extraction.extracted().combination_label(record.combination),
+                static_cast<unsigned long long>(record.case_count),
+                static_cast<unsigned long long>(record.high_count),
+                static_cast<unsigned long long>(record.variation_count),
+                extraction.construction.outcomes[record.combination].verdict ==
+                        core::CaseVerdict::kHigh
+                    ? "1"
+                    : "0");
+      }
+    };
+  }
+
+  ExecutionContext context;
+  context.jobs = jobs;
+  const Response response = execute(request, context, hooks);
+  out << response.body;
+  if (!csv_path.empty()) {
+    csv.save(csv_path);
+    out << "CSV written to " << csv_path << "\n";
+  }
+  return response.exit_code;
 }
 
 int cmd_estimate(const std::string& name, const std::vector<std::string>& args,
@@ -422,9 +416,47 @@ int cmd_estimate(const std::string& name, const std::vector<std::string>& args,
   return 0;
 }
 
-}  // namespace
+int cmd_serve(const std::vector<std::string>& args, std::size_t jobs,
+              std::ostream& out, std::ostream& err) {
+  util::CliParser cli;
+  cli.add_option("listen", "",
+                 "TCP listen address as host:port (port 0 = ephemeral; the "
+                 "bound port is printed on startup)");
+  cli.add_option("unix", "", "Unix-domain socket path to listen on");
+  cli.add_option("max-active", "0",
+                 "requests executing concurrently (0 = pool thread count)");
+  cli.add_option("max-queued", "64",
+                 "admitted-but-waiting requests before new ones are "
+                 "rejected as overloaded");
+  cli.add_option("cache-mb", "64",
+                 "result cache budget in MiB (0 disables caching)");
+  std::vector<const char*> argv{"glva-serve"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva serve");
+    return 0;
+  }
+  serve::ServerOptions options;
+  options.listen_addr = cli.get("listen");
+  options.unix_path = cli.get("unix");
+  options.jobs = jobs;
+  const long long max_active = cli.get_int("max-active");
+  const long long max_queued = cli.get_int("max-queued");
+  const long long cache_mb = cli.get_int("cache-mb");
+  if (max_active < 0 || max_queued < 0 || cache_mb < 0) {
+    throw InvalidArgument(
+        "serve: --max-active, --max-queued, and --cache-mb must be >= 0");
+  }
+  options.max_active = static_cast<std::size_t>(max_active);
+  options.max_queued = static_cast<std::size_t>(max_queued);
+  options.cache_bytes = static_cast<std::size_t>(cache_mb) * 1024 * 1024;
+  return serve::run_serve(options, out, err);
+}
 
-namespace {
+int cmd_version(std::ostream& out) {
+  out << version_report();
+  return 0;
+}
 
 /// Strip the global `--jobs N` / `--jobs=N` flag out of `args`, returning
 /// the requested worker count (default 1; 0 = one per hardware thread).
@@ -500,8 +532,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     const std::vector<std::string> rest(stripped.begin() + 1, stripped.end());
 
     if (command == "list") return cmd_list(rest, out);
+    if (command == "version") return cmd_version(out);
+    if (command == "serve") return cmd_serve(rest, jobs, out, err);
     if (command == "show" || command == "export" || command == "analyze" ||
-        command == "verify" || command == "ensemble" ||
+        command == "verify" || command == "ensemble" || command == "sweep" ||
         command == "estimate") {
       if (rest.empty() || util::starts_with(rest[0], "--")) {
         err << "glva " << command << ": missing argument\n" << kUsage;
@@ -514,6 +548,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "analyze") return cmd_analyze(target, options, out);
       if (command == "verify") return cmd_verify(target, options, out);
       if (command == "ensemble") return cmd_ensemble(target, options, jobs, out);
+      if (command == "sweep") return cmd_sweep(target, options, jobs, out);
       return cmd_estimate(target, options, out);
     }
     err << "glva: unknown command '" << command << "'\n" << kUsage;

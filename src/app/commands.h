@@ -17,15 +17,25 @@
 ///   ensemble <circuit> [--replicates n]   replicate ensemble with
 ///                                         majority-vote logic + FOV stats
 ///                                         + 95% CIs (--ci-csv <path>)
+///   sweep <circuit> [--thresholds 3,15,40] threshold-robustness sweep
+///                                         (Figure 5; --redigitize ablation)
 ///   estimate <circuit> [--probe-level n]  threshold + propagation delay
+///   serve [--listen h:p] [--unix path]    long-lived analysis daemon with
+///                                         admission control + result cache
+///                                         (docs/SERVE.md)
+///   version                               build + SIMD tier report
 ///
 /// Shared analysis options: --threshold, --fov-ud, --total-time,
 /// --sampling-period, --seed, --method (direct|next-reaction|tau-leap),
 /// --backend (packed|reference), --sink (mem|spill|digitize),
-/// --spill-dir <dir>, --csv <path>. The sink selects trace storage
-/// (in-memory trace, chunked .glvt spill files, or fused sampler→ADC
-/// digitization — see docs/STORAGE.md); results are bit-identical for
-/// every sink.
+/// --spill-dir <dir>, --csv <path>, --no-timings. The sink selects trace
+/// storage (in-memory trace, chunked .glvt spill files, or fused
+/// sampler→ADC digitization — see docs/STORAGE.md); results are
+/// bit-identical for every sink.
+///
+/// The analysis subcommands (analyze/verify/ensemble/sweep) parse into an
+/// app::Request and run through app::execute — the same path the daemon
+/// serves — so `glva serve` responses are byte-identical to CLI output.
 ///
 /// The global `--jobs N` flag (accepted anywhere on the command line)
 /// selects how many worker threads parallel workloads may use; 0 means one

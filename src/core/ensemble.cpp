@@ -22,6 +22,15 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
                             const ExperimentConfig& config,
                             std::size_t replicates, std::size_t jobs,
                             const ReplicateObserver& observer) {
+  return run_ensemble(spec, config, replicates, exec::ParallelRunner(jobs),
+                      observer);
+}
+
+EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
+                            const ExperimentConfig& config,
+                            std::size_t replicates,
+                            const exec::ParallelRunner& runner,
+                            const ReplicateObserver& observer) {
   if (replicates == 0) {
     throw InvalidArgument("run_ensemble: need at least one replicate");
   }
@@ -45,7 +54,6 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
   util::RunningStats pfobe;
   util::RunningStats wrong_states;
 
-  const exec::ParallelRunner runner(jobs);
   runner.run_reduce<ExperimentResult>(
       replicates,
       [&](std::size_t r) {

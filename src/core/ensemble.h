@@ -135,6 +135,15 @@ using ReplicateObserver =
     std::size_t replicates, std::size_t jobs = 1,
     const ReplicateObserver& observer = {});
 
+/// Overload taking the runner directly — the daemon path, where `runner`
+/// borrows one persistent exec::ThreadPool for the process lifetime
+/// instead of spawning workers per request. Bit-identical to the jobs
+/// overload for every pool size.
+[[nodiscard]] EnsembleResult run_ensemble(
+    const circuits::CircuitSpec& spec, const ExperimentConfig& config,
+    std::size_t replicates, const exec::ParallelRunner& runner,
+    const ReplicateObserver& observer = {});
+
 /// Deterministic text report of an ensemble: per-combination vote/FOV
 /// table, majority expression vs the ensemble's own intended function,
 /// per-replicate verdict line. Contains no wall-clock timings, so output

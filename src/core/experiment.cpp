@@ -154,16 +154,35 @@ ExperimentResult run_experiment(const circuits::CircuitSpec& spec,
   throw InvalidArgument("run_experiment: unknown sink kind");
 }
 
+void run_batch(const std::vector<circuits::CircuitSpec>& specs,
+               const ExperimentConfig& base_config,
+               const exec::ParallelRunner& runner,
+               const BatchObserver& observer) {
+  const exec::SeedSequence seeds(base_config.seed);
+  runner.run_reduce<ExperimentResult>(
+      specs.size(),
+      [&](std::size_t i) {
+        ExperimentConfig config = base_config;
+        config.seed = seeds.seed_for(i);
+        return run_experiment(specs[i], config);
+      },
+      [&](std::size_t i, ExperimentResult&& result) {
+        if (observer) observer(i, std::move(result));
+        // `result` dies here: a fleet-sized batch never holds more than
+        // the runner's in-flight window of ExperimentResults.
+      });
+}
+
 std::vector<ExperimentResult> run_batch(
     const std::vector<circuits::CircuitSpec>& specs,
     const ExperimentConfig& base_config, std::size_t jobs) {
-  const exec::SeedSequence seeds(base_config.seed);
-  const exec::ParallelRunner runner(jobs);
-  return runner.map<ExperimentResult>(specs.size(), [&](std::size_t i) {
-    ExperimentConfig config = base_config;
-    config.seed = seeds.seed_for(i);
-    return run_experiment(specs[i], config);
-  });
+  std::vector<ExperimentResult> results;
+  results.reserve(specs.size());
+  run_batch(specs, base_config, exec::ParallelRunner(jobs),
+            [&](std::size_t, ExperimentResult&& result) {
+              results.push_back(std::move(result));
+            });
+  return results;
 }
 
 ExperimentResult reanalyze(const circuits::CircuitSpec& spec,

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "circuits/circuit_spec.h"
+#include "exec/parallel_runner.h"
 #include "core/logic_analyzer.h"
 #include "core/verifier.h"
 #include "sim/simulator.h"
@@ -91,6 +93,23 @@ struct ExperimentResult {
 [[nodiscard]] std::vector<ExperimentResult> run_batch(
     const std::vector<circuits::CircuitSpec>& specs,
     const ExperimentConfig& base_config, std::size_t jobs = 1);
+
+/// Tap on a batch's ordered commit stream: invoked once per circuit, in
+/// spec order, on the calling thread, with the result just before it is
+/// released (the batch analogue of core::ReplicateObserver).
+using BatchObserver =
+    std::function<void(std::size_t index, ExperimentResult&& result)>;
+
+/// Streaming form of run_batch: results are delivered to `observer`
+/// through exec::ParallelRunner::run_reduce's ordered commit stream and
+/// then destroyed — resident memory is bounded by the runner's in-flight
+/// window, not the catalog size. The materializing overload above is this
+/// function plus a collecting observer (bit-identical). `runner` may
+/// borrow a persistent pool (daemon mode) or own per-call pools.
+void run_batch(const std::vector<circuits::CircuitSpec>& specs,
+               const ExperimentConfig& base_config,
+               const exec::ParallelRunner& runner,
+               const BatchObserver& observer);
 
 /// Re-analyze an existing sweep under a different analyzer configuration
 /// (used by the threshold sweep so each threshold re-reads the same trace

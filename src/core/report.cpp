@@ -98,7 +98,8 @@ std::string render_analytics_bars(const ExtractionResult& extraction) {
 }
 
 std::string render_experiment_summary(const ExperimentResult& result,
-                                      const logic::TruthTable& expected) {
+                                      const logic::TruthTable& expected,
+                                      bool timings) {
   std::string out;
   out += "circuit:    " + result.circuit_name + "\n";
   out += "threshold:  " +
@@ -109,9 +110,11 @@ std::string render_experiment_summary(const ExperimentResult& result,
   out += "fitness:    " + util::format_double(result.extraction.fitness(), 6) +
          " %\n";
   out += "verify:     " + summarize(result.verification, expected) + "\n";
-  out += "timing:     simulate " +
-         util::format_double(result.simulate_seconds, 3) + " s, analyze " +
-         util::format_double(result.analyze_seconds, 3) + " s\n";
+  if (timings) {
+    out += "timing:     simulate " +
+           util::format_double(result.simulate_seconds, 3) + " s, analyze " +
+           util::format_double(result.analyze_seconds, 3) + " s\n";
+  }
   return out;
 }
 

@@ -21,9 +21,12 @@ namespace glva::core {
 [[nodiscard]] std::string render_analytics_bars(const ExtractionResult& extraction);
 
 /// One-paragraph summary: extracted expression, PFoBE, verification
-/// verdict, timings.
+/// verdict, timings. `timings = false` omits the wall-clock line — the
+/// only nondeterministic bytes — leaving a byte-stable report for golden
+/// tests, the daemon's result cache, and CLI/daemon identity checks.
 [[nodiscard]] std::string render_experiment_summary(
-    const ExperimentResult& result, const logic::TruthTable& expected);
+    const ExperimentResult& result, const logic::TruthTable& expected,
+    bool timings = true);
 
 /// CSV with one row per combination (machine-readable Figure 4 data).
 /// Columns: case, case_count, high_count, variation_count, fov_est,

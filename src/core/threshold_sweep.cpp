@@ -27,28 +27,54 @@ ExperimentConfig point_config(const circuits::CircuitSpec& spec,
   return config;
 }
 
+/// Collecting observer backing the materializing overloads: the streaming
+/// commit order is point order, so push_back reassembles the vector the
+/// old map-based implementation produced, bit-identically.
+ThresholdPointObserver collect_into(ThresholdSweepResult& sweep,
+                                    std::size_t count) {
+  sweep.points.reserve(count);
+  return [&sweep](std::size_t, ThresholdPoint&& point) {
+    sweep.points.push_back(std::move(point));
+  };
+}
+
 }  // namespace
+
+void threshold_sweep(const circuits::CircuitSpec& spec,
+                     const ExperimentConfig& base_config,
+                     const std::vector<double>& thresholds,
+                     const exec::ParallelRunner& runner,
+                     const ThresholdPointObserver& observer) {
+  runner.run_reduce<ThresholdPoint>(
+      thresholds.size(),
+      [&](std::size_t i) {
+        ExperimentConfig config =
+            point_config(spec, base_config, thresholds[i], i);
+        config.input_high_level = -1.0;  // re-apply inputs at the threshold
+        return ThresholdPoint{thresholds[i], run_experiment(spec, config)};
+      },
+      [&](std::size_t i, ThresholdPoint&& point) {
+        if (observer) observer(i, std::move(point));
+        // `point` is destroyed here: memory stays bounded by the runner's
+        // in-flight window, not the grid size.
+      });
+}
 
 ThresholdSweepResult threshold_sweep(const circuits::CircuitSpec& spec,
                                      const ExperimentConfig& base_config,
                                      const std::vector<double>& thresholds,
                                      std::size_t jobs) {
-  const exec::ParallelRunner runner(jobs);
-
   ThresholdSweepResult sweep;
-  sweep.points = runner.map<ThresholdPoint>(
-      thresholds.size(), [&](std::size_t i) {
-        ExperimentConfig config =
-            point_config(spec, base_config, thresholds[i], i);
-        config.input_high_level = -1.0;  // re-apply inputs at the threshold
-        return ThresholdPoint{thresholds[i], run_experiment(spec, config)};
-      });
+  threshold_sweep(spec, base_config, thresholds, exec::ParallelRunner(jobs),
+                  collect_into(sweep, thresholds.size()));
   return sweep;
 }
 
-ThresholdSweepResult threshold_sweep_redigitize(
-    const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
-    const std::vector<double>& thresholds, std::size_t jobs) {
+void threshold_sweep_redigitize(const circuits::CircuitSpec& spec,
+                                const ExperimentConfig& base_config,
+                                const std::vector<double>& thresholds,
+                                const exec::ParallelRunner& runner,
+                                const ThresholdPointObserver& observer) {
   // One simulation at the base input level... The base run must keep the
   // analog trace around for re-digitization, so a digitize sink (which
   // never materializes it) falls back to the bit-identical memory path.
@@ -58,23 +84,24 @@ ThresholdSweepResult threshold_sweep_redigitize(
   }
   ExperimentResult base = run_experiment(spec, base_run_config);
 
-  const exec::ParallelRunner runner(jobs);
-  ThresholdSweepResult sweep;
-
   const bool packed = base_config.backend == AnalysisBackend::kPacked &&
                       spec.input_ids.size() <= kPackedAutoInputLimit;
   if (!packed) {
     // Reference (or beyond-auto-limit) path: plain per-point re-analysis.
-    sweep.points = runner.map<ThresholdPoint>(
-        thresholds.size(), [&](std::size_t i) {
+    runner.run_reduce<ThresholdPoint>(
+        thresholds.size(),
+        [&](std::size_t i) {
           ExperimentConfig config = base_config;
           config.threshold = thresholds[i];
           config.input_high_level = base_config.high_level();
           ExperimentResult point = reanalyze(spec, config, base.sweep);
           point.simulate_seconds = 0.0;  // shared simulation, not re-run
           return ThresholdPoint{thresholds[i], std::move(point)};
+        },
+        [&](std::size_t i, ThresholdPoint&& point) {
+          if (observer) observer(i, std::move(point));
         });
-    return sweep;
+    return;
   }
 
   // Packed path with index reuse: the inputs are *clamped*, so their
@@ -126,8 +153,9 @@ ThresholdSweepResult threshold_sweep_redigitize(
   point_inputs.clear();
   point_inputs.shrink_to_fit();
 
-  sweep.points = runner.map<ThresholdPoint>(
-      thresholds.size(), [&](std::size_t i) {
+  runner.run_reduce<ThresholdPoint>(
+      thresholds.size(),
+      [&](std::size_t i) {
         ExperimentConfig config = base_config;
         config.threshold = thresholds[i];
         config.input_high_level = base_config.high_level();
@@ -149,7 +177,19 @@ ThresholdSweepResult threshold_sweep_redigitize(
 
         point.verification = verify(point.extraction, spec.expected);
         return ThresholdPoint{thresholds[i], std::move(point)};
+      },
+      [&](std::size_t i, ThresholdPoint&& point) {
+        if (observer) observer(i, std::move(point));
       });
+}
+
+ThresholdSweepResult threshold_sweep_redigitize(
+    const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
+    const std::vector<double>& thresholds, std::size_t jobs) {
+  ThresholdSweepResult sweep;
+  threshold_sweep_redigitize(spec, base_config, thresholds,
+                             exec::ParallelRunner(jobs),
+                             collect_into(sweep, thresholds.size()));
   return sweep;
 }
 

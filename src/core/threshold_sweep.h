@@ -1,8 +1,10 @@
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/experiment.h"
+#include "exec/parallel_runner.h"
 
 /// Threshold-robustness analysis — the paper's Figure 5 experiment: re-run
 /// the same circuit with the threshold (and hence the applied input level)
@@ -20,6 +22,15 @@ struct ThresholdPoint {
 struct ThresholdSweepResult {
   std::vector<ThresholdPoint> points;
 };
+
+/// Tap on a sweep's ordered commit stream: invoked once per threshold
+/// point, in strict point order, on the calling thread, with the point
+/// just before it is released — the sweep analogue of
+/// core::ReplicateObserver. Consumers fold what they need (a table row, a
+/// CSV record) and drop the rest, so a dense Fig.-5 grid never
+/// materializes every point's ExperimentResult at once.
+using ThresholdPointObserver =
+    std::function<void(std::size_t index, ThresholdPoint&& point)>;
 
 /// Run the full experiment once per threshold (molecules). Each run
 /// re-applies the inputs at that threshold value (the paper's methodology
@@ -39,6 +50,19 @@ struct ThresholdSweepResult {
     const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
     const std::vector<double>& thresholds, std::size_t jobs = 1);
 
+/// Streaming form of threshold_sweep: points are delivered to `observer`
+/// through exec::ParallelRunner::run_reduce's ordered commit stream and
+/// then destroyed, so resident memory is bounded by the runner's in-flight
+/// window however many thresholds the grid has. The materializing overload
+/// above is this function plus a collecting observer (bit-identical).
+/// `runner` may borrow a persistent pool (daemon mode) or own per-call
+/// pools; results are identical either way.
+void threshold_sweep(const circuits::CircuitSpec& spec,
+                     const ExperimentConfig& base_config,
+                     const std::vector<double>& thresholds,
+                     const exec::ParallelRunner& runner,
+                     const ThresholdPointObserver& observer);
+
 /// Variant that keeps one simulation (at the base config's input level)
 /// and only re-digitizes at each threshold — an ablation that isolates the
 /// ADC's contribution to Figure 5's effect from the input-drive
@@ -57,5 +81,13 @@ struct ThresholdSweepResult {
 [[nodiscard]] ThresholdSweepResult threshold_sweep_redigitize(
     const circuits::CircuitSpec& spec, const ExperimentConfig& base_config,
     const std::vector<double>& thresholds, std::size_t jobs = 1);
+
+/// Streaming form of threshold_sweep_redigitize (same observer contract as
+/// the streaming threshold_sweep).
+void threshold_sweep_redigitize(const circuits::CircuitSpec& spec,
+                                const ExperimentConfig& base_config,
+                                const std::vector<double>& thresholds,
+                                const exec::ParallelRunner& runner,
+                                const ThresholdPointObserver& observer);
 
 }  // namespace glva::core

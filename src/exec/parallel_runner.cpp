@@ -15,6 +15,10 @@ std::size_t resolve_jobs(std::size_t requested) noexcept {
 ParallelRunner::ParallelRunner(std::size_t jobs) noexcept
     : jobs_(resolve_jobs(jobs)) {}
 
+ParallelRunner::ParallelRunner(ThreadPool& pool) noexcept
+    : jobs_(std::max<std::size_t>(pool.thread_count(), 1)),
+      shared_pool_(&pool) {}
+
 void ParallelRunner::for_each_index(
     std::size_t count, const std::function<void(std::size_t)>& body) const {
   if (count == 0) return;
@@ -26,7 +30,9 @@ void ParallelRunner::for_each_index(
     return;
   }
 
-  ThreadPool pool(std::min(jobs_, count));
+  std::optional<ThreadPool> local_pool;
+  if (shared_pool_ == nullptr) local_pool.emplace(std::min(jobs_, count));
+  ThreadPool& pool = shared_pool_ ? *shared_pool_ : *local_pool;
   std::vector<std::future<void>> pending;
   pending.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {

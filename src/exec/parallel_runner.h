@@ -8,6 +8,7 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -44,10 +45,28 @@ public:
   /// A runner executing up to `jobs` jobs concurrently (0 = one per
   /// hardware thread). `jobs == 1` runs everything inline on the calling
   /// thread — no pool, no synchronization — which is the reference the
-  /// parallel path is bit-identical to.
+  /// parallel path is bit-identical to. Each fan-out spins up (and joins)
+  /// its own private ThreadPool.
   explicit ParallelRunner(std::size_t jobs = 1) noexcept;
 
+  /// A runner borrowing `pool` for every fan-out instead of constructing
+  /// one per call: the persistent-pool mode long-lived processes (the
+  /// `glva serve` daemon) use so worker threads are spawned once for the
+  /// process lifetime. The pool is not owned and must outlive the runner.
+  /// Concurrency is pool.thread_count(); determinism is unchanged — the
+  /// ordered-commit contract is per-call state, so multiple runners (or
+  /// concurrent fan-outs of one runner) may share a pool. The FIFO
+  /// progress argument still holds per fan-out: a fan-out's lowest
+  /// uncommitted job was enqueued before any of its window-gated jobs, so
+  /// it is always dequeued first and the head never blocks.
+  explicit ParallelRunner(ThreadPool& pool) noexcept;
+
   [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// The borrowed pool, or nullptr when this runner owns per-call pools.
+  [[nodiscard]] ThreadPool* shared_pool() const noexcept {
+    return shared_pool_;
+  }
 
   /// Run `body(i)` for every i in [0, count). Blocks until all jobs finish
   /// (even when one throws — stragglers are drained, not abandoned), then
@@ -106,7 +125,9 @@ public:
     std::size_t committed = 0;
     bool draining = false;
 
-    ThreadPool pool(std::min(jobs_, count));
+    std::optional<ThreadPool> local_pool;
+    if (shared_pool_ == nullptr) local_pool.emplace(std::min(jobs_, count));
+    ThreadPool& pool = shared_pool_ ? *shared_pool_ : *local_pool;
     std::vector<std::future<void>> pending;
     pending.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -168,6 +189,7 @@ public:
 
 private:
   std::size_t jobs_;
+  ThreadPool* shared_pool_ = nullptr;  ///< borrowed, never owned
 };
 
 }  // namespace glva::exec

@@ -1,0 +1,75 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace glva::serve {
+
+AdmissionController::AdmissionController(const Options& options)
+    : max_active_(std::max<std::size_t>(options.max_active, 1)),
+      max_queued_(options.max_queued) {}
+
+AdmissionController::Ticket::~Ticket() {
+  if (controller_ != nullptr) controller_->release();
+}
+
+std::optional<AdmissionController::Ticket> AdmissionController::try_admit() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return std::nullopt;
+  // Tickets not yet granted are the queue; arrivals beyond its bound are
+  // the overload signal.
+  const std::size_t waiting =
+      static_cast<std::size_t>(next_ticket_ - serving_);
+  if (active_ >= max_active_ && waiting >= max_queued_) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  peak_queued_ =
+      std::max(peak_queued_, static_cast<std::size_t>(next_ticket_ - serving_));
+  // FIFO grant: only the head ticket may take a freed slot; everyone else
+  // waits for the head to advance past them.
+  slot_available_.wait(lock, [&] {
+    return closed_ || (serving_ == ticket && active_ < max_active_);
+  });
+  ++serving_;  // advance the head whether granted or drained by close()
+  if (closed_) {
+    slot_available_.notify_all();
+    return std::nullopt;
+  }
+  ++active_;
+  ++admitted_;
+  slot_available_.notify_all();
+  return Ticket(this);
+}
+
+void AdmissionController::release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+    ++completed_;
+    // Notify under the lock: a Ticket may be the last reference keeping
+    // the controller alive through a concurrent close()+destroy, and the
+    // waiter cannot re-acquire the mutex (and destroy) until we drop it.
+    slot_available_.notify_all();
+  }
+}
+
+void AdmissionController::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  slot_available_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.admitted = admitted_;
+  stats.rejected = rejected_;
+  stats.completed = completed_;
+  stats.active = active_;
+  stats.queued = static_cast<std::size_t>(next_ticket_ - serving_);
+  stats.peak_queued = peak_queued_;
+  return stats;
+}
+
+}  // namespace glva::serve

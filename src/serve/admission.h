@@ -1,0 +1,97 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+/// Admission control for the `glva serve` daemon: per-request backpressure
+/// generalizing the bounded-window ordered-commit idea from
+/// exec::ParallelRunner::run_reduce. Where run_reduce bounds how many
+/// *results* may be in flight ahead of the commit cursor, the admission
+/// controller bounds how many *requests* may be executing plus waiting —
+/// beyond that, new arrivals are rejected immediately with an explicit
+/// `overloaded` signal instead of queueing without bound (the failure mode
+/// this exists to prevent: every queued request pins a connection and a
+/// parsed request, so an unbounded queue turns a load spike into unbounded
+/// memory).
+///
+/// Admission is strictly FIFO-fair: waiters hold ticket numbers and are
+/// granted slots in ticket order, so a burst of cheap requests cannot
+/// starve an earlier expensive one.
+namespace glva::serve {
+
+class AdmissionController {
+public:
+  struct Options {
+    /// Requests executing concurrently. Each admitted request may fan out
+    /// over the daemon's whole thread pool; multiple active requests
+    /// interleave on the pool's FIFO queue.
+    std::size_t max_active = 1;
+    /// Admitted-but-waiting requests. Arrivals beyond active+queued are
+    /// rejected (try_admit returns nullopt).
+    std::size_t max_queued = 0;
+  };
+
+  struct Stats {
+    std::uint64_t admitted = 0;   ///< granted an execution slot
+    std::uint64_t rejected = 0;   ///< turned away as overloaded
+    std::uint64_t completed = 0;  ///< slots released
+    std::size_t active = 0;       ///< executing now
+    std::size_t queued = 0;       ///< waiting for a slot now
+    std::size_t peak_queued = 0;  ///< high-water mark of `queued`
+  };
+
+  /// RAII execution slot: destruction releases it and wakes the next
+  /// ticket in FIFO order.
+  class Ticket {
+  public:
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&&) = delete;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket();
+
+  private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller) noexcept
+        : controller_(controller) {}
+    AdmissionController* controller_;
+  };
+
+  explicit AdmissionController(const Options& options);
+
+  /// Take an execution slot, blocking in FIFO order while the queue has
+  /// room. Returns nullopt immediately — without blocking — when the
+  /// controller is saturated (all active slots busy and the queue full)
+  /// or closed; the two cases are distinguishable via stats().rejected
+  /// (saturation counts, closure does not).
+  [[nodiscard]] std::optional<Ticket> try_admit();
+
+  /// Reject all current waiters and future arrivals (shutdown). Idempotent.
+  void close();
+
+  [[nodiscard]] Stats stats() const;
+
+private:
+  void release();
+
+  const std::size_t max_active_;
+  const std::size_t max_queued_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_available_;
+  bool closed_ = false;
+  std::uint64_t next_ticket_ = 0;  ///< next number to hand out
+  std::uint64_t serving_ = 0;      ///< lowest ticket not yet granted
+  std::size_t active_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::size_t peak_queued_ = 0;
+};
+
+}  // namespace glva::serve

@@ -1,0 +1,544 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace glva::serve {
+
+namespace {
+
+/// Nesting guard: the request schema needs depth 3; 64 tolerates any
+/// reasonable client while bounding parser recursion on hostile input.
+constexpr std::size_t kMaxDepth = 64;
+
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing bytes after JSON document");
+    return value;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ProtocolError("bad JSON at byte " + std::to_string(pos_) + ": " +
+                        message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json::of(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json::of(true);
+        fail("expected 'true'");
+      case 'f':
+        if (consume_literal("false")) return Json::of(false);
+        fail("expected 'false'");
+      case 'n':
+        if (consume_literal("null")) return Json::null();
+        fail("expected 'null'");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    ++pos_;  // '{'
+    Json value;
+    value.kind = Json::Kind::kObject;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      if (peek() != ':') fail("expected ':' after object key");
+      ++pos_;
+      value.object.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return value;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    ++pos_;  // '['
+    Json value;
+    value.kind = Json::Kind::kArray;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return value;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code_point) {
+    if (code_point < 0x80) {
+      out.push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired surrogate in \\u escape");
+            }
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("unpaired surrogate in \\u escape");
+            }
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            fail("unpaired surrogate in \\u escape");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default:
+          fail("unknown escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == digits_start) fail("expected a value");
+    // No leading zeros: "0" alone or a nonzero first digit.
+    if (text_[digits_start] == '0' && pos_ - digits_start > 1) {
+      fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac_start) fail("expected digits after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp_start) fail("expected digits in exponent");
+    }
+    return Json::number_token(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& value, std::string& out) {
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xF]);
+          out.push_back(hex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Flatten an options *object* to argv form; see WireRequest.
+std::vector<std::string> flatten_options(const Json& options) {
+  std::vector<std::string> argv;
+  for (const auto& [key, value] : options.object) {
+    switch (value.kind) {
+      case Json::Kind::kBool:
+        if (value.boolean) argv.push_back("--" + key);
+        break;
+      case Json::Kind::kNumber:
+        argv.push_back("--" + key);
+        argv.push_back(value.number);
+        break;
+      case Json::Kind::kString:
+        argv.push_back("--" + key);
+        argv.push_back(value.string);
+        break;
+      default:
+        throw ProtocolError("option '" + key +
+                            "' must be a boolean, number, or string");
+    }
+  }
+  return argv;
+}
+
+}  // namespace
+
+Json Json::null() { return Json{}; }
+
+Json Json::of(bool value) {
+  Json json;
+  json.kind = Kind::kBool;
+  json.boolean = value;
+  return json;
+}
+
+Json Json::of(std::string value) {
+  Json json;
+  json.kind = Kind::kString;
+  json.string = std::move(value);
+  return json;
+}
+
+Json Json::of(const char* value) { return of(std::string(value)); }
+
+Json Json::of_u64(std::uint64_t value) {
+  return number_token(std::to_string(value));
+}
+
+Json Json::number_token(std::string token) {
+  Json json;
+  json.kind = Kind::kNumber;
+  json.number = std::move(token);
+  return json;
+}
+
+Json Json::array_of(std::vector<Json> items) {
+  Json json;
+  json.kind = Kind::kArray;
+  json.array = std::move(items);
+  return json;
+}
+
+Json Json::object_of(std::vector<std::pair<std::string, Json>> members) {
+  Json json;
+  json.kind = Kind::kObject;
+  json.object = std::move(members);
+  return json;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Json::dump(std::string& out) const {
+  switch (kind) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += boolean ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      out += number;
+      return;
+    case Kind::kString:
+      dump_string(string, out);
+      return;
+    case Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : array) {
+        if (!first) out.push_back(',');
+        first = false;
+        item.dump(out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [name, value] : object) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(name, out);
+        out.push_back(':');
+        value.dump(out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump(out);
+  return out;
+}
+
+Json parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+std::string encode_frame(std::string_view payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  frame.push_back(static_cast<char>(length & 0xFF));
+  frame.push_back(static_cast<char>((length >> 8) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 24) & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (size != 0) buffer_.append(data, size);
+  if (buffer_.size() >= 4) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(buffer_.data());
+    const std::uint32_t length = static_cast<std::uint32_t>(bytes[0]) |
+                                 (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                                 (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                                 (static_cast<std::uint32_t>(bytes[3]) << 24);
+    if (length > max_frame_bytes_) {
+      throw ProtocolError("frame length " + std::to_string(length) +
+                          " exceeds the " +
+                          std::to_string(max_frame_bytes_) + "-byte cap");
+    }
+  }
+}
+
+std::optional<std::string> FrameDecoder::take_frame() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(buffer_.data());
+  const std::uint32_t length = static_cast<std::uint32_t>(bytes[0]) |
+                               (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                               (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                               (static_cast<std::uint32_t>(bytes[3]) << 24);
+  if (buffer_.size() < 4u + length) return std::nullopt;
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4u + length);
+  // The next frame's length prefix may already be buffered; re-check it
+  // now so a hostile prefix fails eagerly, as feed() would.
+  if (buffer_.size() >= 4) feed(nullptr, 0);
+  return payload;
+}
+
+WireRequest parse_wire_request(const Json& payload) {
+  if (!payload.is_object()) {
+    throw ProtocolError("request payload must be a JSON object");
+  }
+  WireRequest request;
+  const Json* op = payload.find("op");
+  if (op == nullptr || !op->is_string() || op->string.empty()) {
+    throw ProtocolError("request needs a string 'op' member");
+  }
+  request.op = op->string;
+  if (const Json* target = payload.find("target"); target != nullptr) {
+    if (!target->is_string()) {
+      throw ProtocolError("request 'target' must be a string");
+    }
+    request.target = target->string;
+  }
+  if (const Json* options = payload.find("options"); options != nullptr) {
+    if (options->is_array()) {
+      for (const auto& item : options->array) {
+        if (!item.is_string()) {
+          throw ProtocolError("request 'options' array must hold strings");
+        }
+        request.options.push_back(item.string);
+      }
+    } else if (options->is_object()) {
+      request.options = flatten_options(*options);
+    } else {
+      throw ProtocolError(
+          "request 'options' must be an array of strings or an object");
+    }
+  }
+  if (const Json* id = payload.find("id"); id != nullptr) {
+    if (id->kind != Json::Kind::kNumber && id->kind != Json::Kind::kString &&
+        id->kind != Json::Kind::kNull) {
+      throw ProtocolError("request 'id' must be a number or string");
+    }
+    request.id = *id;
+  }
+  return request;
+}
+
+const char* error_kind_name(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kProtocol: return "protocol";
+    case ErrorKind::kInvalidArgument: return "invalid_argument";
+    case ErrorKind::kValidation: return "validation";
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kSimulation: return "simulation";
+    case ErrorKind::kStorage: return "storage";
+    case ErrorKind::kOverloaded: return "overloaded";
+    case ErrorKind::kShuttingDown: return "shutting_down";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+std::string render_ok_response(const Json& id, int exit_code,
+                               std::string_view body, bool cached,
+                               const std::string& fingerprint) {
+  std::vector<std::pair<std::string, Json>> members;
+  members.emplace_back("id", id);
+  members.emplace_back("ok", Json::of(true));
+  members.emplace_back("exit_code",
+                       Json::number_token(std::to_string(exit_code)));
+  members.emplace_back("cached", Json::of(cached));
+  if (!fingerprint.empty()) {
+    members.emplace_back("fingerprint", Json::of(fingerprint));
+  }
+  members.emplace_back("body", Json::of(std::string(body)));
+  return Json::object_of(std::move(members)).dump();
+}
+
+std::string render_result_response(const Json& id, Json result) {
+  return Json::object_of({{"id", id},
+                          {"ok", Json::of(true)},
+                          {"result", std::move(result)}})
+      .dump();
+}
+
+std::string render_error_response(const Json& id, ErrorKind kind,
+                                  std::string_view message) {
+  return Json::object_of(
+             {{"id", id},
+              {"ok", Json::of(false)},
+              {"error",
+               Json::object_of(
+                   {{"kind", Json::of(error_kind_name(kind))},
+                    {"message", Json::of(std::string(message))}})}})
+      .dump();
+}
+
+}  // namespace glva::serve

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/errors.h"
+
+/// The `glva serve` wire protocol: length-prefixed JSON frames over a
+/// stream socket (TCP or Unix-domain).
+///
+/// Frame layout (see docs/SERVE.md):
+///
+///     +----------------+----------------------+
+///     | u32 length, LE | payload (UTF-8 JSON) |
+///     +----------------+----------------------+
+///
+/// The length counts payload bytes only. Both directions use the same
+/// framing; a connection carries any number of frames, processed and
+/// answered strictly in order. Oversize lengths are a protocol error —
+/// the decoder rejects them *before* buffering, so a hostile or corrupt
+/// length prefix cannot make the server allocate unbounded memory.
+///
+/// The JSON layer is deliberately minimal (objects, arrays, strings,
+/// numbers, booleans, null) and keeps each number's raw token text, so a
+/// 64-bit seed round-trips losslessly instead of being squeezed through a
+/// double.
+namespace glva::serve {
+
+/// A malformed frame or request document: bad length prefix, payload that
+/// is not valid JSON, or JSON that does not match the request schema.
+class ProtocolError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A minimal JSON document tree. Numbers keep their raw token text
+/// (`number`); objects preserve insertion order, which makes dumps
+/// deterministic.
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string number;  ///< raw numeric token, e.g. "18446744073709551615"
+  std::string string;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  [[nodiscard]] static Json null();
+  [[nodiscard]] static Json of(bool value);
+  [[nodiscard]] static Json of(std::string value);
+  [[nodiscard]] static Json of(const char* value);
+  [[nodiscard]] static Json of_u64(std::uint64_t value);
+  /// A number from its raw token text (caller guarantees validity).
+  [[nodiscard]] static Json number_token(std::string token);
+  [[nodiscard]] static Json array_of(std::vector<Json> items);
+  [[nodiscard]] static Json object_of(
+      std::vector<std::pair<std::string, Json>> members);
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+
+  /// First member named `key`, or nullptr. Object-kind only.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Serialize (compact, no whitespace). Object member order is
+  /// preserved, so equal trees dump to equal bytes.
+  void dump(std::string& out) const;
+  [[nodiscard]] std::string dump() const;
+};
+
+/// Parse one JSON document; the whole input must be consumed (trailing
+/// garbage is an error). Throws ProtocolError on any syntax violation,
+/// including nesting deeper than an internal limit (a stack-overflow
+/// guard for hostile inputs).
+[[nodiscard]] Json parse_json(std::string_view text);
+
+/// Default cap on a single frame's payload. Responses carry rendered
+/// report text — kilobytes, not megabytes — so 4 MiB is generous.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Wrap `payload` in a frame (u32 LE length + bytes).
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder: feed() raw stream bytes as they arrive,
+/// take_frame() yields complete payloads in order. Throws ProtocolError
+/// from feed() as soon as a length prefix exceeds the cap — before the
+/// oversize payload is buffered.
+class FrameDecoder {
+public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const char* data, std::size_t size);
+  [[nodiscard]] std::optional<std::string> take_frame();
+
+  /// Bytes buffered but not yet returned (an EOF with leftovers means a
+  /// truncated frame).
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size();
+  }
+
+private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+};
+
+/// A request frame, schema-checked but not yet interpreted:
+///
+///     {"op": "verify", "target": "0x0B",
+///      "options": ["--seed", "7", "--no-timings"], "id": 3}
+///
+/// `op` is required ("analyze" | "verify" | "ensemble" | "sweep" |
+/// "status" | "version"). `target` is required for the analysis ops.
+/// `options` may be an argv-style array of strings or an object
+/// ({"seed": 7, "two-stage": true} flattens to ["--seed","7",
+/// "--two-stage"]; a false value drops the flag). `id` (number or
+/// string) is opaque and echoed verbatim in the response.
+struct WireRequest {
+  std::string op;
+  std::string target;
+  std::vector<std::string> options;
+  Json id;  ///< null when absent
+};
+
+/// Validate and extract a request from its parsed payload. Throws
+/// ProtocolError on schema violations (wrong types, unknown members are
+/// allowed and ignored for forward compatibility).
+[[nodiscard]] WireRequest parse_wire_request(const Json& payload);
+
+/// Machine-readable failure categories carried in error responses.
+/// `kOverloaded` is the admission controller's explicit backpressure
+/// signal — clients should retry later, nothing was executed.
+enum class ErrorKind {
+  kProtocol,
+  kInvalidArgument,
+  kValidation,
+  kParse,
+  kSimulation,
+  kStorage,
+  kOverloaded,
+  kShuttingDown,
+  kInternal,
+};
+
+[[nodiscard]] const char* error_kind_name(ErrorKind kind) noexcept;
+
+/// Success payload:
+///     {"id": 3, "ok": true, "exit_code": 0, "cached": false,
+///      "fingerprint": "9a51...", "body": "..."}
+/// `fingerprint` (the request's content address, hex) is present for
+/// analysis ops only; `cached` reports whether the body came from the
+/// result cache (or a concurrent identical request) instead of a fresh
+/// execution.
+[[nodiscard]] std::string render_ok_response(const Json& id, int exit_code,
+                                             std::string_view body,
+                                             bool cached,
+                                             const std::string& fingerprint);
+
+/// Success payload for structured results (status):
+///     {"id": 3, "ok": true, "result": {...}}
+[[nodiscard]] std::string render_result_response(const Json& id,
+                                                 Json result);
+
+/// Failure payload:
+///     {"id": 3, "ok": false,
+///      "error": {"kind": "overloaded", "message": "..."}}
+[[nodiscard]] std::string render_error_response(const Json& id,
+                                                ErrorKind kind,
+                                                std::string_view message);
+
+}  // namespace glva::serve

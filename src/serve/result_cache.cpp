@@ -1,0 +1,58 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+namespace glva::serve {
+
+ResultCache::ResultCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+std::optional<ResultCache::CachedResponse> ResultCache::get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return it->second->response;
+}
+
+void ResultCache::put(const std::string& key, int exit_code,
+                      const std::string& body) {
+  const std::size_t cost = cost_of(key, body);
+  if (cost > capacity_bytes_) return;  // also covers the disabled (0) cache
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (bytes_ + cost > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.cost;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, CachedResponse{exit_code, body}, cost});
+  index_.emplace(key, lru_.begin());
+  bytes_ += cost;
+  ++insertions_;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  stats.capacity_bytes = capacity_bytes_;
+  return stats;
+}
+
+}  // namespace glva::serve

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "app/request.h"
+#include "exec/parallel_runner.h"
+#include "exec/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+
+/// The `glva serve` daemon: a long-lived analysis server speaking the
+/// framed JSON protocol (serve/protocol.h) over TCP and/or Unix-domain
+/// stream sockets.
+///
+/// One process owns ONE persistent exec::ThreadPool for its whole
+/// lifetime; every admitted request fans out over it through a borrowed
+/// exec::ParallelRunner (simulation startup cost is paid once, not per
+/// request). Requests flow through three gates:
+///
+///   1. the result cache (serve/result_cache.h): a content-addressed hit
+///      answers without executing anything;
+///   2. single-flight coalescing: concurrent *identical* requests elect
+///      one leader; followers wait for its result and are answered
+///      `cached: true` — the paper's workloads are deterministic, so
+///      running the same request twice concurrently is pure waste;
+///   3. admission control (serve/admission.h): bounded concurrency +
+///      bounded FIFO queue, with explicit `overloaded` rejections beyond
+///      that.
+///
+/// Request execution is app::execute — the CLI's own path — so a daemon
+/// response body is byte-identical to the CLI output for the same flags.
+namespace glva::serve {
+
+struct ServerOptions {
+  /// TCP listen address as "host:port" (empty host = all interfaces,
+  /// port 0 = ephemeral; see Server::tcp_port()). Empty disables TCP.
+  std::string listen_addr;
+  /// Unix-domain socket path; any stale file at the path is replaced.
+  /// Empty disables the Unix listener.
+  std::string unix_path;
+  /// Worker threads in the persistent pool (0 = one per hardware thread).
+  std::size_t jobs = 0;
+  /// Requests executing concurrently (0 = pool thread count).
+  std::size_t max_active = 0;
+  /// Admitted-but-waiting requests before arrivals are rejected.
+  std::size_t max_queued = 64;
+  /// Result-cache byte budget (0 disables caching).
+  std::size_t cache_bytes = 64u << 20;
+  /// Largest accepted request frame payload.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Server {
+public:
+  explicit Server(const ServerOptions& options);
+  ~Server();  ///< stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the configured listeners and begin accepting. Throws
+  /// glva::InvalidArgument when neither listener is configured and
+  /// glva::Error when a socket cannot be bound.
+  void start();
+
+  /// Drain and shut down: stop accepting, reject queued admissions, wake
+  /// blocked reads, wait for in-flight requests and connections to
+  /// finish. Idempotent.
+  void stop();
+
+  /// The bound TCP port (resolves an ephemeral `:0`), or 0 without TCP.
+  [[nodiscard]] std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+  [[nodiscard]] const std::string& unix_socket_path() const noexcept {
+    return options_.unix_path;
+  }
+  [[nodiscard]] std::size_t pool_threads() const noexcept {
+    return pool_.thread_count();
+  }
+
+  [[nodiscard]] ResultCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] AdmissionController::Stats admission_stats() const {
+    return admission_.stats();
+  }
+  /// Requests answered by a concurrent identical execution (single-flight
+  /// followers) rather than a cache hit or their own run.
+  [[nodiscard]] std::uint64_t coalesced_requests() const noexcept {
+    return requests_coalesced_.load();
+  }
+
+  /// One request/response exchange without a socket: `payload` is a frame
+  /// payload, the return value is the response payload. This is the exact
+  /// dispatch path connections use — tests and the in-process bench mode
+  /// drive it directly.
+  [[nodiscard]] std::string dispatch(const std::string& payload);
+
+private:
+  struct InFlight {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    bool ok = false;
+    int exit_code = 0;
+    std::string body;
+    ErrorKind error_kind = ErrorKind::kInternal;
+    std::string error_message;
+  };
+
+  void accept_loop(int listen_fd);
+  void serve_connection(int fd);
+  [[nodiscard]] bool send_frame(int fd, const std::string& payload);
+  [[nodiscard]] std::string handle_analysis(const WireRequest& wire,
+                                            app::Request::Op op);
+  [[nodiscard]] Json status_json() const;
+
+  ServerOptions options_;
+  exec::ThreadPool pool_;
+  exec::ParallelRunner runner_;
+  AdmissionController admission_;
+  ResultCache cache_;
+
+  std::atomic<bool> running_{false};
+  std::mutex lifecycle_mutex_;  ///< serializes start()/stop()
+  bool started_ = false;
+  int tcp_fd_ = -1;
+  int unix_fd_ = -1;
+  std::uint16_t tcp_port_ = 0;
+  std::vector<std::thread> accept_threads_;
+
+  std::mutex conn_mutex_;
+  std::condition_variable conn_drained_;
+  std::unordered_set<int> conn_fds_;
+  std::size_t open_connections_ = 0;
+
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+
+  std::atomic<std::uint64_t> requests_received_{0};
+  std::atomic<std::uint64_t> requests_executed_{0};
+  std::atomic<std::uint64_t> requests_coalesced_{0};
+};
+
+/// The `glva serve` command body: block SIGINT/SIGTERM, start a Server,
+/// print the bound endpoints to `out`, wait for a signal, drain, print
+/// final cache/admission stats, return 0. Socket and argument errors
+/// propagate as glva exceptions (the CLI maps them to exit 2).
+int run_serve(const ServerOptions& options, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace glva::serve
