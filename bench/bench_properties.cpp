@@ -1,0 +1,177 @@
+// Property-monitor bench: the packed word-parallel monitor (props/monitor)
+// against the naive per-sample reference evaluator (props/reference) over
+// synthetic plateau planes.
+//
+// Four planes (A, B, C, GFP) are generated as random-length constant runs
+// (1..96 samples, alternating value) from a seeded sim::Rng — long enough
+// plateaus for settle/noglitch to bite, short enough runs that bounded
+// windows straddle word boundaries constantly. A fixed suite of properties
+// exercising every operator is evaluated by both backends; the verdict
+// streams are compared bit for bit.
+//
+// Shape target: at --samples 1000000 the packed monitor clears
+// --min-speedup (default 5x, timings mode only; exit 1 otherwise) on every
+// property. With --no-timings the output is byte-stable for a fixed seed —
+// the golden regression pins the verdict popcounts and the
+// "packed == reference" agreement lines.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "logic/bit_stream.h"
+#include "props/monitor.h"
+#include "props/parser.h"
+#include "props/property.h"
+#include "props/reference.h"
+#include "sim/rng.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace glva;
+using util::seconds_since;
+
+/// A random-length-run plateau signal: constant stretches of 1..max_run
+/// samples, value alternating run to run.
+std::vector<bool> plateau_plane(std::size_t samples, std::size_t max_run,
+                                sim::Rng& rng) {
+  std::vector<bool> plane(samples);
+  bool value = (rng.next_u64() & 1) != 0;
+  std::size_t i = 0;
+  while (i < samples) {
+    std::size_t run = 1 + static_cast<std::size_t>(rng.next_u64() %
+                                                   static_cast<std::uint64_t>(
+                                                       max_run));
+    for (std::size_t j = 0; j < run && i < samples; ++j) plane[i++] = value;
+    value = !value;
+  }
+  return plane;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("samples", "1000000", "samples per plane");
+  cli.add_option("seed", "7", "plane-generation seed");
+  cli.add_option("max-run", "96", "maximum plateau run length (samples)");
+  cli.add_option("repeat", "5",
+                 "packed-monitor timing repetitions (best of N)");
+  cli.add_option("min-speedup", "5",
+                 "fail (exit 1) when any property's packed-vs-reference "
+                 "speedup is below this (checked only when timings are on; "
+                 "0 disables)");
+  cli.add_flag("no-timings",
+               "omit wall-clock lines (deterministic output for the golden "
+               "regression)");
+  if (!cli.parse(argc, argv)) {
+    std::cout << cli.help("bench_properties");
+    return 0;
+  }
+  const bool timings = !cli.get_flag("no-timings");
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+  const auto max_run = static_cast<std::size_t>(cli.get_int("max-run"));
+  const auto repeat = static_cast<std::size_t>(cli.get_int("repeat"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const double min_speedup = cli.get_double("min-speedup");
+  if (samples == 0 || max_run == 0 || repeat == 0) {
+    std::cerr << "bench_properties: --samples, --max-run and --repeat must "
+                 "be positive\n";
+    return 2;
+  }
+
+  // The operator-coverage suite: every AST kind appears at least once.
+  const std::vector<std::string> texts = {
+      "G(A->F[0,64]GFP)",
+      "(A&!B)U[0,128]GFP",
+      "G[0,32](A|C)",
+      "F(A&B&C)",
+      "settle[256]GFP",
+      "noglitch[8]GFP",
+  };
+
+  sim::Rng rng(seed);
+  props::NamedPlanes reference_planes;
+  reference_planes.names = {"A", "B", "C", "GFP"};
+  for (std::size_t p = 0; p < reference_planes.names.size(); ++p) {
+    reference_planes.planes.push_back(plateau_plane(samples, max_run, rng));
+  }
+  std::vector<logic::BitStream> packed;
+  packed.reserve(reference_planes.planes.size());
+  for (const auto& plane : reference_planes.planes) {
+    packed.push_back(logic::BitStream::pack(plane));
+  }
+  props::PackedNamedPlanes packed_planes;
+  packed_planes.names = reference_planes.names;
+  for (const auto& stream : packed) packed_planes.planes.push_back(&stream);
+
+  std::cout << "=== property monitors: packed vs reference ===\n"
+            << "samples:    " << samples << ", planes "
+            << util::join(reference_planes.names, ",")
+            << " (plateau runs 1.." << max_run << ", seed " << seed
+            << ")\n\n";
+
+  int rc = 0;
+  bool all_agree = true;
+  double worst_speedup = -1.0;
+  for (const auto& text : texts) {
+    const props::PropertyPtr property = props::parse_property(text);
+
+    double packed_seconds = -1.0;
+    logic::BitStream verdict;
+    for (std::size_t r = 0; r < repeat; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      verdict = props::evaluate_packed(*property, packed_planes);
+      const double elapsed = seconds_since(start);
+      if (packed_seconds < 0.0 || elapsed < packed_seconds) {
+        packed_seconds = elapsed;
+      }
+    }
+
+    const auto reference_start = std::chrono::steady_clock::now();
+    const std::vector<bool> expected =
+        props::evaluate_reference(*property, reference_planes);
+    const double reference_seconds = seconds_since(reference_start);
+
+    const bool agree = verdict.unpack() == expected;
+    all_agree = all_agree && agree;
+
+    std::cout << "--- property: " << props::to_string(*property) << " ---\n"
+              << "verdicts:   " << verdict.popcount() << " / "
+              << verdict.size() << " satisfied\n"
+              << "packed == reference: " << (agree ? "yes" : "NO") << "\n";
+    if (timings) {
+      const double speedup = packed_seconds > 0.0
+                                 ? reference_seconds / packed_seconds
+                                 : 0.0;
+      if (worst_speedup < 0.0 || speedup < worst_speedup) {
+        worst_speedup = speedup;
+      }
+      std::cout << "timing:     packed "
+                << util::format_double(packed_seconds * 1e3, 3)
+                << " ms (best of " << repeat << "), reference "
+                << util::format_double(reference_seconds * 1e3, 3)
+                << " ms, speedup " << util::format_double(speedup, 1)
+                << "x\n";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "all properties: packed == reference: "
+            << (all_agree ? "yes" : "NO") << "\n";
+  if (!all_agree) rc = 1;
+  if (timings && min_speedup > 0.0) {
+    const bool fast_enough = worst_speedup >= min_speedup;
+    std::cout << "worst speedup: " << util::format_double(worst_speedup, 1)
+              << "x (target " << util::format_double(min_speedup, 1)
+              << "x) -> " << (fast_enough ? "met" : "MISSED") << "\n";
+    if (!fast_enough) rc = 1;
+  }
+  return rc;
+}

@@ -12,6 +12,7 @@
 #include "core/ensemble.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "props/check.h"
 #include "sbml/validate.h"
 #include "sbml/writer.h"
 #include "serve/server.h"
@@ -40,6 +41,8 @@ constexpr const char* kUsage =
     "  verify <circuit>             run the paper's experiment on a catalog circuit\n"
     "  ensemble <circuit>           N-replicate ensemble: majority logic + FOV stats\n"
     "  sweep <circuit>              threshold-robustness sweep (Figure 5 methodology)\n"
+    "  check <circuit>              monitor temporal properties over the sweep\n"
+    "                               (bounded-LTL; see docs/PROPERTIES.md)\n"
     "  estimate <circuit>           estimate threshold and propagation delay\n"
     "  serve                        long-lived analysis daemon (see docs/SERVE.md)\n"
     "  version                      build, SIMD tier, and dispatch information\n"
@@ -373,6 +376,98 @@ int cmd_sweep(const std::string& name, const std::vector<std::string>& args,
   return response.exit_code;
 }
 
+int cmd_check(const std::string& name, const std::vector<std::string>& args,
+              std::size_t jobs, std::ostream& out) {
+  util::CliParser cli;
+  add_request_options(cli, Request::Op::kCheck);
+  cli.add_option("csv", "",
+                 "write the per-replicate per-combination satisfaction CSV "
+                 "here (all replicates, streamed)");
+  std::vector<const char*> argv{"glva-check"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva check <circuit>");
+    return 0;
+  }
+  const Request request = request_from_cli(Request::Op::kCheck, name, cli);
+
+  // Same atomic-rename streaming CSV protocol as cmd_ensemble: rows flow
+  // out of the ordered commit stream per replicate, into a sibling temp
+  // file renamed onto --csv only after a fully successful run.
+  const std::string csv_path = cli.get("csv");
+  const std::string csv_temp_path =
+      csv_path.empty() ? std::string() : csv_path + ".partial";
+  std::ofstream csv_stream;
+  if (!csv_path.empty()) {
+    csv_stream.open(csv_temp_path, std::ios::binary);
+    if (!csv_stream) throw Error("cannot open CSV output file: " + csv_path);
+    csv_stream << "replicate,seed,property,combination,samples,satisfied,"
+                  "fraction,first_violation\n";
+  }
+
+  ExecutionHooks hooks;
+  if (!csv_path.empty()) {
+    hooks.on_check_replicate = [&](std::size_t r,
+                                   const props::CheckReplicate& replicate) {
+      for (const props::PropertyCheck& check : replicate.properties) {
+        // Canonical property text contains commas (window bounds), so the
+        // field is quoted; the grammar has no quote character.
+        const auto row = [&](const std::string& combination,
+                             std::size_t samples, std::size_t satisfied,
+                             double fraction, std::size_t first_violation) {
+          csv_stream << r << ',' << replicate.seed << ",\"" << check.property
+                     << "\"," << combination << ',' << samples << ','
+                     << satisfied << ',' << util::format_double(fraction, 6)
+                     << ',';
+          if (first_violation != props::kNoViolation) {
+            csv_stream << first_violation;
+          }
+          csv_stream << '\n';
+        };
+        for (const props::CombinationCheck& comb : check.combinations) {
+          row(std::to_string(comb.combination), comb.samples, comb.satisfied,
+              comb.fraction(), comb.first_violation);
+        }
+        row("all", check.samples, check.satisfied, check.fraction(),
+            check.first_violation);
+      }
+      if (!csv_stream) {
+        throw Error("failed writing CSV output file: " + csv_path);
+      }
+    };
+  }
+
+  ExecutionContext context;
+  context.jobs = jobs;
+  Response response;
+  try {
+    response = execute(request, context, hooks);
+  } catch (...) {
+    if (csv_stream.is_open()) {
+      csv_stream.close();
+      std::error_code ec;
+      std::filesystem::remove(csv_temp_path, ec);
+    }
+    throw;
+  }
+  out << response.body;
+  if (csv_stream.is_open()) {
+    csv_stream.close();
+    std::error_code ec;
+    if (!csv_stream) {
+      std::filesystem::remove(csv_temp_path, ec);
+      throw Error("failed writing CSV output file: " + csv_path);
+    }
+    std::filesystem::rename(csv_temp_path, csv_path, ec);
+    if (ec) {
+      std::filesystem::remove(csv_temp_path, ec);
+      throw Error("failed writing CSV output file: " + csv_path);
+    }
+    out << "check CSV (all replicates) written to " << csv_path << "\n";
+  }
+  return response.exit_code;
+}
+
 int cmd_estimate(const std::string& name, const std::vector<std::string>& args,
                  std::ostream& out) {
   util::CliParser cli;
@@ -536,7 +631,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "serve") return cmd_serve(rest, jobs, out, err);
     if (command == "show" || command == "export" || command == "analyze" ||
         command == "verify" || command == "ensemble" || command == "sweep" ||
-        command == "estimate") {
+        command == "check" || command == "estimate") {
       if (rest.empty() || util::starts_with(rest[0], "--")) {
         err << "glva " << command << ": missing argument\n" << kUsage;
         return 2;
@@ -549,6 +644,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "verify") return cmd_verify(target, options, out);
       if (command == "ensemble") return cmd_ensemble(target, options, jobs, out);
       if (command == "sweep") return cmd_sweep(target, options, jobs, out);
+      if (command == "check") return cmd_check(target, options, jobs, out);
       return cmd_estimate(target, options, out);
     }
     err << "glva: unknown command '" << command << "'\n" << kUsage;

@@ -6,6 +6,7 @@
 #include "circuits/circuit_repository.h"
 #include "core/report.h"
 #include "logic/truth_table.h"
+#include "props/parser.h"
 #include "sbml/reader.h"
 #include "util/errors.h"
 #include "util/string_util.h"
@@ -134,6 +135,25 @@ Response execute_ensemble(const Request& request,
   return response;
 }
 
+Response execute_check(const Request& request,
+                       const circuits::CircuitSpec& spec,
+                       const exec::ParallelRunner& runner,
+                       const ExecutionHooks& hooks) {
+  std::vector<props::PropertyPtr> properties;
+  properties.reserve(request.properties.size());
+  for (const std::string& text : request.properties) {
+    properties.push_back(props::parse_property(text));
+  }
+  const props::CheckResult result =
+      props::run_check(spec, request.config, properties, request.replicates,
+                       runner, hooks.on_check_replicate);
+
+  Response response;
+  response.body = props::render_check_summary(result, request.min_satisfaction);
+  response.exit_code = result.satisfied(request.min_satisfaction) ? 0 : 1;
+  return response;
+}
+
 Response execute_sweep(const Request& request,
                        const circuits::CircuitSpec& spec,
                        const exec::ParallelRunner& runner,
@@ -204,6 +224,8 @@ const char* op_name(Request::Op op) noexcept {
       return "ensemble";
     case Request::Op::kSweep:
       return "sweep";
+    case Request::Op::kCheck:
+      return "check";
   }
   return "unknown";
 }
@@ -213,8 +235,10 @@ Request::Op parse_op(const std::string& name) {
   if (name == "verify") return Request::Op::kVerify;
   if (name == "ensemble") return Request::Op::kEnsemble;
   if (name == "sweep") return Request::Op::kSweep;
-  throw InvalidArgument("unknown analysis op '" + name +
-                        "' (expected analyze | verify | ensemble | sweep)");
+  if (name == "check") return Request::Op::kCheck;
+  throw InvalidArgument(
+      "unknown analysis op '" + name +
+      "' (expected analyze | verify | ensemble | sweep | check)");
 }
 
 void add_request_options(util::CliParser& cli, Request::Op op) {
@@ -228,6 +252,16 @@ void add_request_options(util::CliParser& cli, Request::Op op) {
   }
   if (op == Request::Op::kEnsemble) {
     cli.add_option("replicates", "8", "independent stochastic replicates");
+  }
+  if (op == Request::Op::kCheck) {
+    cli.add_option("property", "",
+                   "semicolon-separated temporal properties over plane "
+                   "atoms, e.g. \"G(C->F[0,80]GFP)\" (see "
+                   "docs/PROPERTIES.md)");
+    cli.add_option("replicates", "1", "independent stochastic replicates");
+    cli.add_option("min-satisfaction", "1",
+                   "PASS threshold on each property's mean satisfaction "
+                   "fraction, in [0, 1]");
   }
   if (op == Request::Op::kSweep) {
     cli.add_option("thresholds", "3,15,40",
@@ -271,6 +305,31 @@ Request request_from_cli(Request::Op op, std::string target,
       throw InvalidArgument("ensemble: --replicates must be at least 1");
     }
     request.replicates = static_cast<std::size_t>(replicates);
+  }
+  if (op == Request::Op::kCheck) {
+    for (const auto& field : util::split(cli.get("property"), ';')) {
+      const auto trimmed = util::trim(field);
+      if (trimmed.empty()) continue;
+      // Parse now (malformed properties fail before any simulation) and
+      // store the canonical spelling, so whitespace/paren variants of one
+      // property produce one canonical_key.
+      request.properties.push_back(
+          props::to_string(*props::parse_property(std::string(trimmed))));
+    }
+    if (request.properties.empty()) {
+      throw InvalidArgument(
+          "check: --property is required (e.g. --property "
+          "\"G(C->F[0,80]GFP)\"; separate several with ';')");
+    }
+    const long long replicates = cli.get_int("replicates");
+    if (replicates <= 0) {
+      throw InvalidArgument("check: --replicates must be at least 1");
+    }
+    request.replicates = static_cast<std::size_t>(replicates);
+    request.min_satisfaction = cli.get_double("min-satisfaction");
+    if (request.min_satisfaction < 0.0 || request.min_satisfaction > 1.0) {
+      throw InvalidArgument("check: --min-satisfaction must be in [0, 1]");
+    }
   }
   if (op == Request::Op::kSweep) {
     for (const auto& field : util::split(cli.get("thresholds"), ',')) {
@@ -330,6 +389,16 @@ std::string canonical_key(const Request& request) {
   append_field(key, "inputs", inputs);
   append_field(key, "output", request.output_id);
   append_field(key, "expected", request.expected_hex);
+  // Record separator between properties: canonical property text is
+  // printable ASCII, so '\x1e' cannot occur inside one.
+  std::string properties = std::to_string(request.properties.size());
+  for (const auto& property : request.properties) {
+    properties += '\x1e';
+    properties += property;
+  }
+  append_field(key, "properties", properties);
+  append_field(key, "min_satisfaction",
+               canonical_double(request.min_satisfaction));
   append_field(key, "no_timings", request.no_timings ? "1" : "0");
 
   const core::ExperimentConfig& config = request.config;
@@ -377,19 +446,24 @@ Response execute(const Request& request, const ExecutionContext& context,
       return execute_verify(request, spec, hooks);
     case Request::Op::kEnsemble:
     case Request::Op::kSweep:
+    case Request::Op::kCheck:
       break;
   }
   // The fleet ops fan out over a runner: the caller's persistent one
   // (daemon) or a per-invocation pool sized by context.jobs (CLI).
-  if (context.runner != nullptr) {
-    return request.op == Request::Op::kEnsemble
-               ? execute_ensemble(request, spec, *context.runner, hooks)
-               : execute_sweep(request, spec, *context.runner, hooks);
-  }
+  const auto run_fleet = [&](const exec::ParallelRunner& runner) {
+    switch (request.op) {
+      case Request::Op::kEnsemble:
+        return execute_ensemble(request, spec, runner, hooks);
+      case Request::Op::kSweep:
+        return execute_sweep(request, spec, runner, hooks);
+      default:
+        return execute_check(request, spec, runner, hooks);
+    }
+  };
+  if (context.runner != nullptr) return run_fleet(*context.runner);
   const exec::ParallelRunner runner(context.jobs);
-  return request.op == Request::Op::kEnsemble
-             ? execute_ensemble(request, spec, runner, hooks)
-             : execute_sweep(request, spec, runner, hooks);
+  return run_fleet(runner);
 }
 
 }  // namespace glva::app

@@ -10,11 +10,13 @@
 #include "core/experiment.h"
 #include "core/threshold_sweep.h"
 #include "exec/parallel_runner.h"
+#include "props/check.h"
 #include "util/cli.h"
 
 /// The request/response layer the CLI and the `glva serve` daemon share.
 ///
-/// One analysis invocation — analyze / verify / ensemble / sweep — is a
+/// One analysis invocation — analyze / verify / ensemble / sweep / check
+/// — is a
 /// value (`Request`): which workload, which target, and the full semantic
 /// flag set, decoupled from where it came from (a CLI argv or a daemon
 /// protocol frame). `execute()` turns a Request into a `Response` whose
@@ -35,17 +37,21 @@ namespace glva::app {
 /// that use them but always carry their defaults, so canonical_key() is
 /// total over the struct.
 struct Request {
-  enum class Op { kAnalyze, kVerify, kEnsemble, kSweep };
+  enum class Op { kAnalyze, kVerify, kEnsemble, kSweep, kCheck };
 
   Op op = Op::kVerify;
-  /// Catalog circuit name (verify/ensemble/sweep) or SBML model path
-  /// (analyze; resolved relative to the executing process).
+  /// Catalog circuit name (verify/ensemble/sweep/check) or SBML model
+  /// path (analyze; resolved relative to the executing process).
   std::string target;
   core::ExperimentConfig config;
-  bool two_stage = false;          ///< expand gates (verify/ensemble/sweep)
-  std::size_t replicates = 8;      ///< ensemble
+  bool two_stage = false;          ///< expand gates (verify/ensemble/sweep/check)
+  std::size_t replicates = 8;      ///< ensemble (default 8) / check (default 1)
   std::vector<double> thresholds;  ///< sweep grid (ThVAL values)
   bool redigitize = false;         ///< sweep: re-digitize-only ablation
+  /// check: properties in canonical text form (props::to_string of the
+  /// parse — spelling variants of one property share one cache key).
+  std::vector<std::string> properties;
+  double min_satisfaction = 1.0;  ///< check: PASS threshold on the fraction
   std::vector<std::string> input_ids;  ///< analyze: input species (MSB first)
   std::string output_id = "GFP";       ///< analyze: output species
   std::string expected_hex;            ///< analyze: optional minterm hex
@@ -57,7 +63,7 @@ struct Request {
 };
 
 [[nodiscard]] const char* op_name(Request::Op op) noexcept;
-/// Parse "analyze" / "verify" / "ensemble" / "sweep"; throws
+/// Parse "analyze" / "verify" / "ensemble" / "sweep" / "check"; throws
 /// glva::InvalidArgument otherwise.
 [[nodiscard]] Request::Op parse_op(const std::string& name);
 
@@ -121,6 +127,8 @@ struct ExecutionHooks {
   std::function<void(const core::EnsembleResult&)> on_ensemble;
   /// sweep: each point from the ordered commit stream, before release.
   std::function<void(const core::ThresholdPoint&)> on_point;
+  /// check: forwarded as the props::CheckObserver (per-replicate CSV).
+  props::CheckObserver on_check_replicate;
 };
 
 /// Run the request and render its body. Exit codes mirror the CLI: 0

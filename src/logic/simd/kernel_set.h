@@ -86,6 +86,31 @@ struct KernelSet {
   void (*combine_masks)(const std::uint64_t* const* planes,
                         const std::uint64_t* invert, std::size_t inputs,
                         std::size_t words, std::uint64_t* out);
+
+  // Sliding-window building blocks of the temporal-property monitor
+  // (src/props/monitor.cpp, docs/PROPERTIES.md): combine `dst` with a
+  // bit-shifted view of `src` across the whole n-word array. "Down"
+  // shifts toward sample 0 (bit j of the view is src bit j + shift),
+  // "up" toward higher samples (bit j is src bit j - shift); `shift` is
+  // an arbitrary bit count, not a word multiple. Bits of the view that
+  // fall outside [0, 64n) read as 0 for the OR forms and as 1 for the
+  // AND form (a bounded-globally window truncated at the trace edge must
+  // not fail) — measured against the 64n-bit word array, so callers with
+  // ragged tails pre-fill the tail bits to match and re-mask afterwards.
+  // `dst` may alias `src` exactly (the in-place cascade case); partial
+  // overlap is not supported.
+
+  /// dst[j] |= src[j + shift] over the whole array (zero past the end).
+  void (*or_shift_down_words)(const std::uint64_t* src, std::size_t n,
+                              std::size_t shift, std::uint64_t* dst);
+
+  /// dst[j] &= src[j + shift] over the whole array (ones past the end).
+  void (*and_shift_down_words)(const std::uint64_t* src, std::size_t n,
+                               std::size_t shift, std::uint64_t* dst);
+
+  /// dst[j] |= src[j - shift] over the whole array (zero before bit 0).
+  void (*or_shift_up_words)(const std::uint64_t* src, std::size_t n,
+                            std::size_t shift, std::uint64_t* dst);
 };
 
 /// Canonical lower-case name of a level ("scalar", "sse2", ...).

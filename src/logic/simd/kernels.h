@@ -31,5 +31,11 @@ std::size_t scalar_masked_pair_transitions(const std::uint64_t* mask,
 void scalar_combine_masks(const std::uint64_t* const* planes,
                           const std::uint64_t* invert, std::size_t inputs,
                           std::size_t words, std::uint64_t* out);
+void scalar_or_shift_down_words(const std::uint64_t* src, std::size_t n,
+                                std::size_t shift, std::uint64_t* dst);
+void scalar_and_shift_down_words(const std::uint64_t* src, std::size_t n,
+                                 std::size_t shift, std::uint64_t* dst);
+void scalar_or_shift_up_words(const std::uint64_t* src, std::size_t n,
+                              std::size_t shift, std::uint64_t* dst);
 
 }  // namespace glva::logic::simd::detail

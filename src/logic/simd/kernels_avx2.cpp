@@ -154,6 +154,105 @@ void avx2_combine_masks(const std::uint64_t* const* planes,
   }
 }
 
+// The monitor shift kernels below tolerate dst == src because every
+// vector block loads before it stores and the other indices a block reads
+// have not been written yet: the down forms iterate forward and read
+// indices >= the block start, the up form iterates backward and reads
+// indices <= the block end.
+
+void avx2_or_shift_down_words(const std::uint64_t* src, std::size_t n,
+                              std::size_t shift, std::uint64_t* dst) {
+  const std::size_t q = shift / 64;
+  const int r = static_cast<int>(shift % 64);
+  if (q >= n) return;
+  const std::size_t last = n - q;
+  std::size_t i = 0;
+  if (r == 0) {
+    for (; i + 4 <= last; i += 4) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_or_si256(loadu(dst + i), loadu(src + i + q)));
+    }
+    for (; i < last; ++i) dst[i] |= src[i + q];
+  } else {
+    // The vector body reads src[i+q .. i+q+4], so it stops one block
+    // early (i + q + 4 <= n - 1); the scalar tail handles the edge.
+    for (; i + 5 <= last; i += 4) {
+      const __m256i v =
+          _mm256_or_si256(_mm256_srli_epi64(loadu(src + i + q), r),
+                          _mm256_slli_epi64(loadu(src + i + q + 1), 64 - r));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_or_si256(loadu(dst + i), v));
+    }
+    for (; i < last; ++i) {
+      std::uint64_t v = src[i + q] >> r;
+      if (i + q + 1 < n) v |= src[i + q + 1] << (64 - r);
+      dst[i] |= v;
+    }
+  }
+}
+
+void avx2_and_shift_down_words(const std::uint64_t* src, std::size_t n,
+                               std::size_t shift, std::uint64_t* dst) {
+  const std::size_t q = shift / 64;
+  const int r = static_cast<int>(shift % 64);
+  if (q >= n) return;
+  const std::size_t last = n - q;
+  std::size_t i = 0;
+  if (r == 0) {
+    for (; i + 4 <= last; i += 4) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst + i),
+          _mm256_and_si256(loadu(dst + i), loadu(src + i + q)));
+    }
+    for (; i < last; ++i) dst[i] &= src[i + q];
+  } else {
+    for (; i + 5 <= last; i += 4) {
+      const __m256i v =
+          _mm256_or_si256(_mm256_srli_epi64(loadu(src + i + q), r),
+                          _mm256_slli_epi64(loadu(src + i + q + 1), 64 - r));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_and_si256(loadu(dst + i), v));
+    }
+    for (; i < last; ++i) {
+      const std::uint64_t high =
+          i + q + 1 < n ? src[i + q + 1] : ~std::uint64_t{0};
+      dst[i] &= (src[i + q] >> r) | (high << (64 - r));
+    }
+  }
+}
+
+void avx2_or_shift_up_words(const std::uint64_t* src, std::size_t n,
+                            std::size_t shift, std::uint64_t* dst) {
+  const std::size_t q = shift / 64;
+  const int r = static_cast<int>(shift % 64);
+  if (q >= n) return;
+  std::size_t i = n;
+  if (r == 0) {
+    while (i >= q + 4) {
+      i -= 4;
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_or_si256(loadu(dst + i), loadu(src + i - q)));
+    }
+    while (i-- > q) dst[i] |= src[i - q];
+  } else {
+    // The vector body reads src[i-q-1 .. i+3-q], so the lowest block
+    // start stays at q + 1; the scalar tail handles the edge.
+    while (i >= q + 5) {
+      i -= 4;
+      const __m256i v =
+          _mm256_or_si256(_mm256_slli_epi64(loadu(src + i - q), r),
+                          _mm256_srli_epi64(loadu(src + i - q - 1), 64 - r));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_or_si256(loadu(dst + i), v));
+    }
+    while (i-- > q) {
+      std::uint64_t v = src[i - q] << r;
+      if (i > q) v |= src[i - q - 1] >> (64 - r);
+      dst[i] |= v;
+    }
+  }
+}
+
 }  // namespace
 
 const KernelSet* avx2_kernels() noexcept {
@@ -166,6 +265,9 @@ const KernelSet* avx2_kernels() noexcept {
       &avx2_transition_count_words,
       &avx2_masked_pair_transitions,
       &avx2_combine_masks,
+      &avx2_or_shift_down_words,
+      &avx2_and_shift_down_words,
+      &avx2_or_shift_up_words,
   };
   return &kSet;
 }

@@ -174,6 +174,100 @@ void avx512_combine_masks(const std::uint64_t* const* planes,
   }
 }
 
+// The monitor shift kernels tolerate dst == src for the same reason the
+// AVX2 tier's do: every vector block loads before it stores, the down
+// forms iterate forward reading indices >= the block start, and the up
+// form iterates backward reading indices <= the block end.
+
+void avx512_or_shift_down_words(const std::uint64_t* src, std::size_t n,
+                                std::size_t shift, std::uint64_t* dst) {
+  const std::size_t q = shift / 64;
+  const unsigned r = static_cast<unsigned>(shift % 64);
+  if (q >= n) return;
+  const std::size_t last = n - q;
+  std::size_t i = 0;
+  if (r == 0) {
+    for (; i + 8 <= last; i += 8) {
+      _mm512_storeu_si512(reinterpret_cast<void*>(dst + i),
+                          _mm512_or_si512(loadu(dst + i), loadu(src + i + q)));
+    }
+    for (; i < last; ++i) dst[i] |= src[i + q];
+  } else {
+    for (; i + 9 <= last; i += 8) {
+      const __m512i v =
+          _mm512_or_si512(_mm512_srli_epi64(loadu(src + i + q), r),
+                          _mm512_slli_epi64(loadu(src + i + q + 1), 64 - r));
+      _mm512_storeu_si512(reinterpret_cast<void*>(dst + i),
+                          _mm512_or_si512(loadu(dst + i), v));
+    }
+    for (; i < last; ++i) {
+      std::uint64_t v = src[i + q] >> r;
+      if (i + q + 1 < n) v |= src[i + q + 1] << (64 - r);
+      dst[i] |= v;
+    }
+  }
+}
+
+void avx512_and_shift_down_words(const std::uint64_t* src, std::size_t n,
+                                 std::size_t shift, std::uint64_t* dst) {
+  const std::size_t q = shift / 64;
+  const unsigned r = static_cast<unsigned>(shift % 64);
+  if (q >= n) return;
+  const std::size_t last = n - q;
+  std::size_t i = 0;
+  if (r == 0) {
+    for (; i + 8 <= last; i += 8) {
+      _mm512_storeu_si512(
+          reinterpret_cast<void*>(dst + i),
+          _mm512_and_si512(loadu(dst + i), loadu(src + i + q)));
+    }
+    for (; i < last; ++i) dst[i] &= src[i + q];
+  } else {
+    for (; i + 9 <= last; i += 8) {
+      const __m512i v =
+          _mm512_or_si512(_mm512_srli_epi64(loadu(src + i + q), r),
+                          _mm512_slli_epi64(loadu(src + i + q + 1), 64 - r));
+      _mm512_storeu_si512(reinterpret_cast<void*>(dst + i),
+                          _mm512_and_si512(loadu(dst + i), v));
+    }
+    for (; i < last; ++i) {
+      const std::uint64_t high =
+          i + q + 1 < n ? src[i + q + 1] : ~std::uint64_t{0};
+      dst[i] &= (src[i + q] >> r) | (high << (64 - r));
+    }
+  }
+}
+
+void avx512_or_shift_up_words(const std::uint64_t* src, std::size_t n,
+                              std::size_t shift, std::uint64_t* dst) {
+  const std::size_t q = shift / 64;
+  const unsigned r = static_cast<unsigned>(shift % 64);
+  if (q >= n) return;
+  std::size_t i = n;
+  if (r == 0) {
+    while (i >= q + 8) {
+      i -= 8;
+      _mm512_storeu_si512(reinterpret_cast<void*>(dst + i),
+                          _mm512_or_si512(loadu(dst + i), loadu(src + i - q)));
+    }
+    while (i-- > q) dst[i] |= src[i - q];
+  } else {
+    while (i >= q + 9) {
+      i -= 8;
+      const __m512i v =
+          _mm512_or_si512(_mm512_slli_epi64(loadu(src + i - q), r),
+                          _mm512_srli_epi64(loadu(src + i - q - 1), 64 - r));
+      _mm512_storeu_si512(reinterpret_cast<void*>(dst + i),
+                          _mm512_or_si512(loadu(dst + i), v));
+    }
+    while (i-- > q) {
+      std::uint64_t v = src[i - q] << r;
+      if (i > q) v |= src[i - q - 1] >> (64 - r);
+      dst[i] |= v;
+    }
+  }
+}
+
 }  // namespace
 
 const KernelSet* avx512_kernels() noexcept {
@@ -186,6 +280,9 @@ const KernelSet* avx512_kernels() noexcept {
       &avx512_transition_count_words,
       &avx512_masked_pair_transitions,
       &avx512_combine_masks,
+      &avx512_or_shift_down_words,
+      &avx512_and_shift_down_words,
+      &avx512_or_shift_up_words,
   };
   return &kSet;
 }

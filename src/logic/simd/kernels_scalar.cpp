@@ -94,6 +94,62 @@ void scalar_combine_masks(const std::uint64_t* const* planes,
   }
 }
 
+void scalar_or_shift_down_words(const std::uint64_t* src, std::size_t n,
+                                std::size_t shift, std::uint64_t* dst) {
+  const std::size_t q = shift / 64;
+  const std::size_t r = shift % 64;
+  if (q >= n) return;  // the whole view is past the end: OR with zero
+  const std::size_t last = n - q;  // i < last has src[i + q] in range
+  if (r == 0) {
+    // Forward iteration is what makes dst == src (the in-place cascade)
+    // safe: iteration i writes index i and reads indices >= i, and a
+    // same-index read happens before the write.
+    for (std::size_t i = 0; i < last; ++i) dst[i] |= src[i + q];
+  } else {
+    for (std::size_t i = 0; i < last; ++i) {
+      std::uint64_t v = src[i + q] >> r;
+      if (i + q + 1 < n) v |= src[i + q + 1] << (64 - r);
+      dst[i] |= v;
+    }
+  }
+}
+
+void scalar_and_shift_down_words(const std::uint64_t* src, std::size_t n,
+                                 std::size_t shift, std::uint64_t* dst) {
+  const std::size_t q = shift / 64;
+  const std::size_t r = shift % 64;
+  if (q >= n) return;  // AND with all-ones: dst unchanged
+  const std::size_t last = n - q;
+  if (r == 0) {
+    for (std::size_t i = 0; i < last; ++i) dst[i] &= src[i + q];
+  } else {
+    for (std::size_t i = 0; i < last; ++i) {
+      const std::uint64_t high =
+          i + q + 1 < n ? src[i + q + 1] : ~std::uint64_t{0};
+      dst[i] &= (src[i + q] >> r) | (high << (64 - r));
+    }
+  }
+  // Words at i >= last view only past-the-end bits (all ones): unchanged.
+}
+
+void scalar_or_shift_up_words(const std::uint64_t* src, std::size_t n,
+                              std::size_t shift, std::uint64_t* dst) {
+  const std::size_t q = shift / 64;
+  const std::size_t r = shift % 64;
+  if (q >= n) return;
+  if (r == 0) {
+    // Backward iteration keeps dst == src safe for the up direction:
+    // iteration i writes index i and reads indices <= i.
+    for (std::size_t i = n; i-- > q;) dst[i] |= src[i - q];
+  } else {
+    for (std::size_t i = n; i-- > q;) {
+      std::uint64_t v = src[i - q] << r;
+      if (i > q) v |= src[i - q - 1] >> (64 - r);
+      dst[i] |= v;
+    }
+  }
+}
+
 const KernelSet* scalar_kernels() noexcept {
   static constexpr KernelSet kSet = {
       IsaLevel::kScalar,
@@ -104,6 +160,9 @@ const KernelSet* scalar_kernels() noexcept {
       &scalar_transition_count_words,
       &scalar_masked_pair_transitions,
       &scalar_combine_masks,
+      &scalar_or_shift_down_words,
+      &scalar_and_shift_down_words,
+      &scalar_or_shift_up_words,
   };
   return &kSet;
 }

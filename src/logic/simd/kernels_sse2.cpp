@@ -41,6 +41,9 @@ const KernelSet* sse2_kernels() noexcept {
       &scalar_transition_count_words,
       &scalar_masked_pair_transitions,
       &scalar_combine_masks,
+      &scalar_or_shift_down_words,
+      &scalar_and_shift_down_words,
+      &scalar_or_shift_up_words,
   };
   return &kSet;
 }

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "props/property.h"
+
+namespace glva::props {
+
+/// Parses the property language of docs/PROPERTIES.md:
+///
+///   property := or_expr ('->' property)?          (right-associative)
+///   or_expr  := and_expr ('|' and_expr)*
+///   and_expr := until ('&' until)*
+///   until    := unary ('U' '[0,k]' until)?        (right-associative)
+///   unary    := '!' unary
+///             | 'G' bounds? unary | 'F' bounds? unary
+///             | 'settle' '[' k ']' unary | 'noglitch' '[' k ']' unary
+///             | '(' property ')'
+///             | atom
+///   bounds   := '[' 0 ',' k ']'
+///
+/// Atoms are identifiers ([A-Za-z_][A-Za-z0-9_]*) naming digitized planes;
+/// `G`, `F`, `U`, `settle`, `noglitch` are reserved. Whitespace is
+/// insignificant — `G(C->F[0,80]GFP)` and `G (C -> F[0,80] GFP)` parse the
+/// same, which is what lets golden-test command lines avoid quoting.
+///
+/// Throws glva::ParseError (with a 1-based column) on malformed input:
+/// unbalanced bounds, an empty interval (hi < lo), a non-zero lower bound,
+/// an unexpected token, or trailing garbage.
+[[nodiscard]] PropertyPtr parse_property(const std::string& text);
+
+}  // namespace glva::props

@@ -1,0 +1,187 @@
+#include "props/property.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/errors.h"
+#include "util/string_util.h"
+
+namespace glva::props {
+
+namespace {
+
+PropertyPtr node(PropertyKind kind, std::string atom, std::size_t bound,
+                 PropertyPtr left, PropertyPtr right) {
+  auto p = std::make_shared<Property>();
+  p->kind = kind;
+  p->atom = std::move(atom);
+  p->bound = bound;
+  p->left = std::move(left);
+  p->right = std::move(right);
+  return p;
+}
+
+/// Binding strength, tightest first: atoms and the prefix operators
+/// (!, G, F, settle, noglitch) bind tighter than U[0,k], which binds
+/// tighter than &, then |, then ->. The parser and the printer share
+/// these levels, which is what makes the round-trip exact.
+enum Precedence : int {
+  kPrecImplies = 1,
+  kPrecOr = 2,
+  kPrecAnd = 3,
+  kPrecUntil = 4,
+  kPrecUnary = 5,
+};
+
+int precedence(PropertyKind kind) {
+  switch (kind) {
+    case PropertyKind::kImplies:
+      return kPrecImplies;
+    case PropertyKind::kOr:
+      return kPrecOr;
+    case PropertyKind::kAnd:
+      return kPrecAnd;
+    case PropertyKind::kUntilBounded:
+      return kPrecUntil;
+    default:
+      return kPrecUnary;
+  }
+}
+
+void print(const Property& p, int min_precedence, std::string& out) {
+  const int prec = precedence(p.kind);
+  const bool parens = prec < min_precedence;
+  if (parens) out += '(';
+  switch (p.kind) {
+    case PropertyKind::kAtom:
+      out += p.atom;
+      break;
+    case PropertyKind::kNot:
+      out += '!';
+      print(*p.left, kPrecUnary, out);
+      break;
+    case PropertyKind::kGlobally:
+      out += "G ";
+      print(*p.left, kPrecUnary, out);
+      break;
+    case PropertyKind::kEventually:
+      out += "F ";
+      print(*p.left, kPrecUnary, out);
+      break;
+    case PropertyKind::kGloballyBounded:
+      out += "G[0," + std::to_string(p.bound) + "] ";
+      print(*p.left, kPrecUnary, out);
+      break;
+    case PropertyKind::kEventuallyBounded:
+      out += "F[0," + std::to_string(p.bound) + "] ";
+      print(*p.left, kPrecUnary, out);
+      break;
+    case PropertyKind::kSettle:
+      out += "settle[" + std::to_string(p.bound) + "] ";
+      print(*p.left, kPrecUnary, out);
+      break;
+    case PropertyKind::kNoGlitch:
+      out += "noglitch[" + std::to_string(p.bound) + "] ";
+      print(*p.left, kPrecUnary, out);
+      break;
+    case PropertyKind::kUntilBounded:
+      // Right-associative: the rhs may be another until at this level,
+      // the lhs only a unary-level item (a nested until needs parens).
+      print(*p.left, kPrecUnary, out);
+      out += " U[0," + std::to_string(p.bound) + "] ";
+      print(*p.right, kPrecUntil, out);
+      break;
+    case PropertyKind::kAnd:
+      print(*p.left, kPrecAnd, out);
+      out += " & ";
+      print(*p.right, kPrecAnd + 1, out);
+      break;
+    case PropertyKind::kOr:
+      print(*p.left, kPrecOr, out);
+      out += " | ";
+      print(*p.right, kPrecOr + 1, out);
+      break;
+    case PropertyKind::kImplies:
+      print(*p.left, kPrecImplies + 1, out);
+      out += " -> ";
+      print(*p.right, kPrecImplies, out);
+      break;
+  }
+  if (parens) out += ')';
+}
+
+void collect(const Property& p, std::vector<std::string>& atoms) {
+  if (p.kind == PropertyKind::kAtom) {
+    if (std::find(atoms.begin(), atoms.end(), p.atom) == atoms.end()) {
+      atoms.push_back(p.atom);
+    }
+    return;
+  }
+  if (p.left) collect(*p.left, atoms);
+  if (p.right) collect(*p.right, atoms);
+}
+
+}  // namespace
+
+PropertyPtr make_atom(std::string name) {
+  return node(PropertyKind::kAtom, std::move(name), 0, nullptr, nullptr);
+}
+PropertyPtr make_not(PropertyPtr p) {
+  return node(PropertyKind::kNot, {}, 0, std::move(p), nullptr);
+}
+PropertyPtr make_and(PropertyPtr a, PropertyPtr b) {
+  return node(PropertyKind::kAnd, {}, 0, std::move(a), std::move(b));
+}
+PropertyPtr make_or(PropertyPtr a, PropertyPtr b) {
+  return node(PropertyKind::kOr, {}, 0, std::move(a), std::move(b));
+}
+PropertyPtr make_implies(PropertyPtr a, PropertyPtr b) {
+  return node(PropertyKind::kImplies, {}, 0, std::move(a), std::move(b));
+}
+PropertyPtr make_globally(PropertyPtr p) {
+  return node(PropertyKind::kGlobally, {}, 0, std::move(p), nullptr);
+}
+PropertyPtr make_eventually(PropertyPtr p) {
+  return node(PropertyKind::kEventually, {}, 0, std::move(p), nullptr);
+}
+PropertyPtr make_globally_bounded(std::size_t k, PropertyPtr p) {
+  return node(PropertyKind::kGloballyBounded, {}, k, std::move(p), nullptr);
+}
+PropertyPtr make_eventually_bounded(std::size_t k, PropertyPtr p) {
+  return node(PropertyKind::kEventuallyBounded, {}, k, std::move(p), nullptr);
+}
+PropertyPtr make_until_bounded(PropertyPtr a, std::size_t k, PropertyPtr b) {
+  return node(PropertyKind::kUntilBounded, {}, k, std::move(a), std::move(b));
+}
+PropertyPtr make_settle(std::size_t k, PropertyPtr p) {
+  return node(PropertyKind::kSettle, {}, k, std::move(p), nullptr);
+}
+PropertyPtr make_noglitch(std::size_t k, PropertyPtr p) {
+  return node(PropertyKind::kNoGlitch, {}, k, std::move(p), nullptr);
+}
+
+std::string to_string(const Property& property) {
+  std::string out;
+  print(property, 0, out);
+  return out;
+}
+
+std::vector<std::string> collect_atoms(const Property& property) {
+  std::vector<std::string> atoms;
+  collect(property, atoms);
+  return atoms;
+}
+
+void validate_atoms(const Property& property,
+                    const std::vector<std::string>& plane_names) {
+  for (const std::string& atom : collect_atoms(property)) {
+    if (std::find(plane_names.begin(), plane_names.end(), atom) ==
+        plane_names.end()) {
+      throw InvalidArgument("property: unknown atom '" + atom +
+                            "' (available planes: " +
+                            util::join(plane_names, ", ") + ")");
+    }
+  }
+}
+
+}  // namespace glva::props

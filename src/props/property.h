@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// Bounded temporal-property monitors over digitized logic planes — the
+/// timing/robustness scenario class of the formal-methods treatments of
+/// genetic circuits (Yordanov & Belta; Abed & Rashid) applied to the
+/// reproduction's packed bit-streams.
+///
+/// A property is a small bounded-LTL formula over *plane atoms* (the
+/// digitized input/output species streams): boolean combinators, the
+/// unbounded `G`/`F`, the bounded `F[0,k]` / `G[0,k]` / `U[0,k]` window
+/// operators, and two derived timing idioms — `settle[k]` (the signal
+/// reaches its final value within k samples) and `noglitch[k]` (no
+/// constant run shorter than k samples, trace-boundary runs exempt).
+/// Every operator has two evaluators pinned bit-identical to each other:
+/// a naive per-sample reference (`reference.h`, the executable spec) and
+/// a word-parallel packed monitor (`monitor.h`, the production path).
+/// See docs/PROPERTIES.md for the grammar and the finite-trace semantics.
+namespace glva::props {
+
+/// AST node kinds. The bounded operators carry their window bound `k`;
+/// `kAtom` carries the plane name.
+enum class PropertyKind : std::uint8_t {
+  kAtom,              ///< plane name (input/output species)
+  kNot,               ///< !p
+  kAnd,               ///< p & q
+  kOr,                ///< p | q
+  kImplies,           ///< p -> q (right-associative)
+  kGlobally,          ///< G p        — p at every remaining sample
+  kEventually,        ///< F p        — p at some remaining sample
+  kGloballyBounded,   ///< G[0,k] p   — p throughout the next k samples
+  kEventuallyBounded, ///< F[0,k] p   — p within the next k samples
+  kUntilBounded,      ///< p U[0,k] q — q within k samples, p up to it
+  kSettle,            ///< settle[k] p — p constant from sample j+k on
+  kNoGlitch,          ///< noglitch[k] p — no interior run shorter than k
+};
+
+struct Property;
+/// Nodes are immutable and shared — subtrees may be reused freely (the
+/// random-property fuzz generator does).
+using PropertyPtr = std::shared_ptr<const Property>;
+
+/// One immutable AST node. Use the factory functions below; they keep the
+/// child/field population consistent with `kind`.
+struct Property {
+  PropertyKind kind = PropertyKind::kAtom;
+  std::string atom;       ///< kAtom only: the plane name
+  std::size_t bound = 0;  ///< bounded operators only: the window bound k
+  PropertyPtr left;       ///< unary child, or binary lhs
+  PropertyPtr right;      ///< binary rhs
+};
+
+[[nodiscard]] PropertyPtr make_atom(std::string name);
+[[nodiscard]] PropertyPtr make_not(PropertyPtr p);
+[[nodiscard]] PropertyPtr make_and(PropertyPtr a, PropertyPtr b);
+[[nodiscard]] PropertyPtr make_or(PropertyPtr a, PropertyPtr b);
+[[nodiscard]] PropertyPtr make_implies(PropertyPtr a, PropertyPtr b);
+[[nodiscard]] PropertyPtr make_globally(PropertyPtr p);
+[[nodiscard]] PropertyPtr make_eventually(PropertyPtr p);
+[[nodiscard]] PropertyPtr make_globally_bounded(std::size_t k, PropertyPtr p);
+[[nodiscard]] PropertyPtr make_eventually_bounded(std::size_t k, PropertyPtr p);
+[[nodiscard]] PropertyPtr make_until_bounded(PropertyPtr a, std::size_t k,
+                                             PropertyPtr b);
+[[nodiscard]] PropertyPtr make_settle(std::size_t k, PropertyPtr p);
+[[nodiscard]] PropertyPtr make_noglitch(std::size_t k, PropertyPtr p);
+
+/// Canonical text form with minimal parentheses — `parse_property`
+/// round-trips it (parse(to_string(p)) is structurally equal to p), and
+/// the canonical string is what requests carry, so spelling variants of
+/// one property share a cache line in the daemon.
+[[nodiscard]] std::string to_string(const Property& property);
+
+/// Every atom name in the formula, in first-appearance order, without
+/// duplicates — what the evaluators bind against plane names.
+[[nodiscard]] std::vector<std::string> collect_atoms(const Property& property);
+
+/// Throws glva::InvalidArgument naming the offending atom when the
+/// formula references a plane not in `plane_names` (the bind-time check
+/// both evaluators run first).
+void validate_atoms(const Property& property,
+                    const std::vector<std::string>& plane_names);
+
+}  // namespace glva::props

@@ -1,0 +1,170 @@
+#include "props/reference.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace glva::props {
+
+namespace {
+
+const std::vector<bool>& lookup(const NamedPlanes& planes,
+                                const std::string& atom) {
+  for (std::size_t i = 0; i < planes.names.size(); ++i) {
+    if (planes.names[i] == atom) return planes.planes[i];
+  }
+  throw InvalidArgument("property: unknown atom '" + atom + "'");
+}
+
+std::vector<bool> eval(const Property& p, const NamedPlanes& planes,
+                       std::size_t n) {
+  switch (p.kind) {
+    case PropertyKind::kAtom:
+      return lookup(planes, p.atom);
+    case PropertyKind::kNot: {
+      std::vector<bool> v = eval(*p.left, planes, n);
+      v.flip();
+      return v;
+    }
+    case PropertyKind::kAnd: {
+      std::vector<bool> a = eval(*p.left, planes, n);
+      const std::vector<bool> b = eval(*p.right, planes, n);
+      for (std::size_t j = 0; j < n; ++j) a[j] = a[j] && b[j];
+      return a;
+    }
+    case PropertyKind::kOr: {
+      std::vector<bool> a = eval(*p.left, planes, n);
+      const std::vector<bool> b = eval(*p.right, planes, n);
+      for (std::size_t j = 0; j < n; ++j) a[j] = a[j] || b[j];
+      return a;
+    }
+    case PropertyKind::kImplies: {
+      std::vector<bool> a = eval(*p.left, planes, n);
+      const std::vector<bool> b = eval(*p.right, planes, n);
+      for (std::size_t j = 0; j < n; ++j) a[j] = !a[j] || b[j];
+      return a;
+    }
+    case PropertyKind::kGlobally: {
+      // out[j] = p holds at every i >= j: backward AND scan.
+      std::vector<bool> v = eval(*p.left, planes, n);
+      for (std::size_t j = n; j-- > 1;) {
+        if (!v[j]) v[j - 1] = false;
+      }
+      return v;
+    }
+    case PropertyKind::kEventually: {
+      std::vector<bool> v = eval(*p.left, planes, n);
+      for (std::size_t j = n; j-- > 1;) {
+        if (v[j]) v[j - 1] = true;
+      }
+      return v;
+    }
+    case PropertyKind::kGloballyBounded: {
+      // out[j] = AND over the truncated window [j, min(j+k, n-1)].
+      const std::vector<bool> v = eval(*p.left, planes, n);
+      std::vector<bool> out(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t end = std::min(j + p.bound, n - 1);
+        bool all = true;
+        for (std::size_t i = j; i <= end; ++i) {
+          if (!v[i]) {
+            all = false;
+            break;
+          }
+        }
+        out[j] = all;
+      }
+      return out;
+    }
+    case PropertyKind::kEventuallyBounded: {
+      const std::vector<bool> v = eval(*p.left, planes, n);
+      std::vector<bool> out(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t end = std::min(j + p.bound, n - 1);
+        bool any = false;
+        for (std::size_t i = j; i <= end; ++i) {
+          if (v[i]) {
+            any = true;
+            break;
+          }
+        }
+        out[j] = any;
+      }
+      return out;
+    }
+    case PropertyKind::kUntilBounded: {
+      // out[j] = exists i in the window with q[i] and p on [j, i).
+      const std::vector<bool> a = eval(*p.left, planes, n);
+      const std::vector<bool> b = eval(*p.right, planes, n);
+      std::vector<bool> out(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t end = std::min(j + p.bound, n - 1);
+        bool holds = false;
+        for (std::size_t i = j; i <= end; ++i) {
+          if (b[i]) {
+            holds = true;
+            break;
+          }
+          if (!a[i]) break;
+        }
+        out[j] = holds;
+      }
+      return out;
+    }
+    case PropertyKind::kSettle: {
+      // stable[j] = the operand is constant on [j, n-1]; settle[k] samples
+      // it at the (truncated) window end: out[j] = stable[min(j+k, n-1)].
+      const std::vector<bool> v = eval(*p.left, planes, n);
+      std::vector<bool> stable(n);
+      stable[n - 1] = true;
+      for (std::size_t j = n - 1; j-- > 0;) {
+        stable[j] = stable[j + 1] && v[j] == v[j + 1];
+      }
+      std::vector<bool> out(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        out[j] = stable[std::min(j + p.bound, n - 1)];
+      }
+      return out;
+    }
+    case PropertyKind::kNoGlitch: {
+      // Split the operand into maximal constant runs [a, b]; a run is a
+      // glitch when it is shorter than k samples AND interior (does not
+      // touch either trace boundary). out is constant over each run.
+      const std::vector<bool> v = eval(*p.left, planes, n);
+      std::vector<bool> out(n);
+      std::size_t a = 0;
+      while (a < n) {
+        std::size_t b = a;
+        while (b + 1 < n && v[b + 1] == v[a]) ++b;
+        const bool ok = (b - a + 1 >= p.bound) || a == 0 || b == n - 1;
+        for (std::size_t i = a; i <= b; ++i) out[i] = ok;
+        a = b + 1;
+      }
+      return out;
+    }
+  }
+  throw InvalidArgument("property: unknown node kind");
+}
+
+}  // namespace
+
+std::vector<bool> evaluate_reference(const Property& property,
+                                     const NamedPlanes& planes) {
+  if (planes.names.size() != planes.planes.size()) {
+    throw InvalidArgument(
+        "property: plane name/data count mismatch in reference evaluator");
+  }
+  validate_atoms(property, planes.names);
+  const std::size_t n =
+      planes.planes.empty() ? 0 : planes.planes.front().size();
+  for (const std::vector<bool>& plane : planes.planes) {
+    if (plane.size() != n) {
+      throw InvalidArgument(
+          "property: planes of mismatched length in reference evaluator");
+    }
+  }
+  if (n == 0) return {};
+  return eval(property, planes, n);
+}
+
+}  // namespace glva::props

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "props/property.h"
+
+namespace glva::props {
+
+/// Named boolean planes, one verdict per sample — the reference
+/// evaluator's input. All planes must share one length.
+struct NamedPlanes {
+  std::vector<std::string> names;
+  std::vector<std::vector<bool>> planes;
+};
+
+/// The executable spec: evaluates `property` at every sample position by
+/// the naive finite-trace semantics of docs/PROPERTIES.md, one verdict
+/// per sample. Deliberately simple — linear scans, no bit tricks — so it
+/// can be audited against the prose semantics; the packed monitor
+/// (monitor.h) is pinned bit-identical to this function by
+/// tests/test_props.cpp.
+///
+/// Throws glva::InvalidArgument on an unknown atom or mismatched plane
+/// lengths.
+[[nodiscard]] std::vector<bool> evaluate_reference(const Property& property,
+                                                   const NamedPlanes& planes);
+
+}  // namespace glva::props

@@ -14,6 +14,7 @@
 #include <limits>
 #include <vector>
 
+#include "props/property.h"
 #include "sim/rng.h"
 
 namespace glva::testutil {
@@ -62,6 +63,33 @@ inline std::vector<double> special_doubles(std::size_t n, double threshold,
                           : threshold + rng.normal() * 10.0;
   }
   return values;
+}
+
+/// A random property AST of at most `depth` operator levels over the
+/// given atom names — the differential-fuzz driver for test_props. Every
+/// operator kind is reachable; window bounds are drawn from 0..129 so
+/// bounded windows regularly straddle 64-bit word boundaries.
+inline props::PropertyPtr random_property(std::size_t depth,
+                                          const std::vector<std::string>& atoms,
+                                          sim::Rng& rng) {
+  if (depth == 0 || rng.below(5) == 0) {
+    return props::make_atom(atoms[rng.below(atoms.size())]);
+  }
+  const auto child = [&] { return random_property(depth - 1, atoms, rng); };
+  const std::size_t bound = rng.below(130);
+  switch (rng.below(11)) {
+    case 0: return props::make_not(child());
+    case 1: return props::make_and(child(), child());
+    case 2: return props::make_or(child(), child());
+    case 3: return props::make_implies(child(), child());
+    case 4: return props::make_globally(child());
+    case 5: return props::make_eventually(child());
+    case 6: return props::make_globally_bounded(bound, child());
+    case 7: return props::make_eventually_bounded(bound, child());
+    case 8: return props::make_until_bounded(child(), bound, child());
+    case 9: return props::make_settle(bound, child());
+    default: return props::make_noglitch(bound, child());
+  }
 }
 
 // ----------------------------------------------------- naive references

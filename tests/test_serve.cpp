@@ -253,6 +253,20 @@ TEST(CanonicalKey, EverySemanticFieldChangesTheKey) {
   EXPECT_NE(glva::app::canonical_key(make_request(
                 {"--thresholds", "15"}, Request::Op::kSweep)),
             base);
+  // Check requests: the property list and the PASS threshold are
+  // semantic; property spelling is canonicalized before keying.
+  const std::string check_base = glva::app::canonical_key(
+      make_request({"--property", "G GFP"}, Request::Op::kCheck));
+  EXPECT_NE(glva::app::canonical_key(
+                make_request({"--property", "F GFP"}, Request::Op::kCheck)),
+            check_base);
+  EXPECT_NE(glva::app::canonical_key(make_request(
+                {"--property", "G GFP", "--min-satisfaction", "0.9"},
+                Request::Op::kCheck)),
+            check_base);
+  EXPECT_EQ(glva::app::canonical_key(
+                make_request({"--property", "G(GFP)"}, Request::Op::kCheck)),
+            check_base);
 }
 
 TEST(CanonicalKey, PlacementOnlyFieldsAreExcluded) {
@@ -491,6 +505,33 @@ TEST(ServeEndToEnd, SweepBodyIsByteIdenticalToCli) {
   ASSERT_TRUE(response.ok);
   EXPECT_EQ(response.exit_code, 1);  // thresholds 3 breaks the logic
   EXPECT_EQ(response.body, cli_output);
+}
+
+TEST(ServeEndToEnd, CheckBodyIsByteIdenticalToCli) {
+  const std::vector<std::string> flags = {
+      "--property", "(C->F[0,400]GFP)&noglitch[5]GFP", "--replicates", "2",
+      "--total-time", "4000", "--min-satisfaction", "0.5", "--seed", "42"};
+  std::vector<std::string> cli_args = {"check", "0x0B", "--jobs", "2"};
+  cli_args.insert(cli_args.end(), flags.begin(), flags.end());
+  const std::string cli_output = cli_stdout(cli_args, 0);
+
+  Server server(small_server_options());
+  const ParsedResponse response = parse_response(
+      server.dispatch(analysis_payload("check", "0x0B", flags)));
+  ASSERT_TRUE(response.ok);
+  EXPECT_FALSE(response.cached);
+  EXPECT_EQ(response.exit_code, 0);
+  EXPECT_EQ(response.body, cli_output);
+  // Spelling variants of the same property share a cache line: the
+  // canonical property text keys the request, not the typed spelling.
+  const ParsedResponse respelled = parse_response(server.dispatch(
+      analysis_payload("check", "0x0B",
+                       {"--property", "( C -> F[0,400] GFP )&noglitch[5] GFP",
+                        "--replicates", "2", "--total-time", "4000",
+                        "--min-satisfaction", "0.5", "--seed", "42"})));
+  ASSERT_TRUE(respelled.ok);
+  EXPECT_TRUE(respelled.cached);
+  EXPECT_EQ(respelled.body, cli_output);
 }
 
 TEST(ServeEndToEnd, SecondIdenticalRequestIsACacheHit) {

@@ -106,6 +106,9 @@ TEST(SimdDispatch, AvailableSetsAreOrderedAndSelfConsistent) {
     EXPECT_NE(sets[i]->transition_count_words, nullptr);
     EXPECT_NE(sets[i]->masked_pair_transitions, nullptr);
     EXPECT_NE(sets[i]->combine_masks, nullptr);
+    EXPECT_NE(sets[i]->or_shift_down_words, nullptr);
+    EXPECT_NE(sets[i]->and_shift_down_words, nullptr);
+    EXPECT_NE(sets[i]->or_shift_up_words, nullptr);
   }
 }
 
@@ -259,6 +262,88 @@ TEST(SimdKernels, CombineMasksMatchesScalarUpToMaxInputs) {
                              actual.data());
           EXPECT_EQ(actual, expected) << set->name << ", inputs " << inputs
                                       << ", words " << words << ", c " << c;
+        }
+      }
+    }
+  }
+}
+
+// The shift-combine kernels' executable spec: per-bit over the 64n-bit
+// array, with out-of-range view bits reading 0 for the OR forms and 1
+// for the AND form.
+enum class ShiftKernel { kOrDown, kAndDown, kOrUp };
+
+std::vector<std::uint64_t> naive_shift_combine(
+    const std::vector<std::uint64_t>& src,
+    const std::vector<std::uint64_t>& dst, std::size_t shift,
+    ShiftKernel kernel) {
+  const std::size_t bits = src.size() * 64;
+  std::vector<std::uint64_t> out = dst;
+  for (std::size_t j = 0; j < bits; ++j) {
+    bool view;
+    if (kernel == ShiftKernel::kOrUp) {
+      view = j >= shift && ((src[(j - shift) / 64] >> ((j - shift) % 64)) &
+                            1U) != 0;
+    } else {
+      const std::size_t k = j + shift;
+      view = k < bits ? ((src[k / 64] >> (k % 64)) & 1U) != 0
+                      : kernel == ShiftKernel::kAndDown;
+    }
+    const bool current = ((out[j / 64] >> (j % 64)) & 1U) != 0;
+    const bool combined = kernel == ShiftKernel::kAndDown ? (current && view)
+                                                          : (current || view);
+    if (combined) {
+      out[j / 64] |= std::uint64_t{1} << (j % 64);
+    } else {
+      out[j / 64] &= ~(std::uint64_t{1} << (j % 64));
+    }
+  }
+  return out;
+}
+
+TEST(SimdKernels, ShiftCombineKernelsMatchNaiveIncludingAliasing) {
+  sim::Rng rng(131);
+  for (const std::size_t words : {1u, 2u, 5u, 8u, 9u, 65u}) {
+    for (const std::size_t shift :
+         {std::size_t{0}, std::size_t{1}, std::size_t{31}, std::size_t{63},
+          std::size_t{64}, std::size_t{65}, std::size_t{127},
+          std::size_t{128}, std::size_t{129}, words * 64 - 1, words * 64,
+          words * 64 + 7}) {
+      const std::vector<std::uint64_t> src = random_words(words, rng);
+      const std::vector<std::uint64_t> dst = random_words(words, rng);
+      const struct {
+        ShiftKernel kind;
+        void (*kernel)(const std::uint64_t*, std::size_t, std::size_t,
+                       std::uint64_t*);
+        const char* name;
+      } cases[] = {
+          {ShiftKernel::kOrDown, scalar_ref().or_shift_down_words,
+           "or_shift_down"},
+          {ShiftKernel::kAndDown, scalar_ref().and_shift_down_words,
+           "and_shift_down"},
+          {ShiftKernel::kOrUp, scalar_ref().or_shift_up_words,
+           "or_shift_up"},
+      };
+      for (const auto& c : cases) {
+        const std::vector<std::uint64_t> expected =
+            naive_shift_combine(src, dst, shift, c.kind);
+        for (const KernelSet* set : logic::simd::available_kernel_sets()) {
+          const auto kernel = c.kind == ShiftKernel::kOrDown
+                                  ? set->or_shift_down_words
+                                  : c.kind == ShiftKernel::kAndDown
+                                        ? set->and_shift_down_words
+                                        : set->or_shift_up_words;
+          std::vector<std::uint64_t> actual = dst;
+          kernel(src.data(), words, shift, actual.data());
+          EXPECT_EQ(actual, expected)
+              << set->name << " " << c.name << ", words " << words
+              << ", shift " << shift;
+          // The in-place cascade case: dst aliases src exactly.
+          std::vector<std::uint64_t> aliased = src;
+          kernel(aliased.data(), words, shift, aliased.data());
+          EXPECT_EQ(aliased, naive_shift_combine(src, src, shift, c.kind))
+              << set->name << " " << c.name << " aliased, words " << words
+              << ", shift " << shift;
         }
       }
     }
