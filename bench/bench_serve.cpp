@@ -2,8 +2,10 @@
 // the framed JSON protocol with a verify workload, first with distinct
 // requests (cold cache: every request executes) and then with repeats
 // (warm cache: every request should be served without execution). Reports
-// requests/sec and p50/p99 latency per pass, plus the server's own
-// cache/admission accounting fetched through a `status` request.
+// requests/sec and p50/p95/p99 latency per pass (from the shared obs/
+// histograms when metrics are compiled in), plus the server's own
+// cache/admission accounting fetched through `status` and `stats`
+// requests.
 //
 // Modes:
 //   - default: an in-process serve::Server is started on a temporary
@@ -19,16 +21,12 @@
 // a zero warm-cache hit count a failure (exit 1), which is what the CI
 // smoke asserts.
 
-#include <netdb.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <map>
@@ -38,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "util/cli.h"
@@ -45,93 +45,8 @@
 
 namespace {
 
-using glva::serve::FrameDecoder;
+using glva::serve::Client;
 using glva::serve::Json;
-
-/// One blocking protocol connection.
-class Client {
-public:
-  static Client connect_unix(const std::string& path) {
-    sockaddr_un address{};
-    if (path.size() >= sizeof(address.sun_path)) {
-      throw glva::Error("socket path too long: " + path);
-    }
-    address.sun_family = AF_UNIX;
-    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
-                            sizeof(address)) != 0) {
-      if (fd >= 0) ::close(fd);
-      throw glva::Error("cannot connect to unix socket " + path + ": " +
-                        std::strerror(errno));
-    }
-    return Client(fd);
-  }
-
-  static Client connect_tcp(const std::string& host, const std::string& port) {
-    addrinfo hints{};
-    hints.ai_family = AF_UNSPEC;
-    hints.ai_socktype = SOCK_STREAM;
-    addrinfo* results = nullptr;
-    if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &results) != 0) {
-      throw glva::Error("cannot resolve " + host + ":" + port);
-    }
-    int fd = -1;
-    for (const addrinfo* it = results; it != nullptr; it = it->ai_next) {
-      fd = ::socket(it->ai_family, it->ai_socktype, it->ai_protocol);
-      if (fd < 0) continue;
-      if (::connect(fd, it->ai_addr, it->ai_addrlen) == 0) break;
-      ::close(fd);
-      fd = -1;
-    }
-    ::freeaddrinfo(results);
-    if (fd < 0) {
-      throw glva::Error("cannot connect to " + host + ":" + port);
-    }
-    return Client(fd);
-  }
-
-  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
-  Client(const Client&) = delete;
-  Client& operator=(const Client&) = delete;
-  Client& operator=(Client&&) = delete;
-  ~Client() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  /// Send one request payload and block for its response payload.
-  Json round_trip(const std::string& payload) {
-    const std::string frame = glva::serve::encode_frame(payload);
-    std::size_t sent = 0;
-    while (sent < frame.size()) {
-      const ssize_t n =
-          ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw glva::Error(std::string("send failed: ") + std::strerror(errno));
-      }
-      sent += static_cast<std::size_t>(n);
-    }
-    while (true) {
-      if (auto response = decoder_.take_frame()) {
-        return glva::serve::parse_json(*response);
-      }
-      char buffer[64 * 1024];
-      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
-      if (n == 0) throw glva::Error("server closed the connection");
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw glva::Error(std::string("recv failed: ") + std::strerror(errno));
-      }
-      decoder_.feed(buffer, static_cast<std::size_t>(n));
-    }
-  }
-
-private:
-  explicit Client(int fd) : fd_(fd) {}
-  int fd_;
-  FrameDecoder decoder_;
-};
 
 struct Workload {
   std::string endpoint_kind;  // "unix" | "tcp"
@@ -176,6 +91,24 @@ double percentile(std::vector<double> values, double p) {
   const auto rank = static_cast<std::size_t>(
       std::max(0.0, p / 100.0 * static_cast<double>(values.size()) - 1.0));
   return values[std::min(rank, values.size() - 1)];
+}
+
+struct Quantiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Pass quantiles from the shared obs/ histogram (the same estimator a
+/// `stats` snapshot reports); exact sorted-sample percentiles when the
+/// histogram is absent (GLVA_NO_METRICS builds).
+Quantiles pass_quantiles(const glva::obs::Snapshot& snap, const char* name,
+                         const std::vector<double>& values) {
+  for (const glva::obs::HistogramSample& h : snap.histograms) {
+    if (h.name == name && h.count > 0) return Quantiles{h.p50, h.p95, h.p99};
+  }
+  return Quantiles{percentile(values, 50.0), percentile(values, 95.0),
+                   percentile(values, 99.0)};
 }
 
 /// Run one pass: each client issues its assigned request indices in
@@ -388,6 +321,8 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       cold_start)
             .count();
+    obs::Histogram& cold_hist = obs::histogram("bench_serve.cold_ms");
+    for (const double ms : cold.latencies_ms) cold_hist.observe(ms);
 
     const double rate = cli.get_double("rate");
     const double interval_ms =
@@ -402,6 +337,8 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       warm_start)
             .count();
+    obs::Histogram& warm_hist = obs::histogram("bench_serve.warm_ms");
+    for (const double ms : warm.latencies_ms) warm_hist.observe(ms);
 
     // Server-side accounting over the same connection protocol.
     Client status_client = workload.connect();
@@ -421,6 +358,24 @@ int main(int argc, char** argv) {
     const std::uint64_t rejected = status_u64("admission", "rejected");
     const std::uint64_t evictions = status_u64("cache", "evictions");
 
+    // The daemon's metrics registry through the `stats` op: cache hit
+    // rate and admission rejections as the counters record them.
+    const Json stats = status_client.round_trip(
+        Json::object_of({{"op", Json::of("stats")}}).dump());
+    const Json* stats_result = stats.find("result");
+    auto stats_counter = [&](const char* name) -> std::uint64_t {
+      if (stats_result == nullptr) return 0;
+      const Json* counters = stats_result->find("counters");
+      if (counters == nullptr) return 0;
+      const Json* value = counters->find(name);
+      if (value == nullptr) return 0;
+      return std::strtoull(value->number.c_str(), nullptr, 10);
+    };
+    const std::uint64_t stat_hits = stats_counter("serve.cache.hits");
+    const std::uint64_t stat_misses = stats_counter("serve.cache.misses");
+    const std::uint64_t stat_rejected =
+        stats_counter("serve.admission.rejected");
+
     std::cout << "=== glva serve load bench ===\n"
               << "endpoint:    " << endpoint_label << "\n"
               << "workload:    verify " << cli.get("circuit") << ", "
@@ -435,26 +390,43 @@ int main(int argc, char** argv) {
               << " served without execution\n"
               << "server:      cache hits " << cache_hits << ", coalesced "
               << coalesced << ", rejected " << rejected << ", evictions "
-              << evictions << "\n"
-              << "determinism: "
+              << evictions << "\n";
+    if (stat_hits + stat_misses > 0) {
+      char hit_rate[32];
+      std::snprintf(hit_rate, sizeof(hit_rate), "%.1f",
+                    100.0 * static_cast<double>(stat_hits) /
+                        static_cast<double>(stat_hits + stat_misses));
+      std::cout << "stats op:    cache hit rate " << hit_rate << "% ("
+                << stat_hits << "/" << (stat_hits + stat_misses)
+                << "), admission rejected " << stat_rejected << "\n";
+    } else {
+      std::cout << "stats op:    no cache counters (metrics disabled on "
+                   "daemon)\n";
+    }
+    std::cout << "determinism: "
               << (cold.bodies_consistent && warm.bodies_consistent
                       ? "all responses byte-identical per request: ok"
                       : "MISMATCH: responses differ for the same request")
               << "\n";
 
-    const double cold_p50 = percentile(cold.latencies_ms, 50.0);
-    const double warm_p50 = percentile(warm.latencies_ms, 50.0);
+    const obs::Snapshot snap = obs::snapshot();
+    const Quantiles cold_q =
+        pass_quantiles(snap, "bench_serve.cold_ms", cold.latencies_ms);
+    const Quantiles warm_q =
+        pass_quantiles(snap, "bench_serve.warm_ms", warm.latencies_ms);
+    const double cold_p50 = cold_q.p50;
+    const double warm_p50 = warm_q.p50;
     if (!no_timings) {
-      std::cout << "cold:        p50 " << util::format_double(cold_p50, 3)
-                << " ms, p99 "
-                << util::format_double(percentile(cold.latencies_ms, 99.0), 3)
+      std::cout << "cold:        p50 " << util::format_double(cold_q.p50, 3)
+                << " ms, p95 " << util::format_double(cold_q.p95, 3)
+                << " ms, p99 " << util::format_double(cold_q.p99, 3)
                 << " ms, "
                 << util::format_double(
                        static_cast<double>(cold.requests) / cold_seconds, 1)
                 << " req/s\n"
-                << "warm:        p50 " << util::format_double(warm_p50, 3)
-                << " ms, p99 "
-                << util::format_double(percentile(warm.latencies_ms, 99.0), 3)
+                << "warm:        p50 " << util::format_double(warm_q.p50, 3)
+                << " ms, p95 " << util::format_double(warm_q.p95, 3)
+                << " ms, p99 " << util::format_double(warm_q.p99, 3)
                 << " ms, "
                 << util::format_double(
                        static_cast<double>(warm.requests) / warm_seconds, 1)

@@ -12,9 +12,11 @@
 #include "core/ensemble.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "obs/trace.h"
 #include "props/check.h"
 #include "sbml/validate.h"
 #include "sbml/writer.h"
+#include "serve/client.h"
 #include "serve/server.h"
 #include "sbol/converter.h"
 #include "sbol/sbol_io.h"
@@ -23,6 +25,7 @@
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/errors.h"
+#include "util/log.h"
 #include "util/string_util.h"
 #include "util/text_table.h"
 
@@ -45,6 +48,7 @@ constexpr const char* kUsage =
     "                               (bounded-LTL; see docs/PROPERTIES.md)\n"
     "  estimate <circuit>           estimate threshold and propagation delay\n"
     "  serve                        long-lived analysis daemon (see docs/SERVE.md)\n"
+    "  stats                        fetch a running daemon's metrics snapshot\n"
     "  version                      build, SIMD tier, and dispatch information\n"
     "\n"
     "global options:\n"
@@ -56,6 +60,11 @@ constexpr const char* kUsage =
     "supports;\n"
     "                               results are bit-identical at every "
     "level)\n"
+    "  --trace-out FILE             write a Chrome trace-event JSON of the\n"
+    "                               run's stages to FILE (open in\n"
+    "                               chrome://tracing or Perfetto)\n"
+    "  --log-level LEVEL            stderr diagnostics: error | warn | info\n"
+    "                               | debug (default info; env GLVA_LOG)\n"
     "\n"
     "run `glva <command> --help` for per-command options\n";
 
@@ -525,6 +534,9 @@ int cmd_serve(const std::vector<std::string>& args, std::size_t jobs,
                  "rejected as overloaded");
   cli.add_option("cache-mb", "64",
                  "result cache budget in MiB (0 disables caching)");
+  cli.add_option("stats-interval", "0",
+                 "seconds between one-line stats summaries on stderr "
+                 "(0 disables)");
   std::vector<const char*> argv{"glva-serve"};
   for (const auto& arg : args) argv.push_back(arg.c_str());
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
@@ -538,14 +550,102 @@ int cmd_serve(const std::vector<std::string>& args, std::size_t jobs,
   const long long max_active = cli.get_int("max-active");
   const long long max_queued = cli.get_int("max-queued");
   const long long cache_mb = cli.get_int("cache-mb");
-  if (max_active < 0 || max_queued < 0 || cache_mb < 0) {
+  const long long stats_interval = cli.get_int("stats-interval");
+  if (max_active < 0 || max_queued < 0 || cache_mb < 0 ||
+      stats_interval < 0) {
     throw InvalidArgument(
-        "serve: --max-active, --max-queued, and --cache-mb must be >= 0");
+        "serve: --max-active, --max-queued, --cache-mb, and "
+        "--stats-interval must be >= 0");
   }
   options.max_active = static_cast<std::size_t>(max_active);
   options.max_queued = static_cast<std::size_t>(max_queued);
   options.cache_bytes = static_cast<std::size_t>(cache_mb) * 1024 * 1024;
+  options.stats_interval_seconds = static_cast<unsigned>(stats_interval);
   return serve::run_serve(options, out, err);
+}
+
+/// `glva stats`: fetch the metrics snapshot from a running daemon via the
+/// `stats` op and print it — text by default (the same layout as the
+/// daemon's final dump), raw JSON with --json.
+int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
+  util::CliParser cli;
+  cli.add_option("unix", "", "daemon unix socket path to connect to");
+  cli.add_option("connect", "", "daemon TCP endpoint as host:port");
+  cli.add_flag("json", "print the raw JSON snapshot");
+  std::vector<const char*> argv{"glva-stats"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    out << cli.help("glva stats");
+    return 0;
+  }
+  const std::string unix_path = cli.get("unix");
+  const std::string endpoint = cli.get("connect");
+  if (unix_path.empty() == endpoint.empty()) {
+    throw InvalidArgument(
+        "stats: pass exactly one of --unix <path> or --connect <host:port>");
+  }
+  serve::Client client = [&] {
+    if (!unix_path.empty()) return serve::Client::connect_unix(unix_path);
+    const auto pos = endpoint.rfind(':');
+    if (pos == std::string::npos || pos + 1 == endpoint.size()) {
+      throw InvalidArgument("stats: --connect expects host:port, got '" +
+                            endpoint + "'");
+    }
+    return serve::Client::connect_tcp(endpoint.substr(0, pos),
+                                      endpoint.substr(pos + 1));
+  }();
+
+  const serve::Json request =
+      serve::Json::object_of({{"op", serve::Json::of("stats")},
+                              {"id", serve::Json::number_token("1")}});
+  const serve::Json response = client.round_trip(request.dump());
+  const serve::Json* ok = response.find("ok");
+  if (ok == nullptr || ok->kind != serve::Json::Kind::kBool || !ok->boolean) {
+    throw Error("stats: daemon returned an error: " + response.dump());
+  }
+  const serve::Json* result = response.find("result");
+  if (result == nullptr || !result->is_object()) {
+    throw Error("stats: malformed response (no 'result' object)");
+  }
+  if (cli.get_flag("json")) {
+    out << result->dump() << "\n";
+    return 0;
+  }
+
+  if (const serve::Json* enabled = result->find("metrics_enabled");
+      enabled != nullptr && enabled->kind == serve::Json::Kind::kBool &&
+      !enabled->boolean) {
+    out << "(metrics compiled out: GLVA_NO_METRICS daemon build)\n";
+    return 0;
+  }
+  // Text layout mirrors obs::render_text so a wire snapshot and the
+  // daemon's final stderr dump read identically.
+  if (const serve::Json* counters = result->find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->object) {
+      out << "counter   " << name << " " << value.number << "\n";
+    }
+  }
+  if (const serve::Json* gauges = result->find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->object) {
+      out << "gauge     " << name << " " << value.number << "\n";
+    }
+  }
+  if (const serve::Json* histograms = result->find("histograms");
+      histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, value] : histograms->object) {
+      out << "histogram " << name;
+      for (const char* field : {"count", "sum", "p50", "p95", "p99"}) {
+        if (const serve::Json* member = value.find(field);
+            member != nullptr) {
+          out << " " << field << "=" << member->number;
+        }
+      }
+      out << "\n";
+    }
+  }
+  return 0;
 }
 
 int cmd_version(std::ostream& out) {
@@ -610,45 +710,133 @@ void extract_simd_flag(std::vector<std::string>& args) {
   }
 }
 
+/// Strip the global `--trace-out FILE` / `--trace-out=FILE` flag, returning
+/// the file path (empty when absent). Throws on a missing value.
+std::string extract_trace_out_flag(std::vector<std::string>& args) {
+  std::string path;
+  for (std::size_t i = 0; i < args.size();) {
+    std::string value;
+    if (args[i] == "--trace-out") {
+      if (i + 1 >= args.size()) {
+        throw InvalidArgument("--trace-out: missing value");
+      }
+      value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (util::starts_with(args[i], "--trace-out=")) {
+      value = args[i].substr(12);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+      continue;
+    }
+    if (value.empty()) throw InvalidArgument("--trace-out: missing value");
+    path = value;
+  }
+  return path;
+}
+
+/// Strip the global `--log-level LEVEL` / `--log-level=LEVEL` flag and
+/// apply it. Throws on a missing value or an unknown level name.
+void extract_log_level_flag(std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size();) {
+    std::string value;
+    if (args[i] == "--log-level") {
+      if (i + 1 >= args.size()) {
+        throw InvalidArgument("--log-level: missing value");
+      }
+      value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (util::starts_with(args[i], "--log-level=")) {
+      value = args[i].substr(12);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+      continue;
+    }
+    if (!util::set_log_level(value)) {
+      throw InvalidArgument("--log-level: expected error, warn, info, or "
+                            "debug, got '" + value + "'");
+    }
+  }
+}
+
+/// The command router proper: global flags already stripped and applied.
+int dispatch_command(const std::vector<std::string>& stripped,
+                     std::size_t jobs, std::ostream& out, std::ostream& err) {
+  if (stripped.empty() || stripped[0] == "--help" || stripped[0] == "-h" ||
+      stripped[0] == "help") {
+    out << kUsage;
+    return stripped.empty() ? 2 : 0;
+  }
+  const std::string& command = stripped[0];
+  const std::vector<std::string> rest(stripped.begin() + 1, stripped.end());
+
+  if (command == "list") return cmd_list(rest, out);
+  if (command == "version") return cmd_version(out);
+  if (command == "serve") return cmd_serve(rest, jobs, out, err);
+  if (command == "stats") return cmd_stats(rest, out);
+  if (command == "show" || command == "export" || command == "analyze" ||
+      command == "verify" || command == "ensemble" || command == "sweep" ||
+      command == "check" || command == "estimate") {
+    if (rest.empty() || util::starts_with(rest[0], "--")) {
+      err << "glva " << command << ": missing argument\n" << kUsage;
+      return 2;
+    }
+    const std::string target = rest[0];
+    const std::vector<std::string> options(rest.begin() + 1, rest.end());
+    if (command == "show") return cmd_show(target, out);
+    if (command == "export") return cmd_export(target, options, out);
+    if (command == "analyze") return cmd_analyze(target, options, out);
+    if (command == "verify") return cmd_verify(target, options, out);
+    if (command == "ensemble") return cmd_ensemble(target, options, jobs, out);
+    if (command == "sweep") return cmd_sweep(target, options, jobs, out);
+    if (command == "check") return cmd_check(target, options, jobs, out);
+    return cmd_estimate(target, options, out);
+  }
+  err << "glva: unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
+  // Route util::log through this invocation's error stream so embedded
+  // callers (tests, the daemon) capture diagnostics alongside their own
+  // stderr writes.
+  struct LogSinkGuard {
+    explicit LogSinkGuard(std::ostream& sink) { util::set_log_sink(&sink); }
+    ~LogSinkGuard() { util::set_log_sink(nullptr); }
+  } log_sink_guard(err);
   try {
     std::vector<std::string> stripped = args;
     const std::size_t jobs = extract_jobs_flag(stripped);
     extract_simd_flag(stripped);
-    if (stripped.empty() || stripped[0] == "--help" || stripped[0] == "-h" ||
-        stripped[0] == "help") {
-      out << kUsage;
-      return stripped.empty() ? 2 : 0;
-    }
-    const std::string& command = stripped[0];
-    const std::vector<std::string> rest(stripped.begin() + 1, stripped.end());
+    extract_log_level_flag(stripped);
+    const std::string trace_path = extract_trace_out_flag(stripped);
 
-    if (command == "list") return cmd_list(rest, out);
-    if (command == "version") return cmd_version(out);
-    if (command == "serve") return cmd_serve(rest, jobs, out, err);
-    if (command == "show" || command == "export" || command == "analyze" ||
-        command == "verify" || command == "ensemble" || command == "sweep" ||
-        command == "check" || command == "estimate") {
-      if (rest.empty() || util::starts_with(rest[0], "--")) {
-        err << "glva " << command << ": missing argument\n" << kUsage;
-        return 2;
+    // --trace-out wraps the whole command in a trace window; the file is
+    // written even when the command fails nonzero (the spans up to the
+    // failure are exactly what one wants to see), but not when it throws.
+    if (!trace_path.empty()) obs::trace_begin();
+    int code = 0;
+    try {
+      code = dispatch_command(stripped, jobs, out, err);
+    } catch (...) {
+      if (!trace_path.empty()) {
+        obs::trace_end();
+        static_cast<void>(obs::drain_trace());
       }
-      const std::string target = rest[0];
-      const std::vector<std::string> options(rest.begin() + 1, rest.end());
-      if (command == "show") return cmd_show(target, out);
-      if (command == "export") return cmd_export(target, options, out);
-      if (command == "analyze") return cmd_analyze(target, options, out);
-      if (command == "verify") return cmd_verify(target, options, out);
-      if (command == "ensemble") return cmd_ensemble(target, options, jobs, out);
-      if (command == "sweep") return cmd_sweep(target, options, jobs, out);
-      if (command == "check") return cmd_check(target, options, jobs, out);
-      return cmd_estimate(target, options, out);
+      throw;
     }
-    err << "glva: unknown command '" << command << "'\n" << kUsage;
-    return 2;
+    if (!trace_path.empty()) {
+      obs::trace_end();
+      obs::write_chrome_trace(trace_path, obs::drain_trace());
+      util::log_info("trace written to " + trace_path);
+    }
+    return code;
   } catch (const Error& e) {
     err << "glva: " << e.what() << "\n";
     return 2;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "logic/simd/kernel_set.h"
+#include "obs/metrics.h"
 
 // The build system injects these on this translation unit only (see
 // CMakeLists.txt); fall back to visible placeholders so the file still
@@ -42,6 +43,10 @@ std::string version_report() {
          " (runnable on this CPU)\n";
   out += std::string("simd active: ") +
          logic::simd::isa_level_name(logic::simd::active_level()) + "\n";
+  out += std::string("metrics:     ") +
+         (obs::metrics_enabled() ? "enabled"
+                                 : "compiled out (GLVA_NO_METRICS)") +
+         "\n";
   return out;
 }
 

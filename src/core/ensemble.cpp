@@ -6,6 +6,7 @@
 #include "exec/parallel_runner.h"
 #include "exec/seed_sequence.h"
 #include "logic/quine_mccluskey.h"
+#include "obs/trace.h"
 #include "util/errors.h"
 #include "util/string_util.h"
 #include "util/text_table.h"
@@ -57,6 +58,7 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
   runner.run_reduce<ExperimentResult>(
       replicates,
       [&](std::size_t r) {
+        GLVA_SPAN("replicate");
         ExperimentConfig replicate_config = config;
         replicate_config.seed = ensemble.replicate_seeds[r];
         if (replicate_config.sink == store::SinkKind::kSpill) {
@@ -68,6 +70,7 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
         return run_experiment(spec, replicate_config);
       },
       [&](std::size_t r, ExperimentResult&& result) {
+        GLVA_SPAN("reduce.commit");
         const std::size_t combinations =
             result.extraction.variation.records.size();
         if (r == 0) {

@@ -6,6 +6,7 @@
 
 #include "exec/parallel_runner.h"
 #include "exec/seed_sequence.h"
+#include "obs/trace.h"
 #include "store/digitizing_sink.h"
 #include "store/spill_reader.h"
 #include "store/spill_sink.h"
@@ -36,8 +37,10 @@ ExperimentResult run_experiment_memory(const circuits::CircuitSpec& spec,
                                        const ExperimentConfig& config) {
   sim::VirtualLab lab = make_lab(spec, config);
   const auto sim_start = std::chrono::steady_clock::now();
-  sim::SweepResult sweep =
-      lab.run_combination_sweep(config.total_time, config.high_level());
+  sim::SweepResult sweep = [&] {
+    GLVA_SPAN("simulate");
+    return lab.run_combination_sweep(config.total_time, config.high_level());
+  }();
   const double sim_seconds = seconds_since(sim_start);
 
   ExperimentResult result = reanalyze(spec, config, sweep);
@@ -69,12 +72,18 @@ ExperimentResult run_experiment_spill(const circuits::CircuitSpec& spec,
   store::SpillSink sink(path, spill_options);
 
   const auto sim_start = std::chrono::steady_clock::now();
-  sim::InputSchedule schedule = lab.run_combination_sweep_into(
-      config.total_time, config.high_level(), sink);
+  sim::InputSchedule schedule = [&] {
+    GLVA_SPAN("simulate");
+    return lab.run_combination_sweep_into(config.total_time,
+                                          config.high_level(), sink);
+  }();
   const double sim_seconds = seconds_since(sim_start);
 
   store::SpillReader reader(path);
-  sim::SweepResult sweep{reader.read_all(), std::move(schedule)};
+  sim::SweepResult sweep = [&] {
+    GLVA_SPAN("spill.replay");
+    return sim::SweepResult{reader.read_all(), std::move(schedule)};
+  }();
   ExperimentResult result = reanalyze(spec, config, sweep);
   result.sweep = std::move(sweep);
   result.simulate_seconds = sim_seconds;
@@ -109,11 +118,17 @@ ExperimentResult run_experiment_digitize(const circuits::CircuitSpec& spec,
   store::DigitizingSink sink(std::move(tracked), config.threshold);
 
   const auto sim_start = std::chrono::steady_clock::now();
-  sim::InputSchedule schedule = lab.run_combination_sweep_into(
-      config.total_time, config.high_level(), sink);
+  sim::InputSchedule schedule = [&] {
+    GLVA_SPAN("simulate");
+    return lab.run_combination_sweep_into(config.total_time,
+                                          config.high_level(), sink);
+  }();
   const double sim_seconds = seconds_since(sim_start);
 
-  PackedDigitalData data = take_digitized(sink, spec.input_ids.size());
+  PackedDigitalData data = [&] {
+    GLVA_SPAN("digitize");
+    return take_digitized(sink, spec.input_ids.size());
+  }();
 
   ExperimentResult result;
   result.circuit_name = spec.name;
@@ -124,8 +139,11 @@ ExperimentResult run_experiment_digitize(const circuits::CircuitSpec& spec,
   LogicAnalyzer analyzer(
       AnalyzerConfig{config.threshold, config.fov_ud, config.backend});
   const auto analyze_start = std::chrono::steady_clock::now();
-  result.extraction =
-      analyzer.analyze_packed(data, spec.input_ids, spec.output_id);
+  {
+    GLVA_SPAN("analyze");
+    result.extraction =
+        analyzer.analyze_packed(data, spec.input_ids, spec.output_id);
+  }
   result.analyze_seconds = seconds_since(analyze_start);
 
   result.verification = verify(result.extraction, spec.expected);
@@ -195,8 +213,11 @@ ExperimentResult reanalyze(const circuits::CircuitSpec& spec,
   LogicAnalyzer analyzer(
       AnalyzerConfig{config.threshold, config.fov_ud, config.backend});
   const auto analyze_start = std::chrono::steady_clock::now();
-  result.extraction =
-      analyzer.analyze(sweep.trace, spec.input_ids, spec.output_id);
+  {
+    GLVA_SPAN("analyze");
+    result.extraction =
+        analyzer.analyze(sweep.trace, spec.input_ids, spec.output_id);
+  }
   result.analyze_seconds = seconds_since(analyze_start);
 
   result.verification = verify(result.extraction, spec.expected);

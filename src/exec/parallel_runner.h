@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 /// The job-scheduler layer of the execution subsystem: deterministic
 /// indexed fan-out over a fixed-size ThreadPool.
@@ -134,8 +136,20 @@ public:
       pending.push_back(pool.submit([&, i] {
         {
           std::unique_lock lock(mutex);
-          released.wait(lock,
-                        [&] { return draining || i < committed + window; });
+          if (!draining && i >= committed + window) {
+            // Backpressure stall: the commit head is more than one window
+            // behind this job. Time spent parked here is the cost of the
+            // bounded-memory contract, surfaced as exec.reduce.stall_us.
+            const auto stall_start = std::chrono::steady_clock::now();
+            released.wait(lock,
+                          [&] { return draining || i < committed + window; });
+            static obs::Counter& stall_us =
+                obs::counter("exec.reduce.stall_us");
+            stall_us.add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - stall_start)
+                    .count()));
+          }
           if (draining) return;  // a failure upstream: this result is moot
         }
         try {

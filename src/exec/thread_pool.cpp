@@ -1,6 +1,20 @@
 #include "exec/thread_pool.h"
 
+#include "obs/metrics.h"
+
 namespace glva::exec {
+
+namespace {
+
+// Shared across every pool in the process: the exec/ layer is one
+// subsystem from the observability point of view, and serve/ deliberately
+// runs a single long-lived pool.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("exec.pool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t thread_count) {
   if (thread_count == 0) thread_count = 1;
@@ -26,6 +40,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(packaged));
   }
+  queue_depth_gauge().add(1);
   work_available_.notify_one();
   return future;
 }
@@ -46,6 +61,11 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_gauge().add(-1);
+    static obs::Counter& tasks = obs::counter("exec.pool.tasks");
+    static obs::Histogram& task_us = obs::histogram("exec.pool.task_us");
+    tasks.increment();
+    const obs::ScopedLatency latency(task_us);
     // packaged_task catches whatever the callable throws and stores it in
     // the shared state, so nothing propagates to the worker thread.
     task();

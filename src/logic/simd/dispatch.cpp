@@ -2,6 +2,7 @@
 #include <cstdlib>
 
 #include "logic/simd/kernels.h"
+#include "obs/metrics.h"
 #include "util/errors.h"
 
 namespace glva::logic::simd {
@@ -29,6 +30,14 @@ const KernelSet* compiled(IsaLevel level) noexcept {
 /// Resolve the default table: GLVA_SIMD override first (an unknown or
 /// unavailable name is an error — a forced CI level must never silently
 /// fall back), else the widest available tier.
+// Mirrors the dispatch decision into the metrics registry so a stats
+// snapshot is self-describing about which kernel tier produced it
+// (0=scalar, 1=sse2, 2=avx2, 3=avx512 — the IsaLevel enum order).
+void publish_tier(const KernelSet& set) {
+  static obs::Gauge& tier = obs::gauge("simd.active_tier");
+  tier.set(static_cast<std::int64_t>(set.level));
+}
+
 const KernelSet* resolve_default() {
   const char* env = std::getenv("GLVA_SIMD");
   if (env != nullptr && env[0] != '\0') {
@@ -115,6 +124,7 @@ const KernelSet& active() {
   if (set == nullptr) {
     set = resolve_default();
     g_active.store(set, std::memory_order_release);
+    publish_tier(*set);
   }
   return *set;
 }
@@ -130,6 +140,7 @@ void set_active(IsaLevel level) {
         "lacks the instructions)");
   }
   g_active.store(set, std::memory_order_release);
+  publish_tier(*set);
 }
 
 }  // namespace glva::logic::simd

@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace glva::obs {
+namespace {
+
+std::uint64_t now_ns() {
+  // Epoch fixed at first use so timestamps stay monotonic across
+  // repeated trace_begin()/drain_trace() cycles in one process.
+  static const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+struct ThreadBuffer {
+  std::mutex mutex;  // owner appends (uncontended); drain steals
+  std::vector<TraceEvent> events;
+};
+
+class TraceRegistry {
+ public:
+  void attach(ThreadBuffer* buf) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(buf);
+  }
+
+  // Thread exit: move the dying thread's events into the orphan store so
+  // spans recorded on short-lived pool threads survive until drain.
+  void detach(ThreadBuffer* buf) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.erase(std::remove(buffers_.begin(), buffers_.end(), buf),
+                   buffers_.end());
+    orphaned_.insert(orphaned_.end(), buf->events.begin(), buf->events.end());
+    delete buf;
+  }
+
+  std::vector<TraceEvent> drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> out = std::move(orphaned_);
+    orphaned_.clear();
+    for (ThreadBuffer* buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+      buf->events.clear();
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                return a.dur_ns > b.dur_ns;  // parents before children
+              });
+    return out;
+  }
+
+  std::uint32_t next_tid() {
+    return next_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<ThreadBuffer*> buffers_;
+  std::vector<TraceEvent> orphaned_;
+  std::atomic<std::uint32_t> next_tid_{0};
+};
+
+// Leaked like the metrics registry: thread_local destructors on detached
+// threads may run during process teardown.
+TraceRegistry& trace_registry() {
+  static TraceRegistry* r = new TraceRegistry();
+  return *r;
+}
+
+std::atomic<int> g_trace_refcount{0};
+std::atomic<bool> g_trace_enabled{false};
+
+struct BufferOwner {
+  ThreadBuffer* buf;
+  std::uint32_t tid;
+  BufferOwner() : buf(new ThreadBuffer()), tid(trace_registry().next_tid()) {
+    trace_registry().attach(buf);
+  }
+  ~BufferOwner() { trace_registry().detach(buf); }
+};
+
+BufferOwner& local_buffer() {
+  thread_local BufferOwner owner;
+  return owner;
+}
+
+}  // namespace
+
+void trace_begin() {
+  trace_registry();  // construct before any Span can race the first attach
+  g_trace_refcount.fetch_add(1, std::memory_order_relaxed);
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_end() {
+  if (g_trace_refcount.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    g_trace_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> drain_trace() { return trace_registry().drain(); }
+
+void Span::start(const char* name) noexcept {
+  name_ = name;
+  start_ns_ = now_ns();
+  active_ = true;
+}
+
+void Span::finish() noexcept {
+  const std::uint64_t end_ns = now_ns();
+  BufferOwner& owner = local_buffer();
+  std::lock_guard<std::mutex> lock(owner.buf->mutex);
+  owner.buf->events.push_back(
+      TraceEvent{name_, start_ns_, end_ns - start_ns_, owner.tid});
+}
+
+std::string render_chrome_trace(const std::vector<TraceEvent>& events) {
+  // Complete events ("ph":"X") with fractional-microsecond timestamps;
+  // chrome://tracing and https://ui.perfetto.dev load this directly.
+  std::string out = "[";
+  bool first = true;
+  char buf[256];
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"pid\":1,\"tid\":%u}",
+                  e.name, static_cast<double>(e.ts_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    out += buf;
+  }
+  out += "]\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw Error("cannot open trace output file: " + path);
+  }
+  const std::string body = render_chrome_trace(events);
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  file.flush();
+  if (!file) {
+    throw Error("failed writing trace output file: " + path);
+  }
+}
+
+}  // namespace glva::obs

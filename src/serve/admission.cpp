@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace glva::serve {
+
+namespace {
+
+// Mirrors of the controller's own counters in the process-wide metrics
+// registry, so a `stats` snapshot carries them alongside every other
+// subsystem. The mutex-guarded members stay authoritative for stats().
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("serve.admission.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 AdmissionController::AdmissionController(const Options& options)
     : max_active_(std::max<std::size_t>(options.max_active, 1)),
@@ -21,23 +35,31 @@ std::optional<AdmissionController::Ticket> AdmissionController::try_admit() {
       static_cast<std::size_t>(next_ticket_ - serving_);
   if (active_ >= max_active_ && waiting >= max_queued_) {
     ++rejected_;
+    static obs::Counter& rejected = obs::counter("serve.admission.rejected");
+    rejected.increment();
     return std::nullopt;
   }
   const std::uint64_t ticket = next_ticket_++;
   peak_queued_ =
       std::max(peak_queued_, static_cast<std::size_t>(next_ticket_ - serving_));
+  queue_depth_gauge().set(
+      static_cast<std::int64_t>(next_ticket_ - serving_));
   // FIFO grant: only the head ticket may take a freed slot; everyone else
   // waits for the head to advance past them.
   slot_available_.wait(lock, [&] {
     return closed_ || (serving_ == ticket && active_ < max_active_);
   });
   ++serving_;  // advance the head whether granted or drained by close()
+  queue_depth_gauge().set(
+      static_cast<std::int64_t>(next_ticket_ - serving_));
   if (closed_) {
     slot_available_.notify_all();
     return std::nullopt;
   }
   ++active_;
   ++admitted_;
+  static obs::Counter& admitted = obs::counter("serve.admission.admitted");
+  admitted.increment();
   slot_available_.notify_all();
   return Ticket(this);
 }

@@ -1,0 +1,86 @@
+#include "serve/client.h"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/errors.h"
+
+namespace glva::serve {
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path)) {
+    throw Error("socket path too long: " + path);
+  }
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                          sizeof(address)) != 0) {
+    if (fd >= 0) ::close(fd);
+    throw Error("cannot connect to unix socket " + path + ": " +
+                std::strerror(errno));
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, const std::string& port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &results) != 0) {
+    throw Error("cannot resolve " + host + ":" + port);
+  }
+  int fd = -1;
+  for (const addrinfo* it = results; it != nullptr; it = it->ai_next) {
+    fd = ::socket(it->ai_family, it->ai_socktype, it->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, it->ai_addr, it->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    throw Error("cannot connect to " + host + ":" + port);
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Json Client::round_trip(const std::string& payload) {
+  const std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  while (true) {
+    if (auto response = decoder_.take_frame()) {
+      return parse_json(*response);
+    }
+    char buffer[64 * 1024];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) throw Error("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("recv failed: ") + std::strerror(errno));
+    }
+    decoder_.feed(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace glva::serve

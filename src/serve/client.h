@@ -1,0 +1,37 @@
+#ifndef GLVA_SERVE_CLIENT_H
+#define GLVA_SERVE_CLIENT_H
+
+// Blocking client for the framed JSON protocol (docs/SERVE.md): one
+// connection, synchronous request/response round trips. Shared by the
+// `glva stats` command and the bench_serve load generator.
+
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace glva::serve {
+
+class Client {
+ public:
+  // Both throw glva::Error when the endpoint cannot be reached.
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, const std::string& port);
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client& operator=(Client&&) = delete;
+  ~Client();
+
+  // Sends one request payload and blocks for its response payload.
+  Json round_trip(const std::string& payload);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace glva::serve
+
+#endif  // GLVA_SERVE_CLIENT_H

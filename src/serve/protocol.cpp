@@ -488,6 +488,12 @@ WireRequest parse_wire_request(const Json& payload) {
     }
     request.id = *id;
   }
+  if (const Json* trace = payload.find("trace"); trace != nullptr) {
+    if (trace->kind != Json::Kind::kBool) {
+      throw ProtocolError("request 'trace' must be a boolean");
+    }
+    request.trace = trace->boolean;
+  }
   return request;
 }
 
@@ -508,7 +514,8 @@ const char* error_kind_name(ErrorKind kind) noexcept {
 
 std::string render_ok_response(const Json& id, int exit_code,
                                std::string_view body, bool cached,
-                               const std::string& fingerprint) {
+                               const std::string& fingerprint,
+                               const Json* trace) {
   std::vector<std::pair<std::string, Json>> members;
   members.emplace_back("id", id);
   members.emplace_back("ok", Json::of(true));
@@ -519,6 +526,7 @@ std::string render_ok_response(const Json& id, int exit_code,
     members.emplace_back("fingerprint", Json::of(fingerprint));
   }
   members.emplace_back("body", Json::of(std::string(body)));
+  if (trace != nullptr) members.emplace_back("trace", *trace);
   return Json::object_of(std::move(members)).dump();
 }
 

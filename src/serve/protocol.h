@@ -122,16 +122,21 @@ private:
 ///      "options": ["--seed", "7", "--no-timings"], "id": 3}
 ///
 /// `op` is required ("analyze" | "verify" | "ensemble" | "sweep" |
-/// "status" | "version"). `target` is required for the analysis ops.
-/// `options` may be an argv-style array of strings or an object
-/// ({"seed": 7, "two-stage": true} flattens to ["--seed","7",
+/// "status" | "version" | "stats"). `target` is required for the
+/// analysis ops. `options` may be an argv-style array of strings or an
+/// object ({"seed": 7, "two-stage": true} flattens to ["--seed","7",
 /// "--two-stage"]; a false value drops the flag). `id` (number or
-/// string) is opaque and echoed verbatim in the response.
+/// string) is opaque and echoed verbatim in the response. `trace`
+/// (boolean, analysis ops only) asks the server to attach a Chrome
+/// trace-event array of the execution's stage spans to the response —
+/// only a freshly executed request carries one (a cache hit or coalesced
+/// follower ran nothing worth tracing).
 struct WireRequest {
   std::string op;
   std::string target;
   std::vector<std::string> options;
   Json id;  ///< null when absent
+  bool trace = false;
 };
 
 /// Validate and extract a request from its parsed payload. Throws
@@ -162,11 +167,13 @@ enum class ErrorKind {
 /// `fingerprint` (the request's content address, hex) is present for
 /// analysis ops only; `cached` reports whether the body came from the
 /// result cache (or a concurrent identical request) instead of a fresh
-/// execution.
+/// execution. When `trace` is non-null a `"trace"` member carrying it
+/// (a Chrome trace-event array) is appended.
 [[nodiscard]] std::string render_ok_response(const Json& id, int exit_code,
                                              std::string_view body,
                                              bool cached,
-                                             const std::string& fingerprint);
+                                             const std::string& fingerprint,
+                                             const Json* trace = nullptr);
 
 /// Success payload for structured results (status):
 ///     {"id": 3, "ok": true, "result": {...}}

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace glva::serve {
 
 ResultCache::ResultCache(std::size_t capacity_bytes)
@@ -13,9 +15,13 @@ std::optional<ResultCache::CachedResponse> ResultCache::get(
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    static obs::Counter& misses = obs::counter("serve.cache.misses");
+    misses.increment();
     return std::nullopt;
   }
   ++hits_;
+  static obs::Counter& hits = obs::counter("serve.cache.hits");
+  hits.increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // touch
   return it->second->response;
 }
@@ -35,11 +41,15 @@ void ResultCache::put(const std::string& key, int exit_code,
     index_.erase(victim.key);
     lru_.pop_back();
     ++evictions_;
+    static obs::Counter& evictions = obs::counter("serve.cache.evictions");
+    evictions.increment();
   }
   lru_.push_front(Entry{key, CachedResponse{exit_code, body}, cost});
   index_.emplace(key, lru_.begin());
   bytes_ += cost;
   ++insertions_;
+  static obs::Counter& insertions = obs::counter("serve.cache.insertions");
+  insertions.increment();
 }
 
 ResultCache::Stats ResultCache::stats() const {

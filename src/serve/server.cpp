@@ -9,11 +9,17 @@
 
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <optional>
+#include <sstream>
 
 #include "app/version.h"
 #include "logic/simd/kernel_set.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/errors.h"
+#include "util/log.h"
 
 namespace glva::serve {
 
@@ -142,6 +148,97 @@ int bind_unix(const std::string& path) {
                 "': " + error);
   }
   return fd;
+}
+
+/// One latency histogram per wire op, interned once. Unknown op names
+/// share a bucket: dispatch rejects them anyway, so all that lands there
+/// is the (cheap) rejection path.
+obs::Histogram& latency_histogram_for(const std::string& op) {
+  if (op == "verify") {
+    static obs::Histogram& h = obs::histogram("serve.latency_us.verify");
+    return h;
+  }
+  if (op == "analyze") {
+    static obs::Histogram& h = obs::histogram("serve.latency_us.analyze");
+    return h;
+  }
+  if (op == "ensemble") {
+    static obs::Histogram& h = obs::histogram("serve.latency_us.ensemble");
+    return h;
+  }
+  if (op == "sweep") {
+    static obs::Histogram& h = obs::histogram("serve.latency_us.sweep");
+    return h;
+  }
+  if (op == "check") {
+    static obs::Histogram& h = obs::histogram("serve.latency_us.check");
+    return h;
+  }
+  if (op == "status" || op == "version" || op == "stats") {
+    static obs::Histogram& h = obs::histogram("serve.latency_us.introspect");
+    return h;
+  }
+  static obs::Histogram& h = obs::histogram("serve.latency_us.other");
+  return h;
+}
+
+/// JSON number token for a double: fixed three decimals — enough for
+/// microsecond quantiles, always a valid JSON token.
+Json json_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return Json::number_token(buffer);
+}
+
+/// The `stats` op body: the process-wide metrics snapshot as one JSON
+/// object. Sections are always present (empty under GLVA_NO_METRICS) so
+/// clients can rely on the schema.
+Json stats_json() {
+  const obs::Snapshot snap = obs::snapshot();
+  std::vector<std::pair<std::string, Json>> counters;
+  counters.reserve(snap.counters.size());
+  for (const obs::CounterSample& c : snap.counters) {
+    counters.emplace_back(c.name, Json::of_u64(c.value));
+  }
+  std::vector<std::pair<std::string, Json>> gauges;
+  gauges.reserve(snap.gauges.size());
+  for (const obs::GaugeSample& g : snap.gauges) {
+    gauges.emplace_back(g.name, Json::number_token(std::to_string(g.value)));
+  }
+  std::vector<std::pair<std::string, Json>> histograms;
+  histograms.reserve(snap.histograms.size());
+  for (const obs::HistogramSample& h : snap.histograms) {
+    histograms.emplace_back(
+        h.name, Json::object_of({{"count", Json::of_u64(h.count)},
+                                 {"sum", json_double(h.sum)},
+                                 {"p50", json_double(h.p50)},
+                                 {"p95", json_double(h.p95)},
+                                 {"p99", json_double(h.p99)}}));
+  }
+  return Json::object_of({
+      {"metrics_enabled", Json::of(obs::metrics_enabled())},
+      {"counters", Json::object_of(std::move(counters))},
+      {"gauges", Json::object_of(std::move(gauges))},
+      {"histograms", Json::object_of(std::move(histograms))},
+  });
+}
+
+/// Trace events as a Chrome trace-event array (the same shape
+/// obs::render_chrome_trace writes, but as a Json tree for embedding in
+/// a response).
+Json trace_events_json(const std::vector<obs::TraceEvent>& events) {
+  std::vector<Json> items;
+  items.reserve(events.size());
+  for (const obs::TraceEvent& event : events) {
+    items.push_back(Json::object_of(
+        {{"name", Json::of(event.name)},
+         {"ph", Json::of("X")},
+         {"ts", json_double(static_cast<double>(event.ts_ns) / 1000.0)},
+         {"dur", json_double(static_cast<double>(event.dur_ns) / 1000.0)},
+         {"pid", Json::number_token("1")},
+         {"tid", Json::of_u64(event.tid)}}));
+  }
+  return Json::array_of(std::move(items));
 }
 
 ErrorKind kind_of(const Error& error) {
@@ -315,9 +412,15 @@ std::string Server::dispatch(const std::string& payload) {
                                  e.what());
   }
   ++requests_received_;
+  static obs::Counter& received = obs::counter("serve.requests.received");
+  received.increment();
+  const obs::ScopedLatency latency(latency_histogram_for(wire.op));
   try {
     if (wire.op == "status") {
       return render_result_response(wire.id, status_json());
+    }
+    if (wire.op == "stats") {
+      return render_result_response(wire.id, stats_json());
     }
     if (wire.op == "version") {
       return render_ok_response(wire.id, 0, app::version_report(),
@@ -368,6 +471,8 @@ std::string Server::handle_analysis(const WireRequest& wire,
     std::unique_lock<std::mutex> lock(flight->mutex);
     flight->done_cv.wait(lock, [&] { return flight->done; });
     ++requests_coalesced_;
+    static obs::Counter& coalesced = obs::counter("serve.requests.coalesced");
+    coalesced.increment();
     if (flight->ok) {
       return render_ok_response(wire.id, flight->exit_code, flight->body,
                                 /*cached=*/true, fingerprint);
@@ -381,6 +486,8 @@ std::string Server::handle_analysis(const WireRequest& wire,
   bool ok = false;
   int exit_code = 0;
   std::string body;
+  Json trace_events;
+  bool have_trace = false;
   ErrorKind error_kind = ErrorKind::kInternal;
   std::string error_message;
   {
@@ -392,6 +499,17 @@ std::string Server::handle_analysis(const WireRequest& wire,
                           ? "request rejected: admission queue is full"
                           : "server is shutting down";
     } else {
+      // A traced execution holds trace_mutex_ so two traced requests
+      // cannot interleave their drains. Untraced requests executing
+      // concurrently still emit spans into the window (tracing is a
+      // process-global switch); their events show up under their own
+      // tids, which the trace viewer renders as separate rows.
+      std::optional<std::unique_lock<std::mutex>> trace_lock;
+      if (wire.trace) {
+        trace_lock.emplace(trace_mutex_);
+        static_cast<void>(obs::drain_trace());  // drop stale events
+        obs::trace_begin();
+      }
       try {
         app::ExecutionContext context;
         context.runner = &runner_;
@@ -400,12 +518,20 @@ std::string Server::handle_analysis(const WireRequest& wire,
         exit_code = response.exit_code;
         body = response.body;
         ++requests_executed_;
+        static obs::Counter& executed =
+            obs::counter("serve.requests.executed");
+        executed.increment();
         cache_.put(key, exit_code, body);
       } catch (const Error& e) {
         error_kind = kind_of(e);
         error_message = e.what();
       } catch (const std::exception& e) {
         error_message = e.what();
+      }
+      if (wire.trace) {
+        obs::trace_end();
+        trace_events = trace_events_json(obs::drain_trace());
+        have_trace = ok;
       }
     }
   }
@@ -427,7 +553,8 @@ std::string Server::handle_analysis(const WireRequest& wire,
 
   if (ok) {
     return render_ok_response(wire.id, exit_code, body, /*cached=*/false,
-                              fingerprint);
+                              fingerprint,
+                              have_trace ? &trace_events : nullptr);
   }
   return render_error_response(wire.id, error_kind, error_message);
 }
@@ -470,7 +597,9 @@ Json Server::status_json() const {
 
 int run_serve(const ServerOptions& options, std::ostream& out,
               std::ostream& err) {
-  static_cast<void>(err);
+  // The daemon's diagnostics (periodic stats lines, the final metrics
+  // dump) go through util::log, routed to the caller's error stream.
+  util::set_log_sink(&err);
 
   // Block the shutdown signals *before* any server thread exists so every
   // thread inherits the mask; the main thread then collects the signal
@@ -499,12 +628,48 @@ int run_serve(const ServerOptions& options, std::ostream& out,
         << (options.cache_bytes >> 20) << " MiB; SIGTERM to stop\n";
     out.flush();
 
+    // Optional stats reporter: one summary line per interval on the log
+    // sink, so a long-lived daemon's health is visible without a client.
+    std::mutex reporter_mutex;
+    std::condition_variable reporter_cv;
+    bool reporter_stop = false;
+    std::thread reporter;
+    if (options.stats_interval_seconds > 0) {
+      reporter = std::thread([&] {
+        std::unique_lock<std::mutex> lock(reporter_mutex);
+        for (;;) {
+          const bool stopping = reporter_cv.wait_for(
+              lock, std::chrono::seconds(options.stats_interval_seconds),
+              [&] { return reporter_stop; });
+          if (stopping) return;
+          const ResultCache::Stats cache = server.cache_stats();
+          const AdmissionController::Stats admission =
+              server.admission_stats();
+          std::ostringstream line;
+          line << "serve: executed " << admission.admitted << ", cache "
+               << cache.hits << "/" << (cache.hits + cache.misses)
+               << " hit(s), coalesced " << server.coalesced_requests()
+               << ", rejected " << admission.rejected << ", active "
+               << admission.active << ", queued " << admission.queued;
+          util::log_info(line.str());
+        }
+      });
+    }
+
     int signal_number = 0;
     sigwait(&signals, &signal_number);
     out << "glva serve: caught "
         << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
         << ", draining\n";
     out.flush();
+    if (reporter.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(reporter_mutex);
+        reporter_stop = true;
+      }
+      reporter_cv.notify_all();
+      reporter.join();
+    }
     server.stop();
 
     const ResultCache::Stats cache = server.cache_stats();
@@ -513,11 +678,18 @@ int run_serve(const ServerOptions& options, std::ostream& out,
         << cache.hits << " cache hit(s), " << server.coalesced_requests()
         << " coalesced, " << admission.rejected << " rejected, "
         << cache.evictions << " eviction(s)\n";
+    if (obs::metrics_enabled()) {
+      util::log_info("final metrics snapshot:");
+      err << obs::render_text(obs::snapshot());
+      err.flush();
+    }
   } catch (...) {
     pthread_sigmask(SIG_SETMASK, &previous, nullptr);
+    util::set_log_sink(nullptr);
     throw;
   }
   pthread_sigmask(SIG_SETMASK, &previous, nullptr);
+  util::set_log_sink(nullptr);
   return exit_code;
 }
 

@@ -60,6 +60,9 @@ struct ServerOptions {
   std::size_t cache_bytes = 64u << 20;
   /// Largest accepted request frame payload.
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// run_serve: seconds between one-line stats summaries on the error
+  /// stream (0 disables the reporter thread).
+  unsigned stats_interval_seconds = 0;
 };
 
 class Server {
@@ -125,6 +128,8 @@ private:
   [[nodiscard]] std::string handle_analysis(const WireRequest& wire,
                                             app::Request::Op op);
   [[nodiscard]] Json status_json() const;
+
+  std::mutex trace_mutex_;  ///< one traced request captures at a time
 
   ServerOptions options_;
   exec::ThreadPool pool_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace glva::sim {
 
 void DirectMethod::simulate_interval(const crn::ReactionNetwork& network,
@@ -18,6 +20,7 @@ void DirectMethod::simulate_interval(const crn::ReactionNetwork& network,
 
   double t = t_begin;
   std::size_t steps_since_resum = 0;
+  std::uint64_t local_steps = 0;
   constexpr std::size_t kResumInterval = 8192;
 
   while (total > 0.0) {
@@ -34,6 +37,7 @@ void DirectMethod::simulate_interval(const crn::ReactionNetwork& network,
       target -= propensities[j];
     }
     network.fire(j, values);
+    ++local_steps;
 
     // Update only the reactions whose propensity can have changed.
     for (std::size_t affected : network.affected_reactions(j)) {
@@ -51,6 +55,16 @@ void DirectMethod::simulate_interval(const crn::ReactionNetwork& network,
     if (total < 0.0) total = 0.0;
   }
   sampler.advance_before(t_end, values);
+
+  // One registry write per interval, not per event: the SSA inner loop
+  // stays untouched by instrumentation (the direct method fires exactly
+  // one reaction per step).
+  if (local_steps > 0) {
+    static obs::Counter& steps = obs::counter("sim.ssa.steps");
+    static obs::Counter& firings = obs::counter("sim.ssa.firings");
+    steps.add(local_steps);
+    firings.add(local_steps);
+  }
 }
 
 }  // namespace glva::sim

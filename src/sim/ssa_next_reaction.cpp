@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "sim/indexed_priority_queue.h"
 
 namespace glva::sim {
@@ -28,11 +29,13 @@ void NextReactionMethod::simulate_interval(const crn::ReactionNetwork& network,
   }
 
   double t = t_begin;
+  std::uint64_t local_steps = 0;
   while (queue.top_value() < t_end) {
     const std::size_t j = queue.top_key();
     t = queue.top_value();
     sampler.advance_before(t, values);
     network.fire(j, values);
+    ++local_steps;
 
     for (std::size_t affected : network.affected_reactions(j)) {
       const double old_propensity = propensities[affected];
@@ -59,6 +62,14 @@ void NextReactionMethod::simulate_interval(const crn::ReactionNetwork& network,
     queue.update(j, a_j > 0.0 ? t + rng.exponential(a_j) : kInf);
   }
   sampler.advance_before(t_end, values);
+
+  // Batched like the direct method: one registry write per interval.
+  if (local_steps > 0) {
+    static obs::Counter& steps = obs::counter("sim.ssa.steps");
+    static obs::Counter& firings = obs::counter("sim.ssa.firings");
+    steps.add(local_steps);
+    firings.add(local_steps);
+  }
 }
 
 }  // namespace glva::sim

@@ -4,15 +4,19 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace glva::sim {
 
 namespace {
 
 /// Exact direct-method steps used when leaps degenerate; advances at most
-/// `max_steps` events or until `t_end`. Returns the new time.
+/// `max_steps` events or until `t_end`. Returns the new time. Each event
+/// is counted into `fired` (one step, one firing).
 double exact_steps(const crn::ReactionNetwork& network,
                    std::vector<double>& values, double t, double t_end,
-                   Rng& rng, TraceSampler& sampler, std::size_t max_steps) {
+                   Rng& rng, TraceSampler& sampler, std::size_t max_steps,
+                   std::uint64_t& fired) {
   const std::size_t m = network.reaction_count();
   for (std::size_t step = 0; step < max_steps; ++step) {
     double total = 0.0;
@@ -30,6 +34,7 @@ double exact_steps(const crn::ReactionNetwork& network,
       target -= a;
     }
     network.fire(j, values);
+    ++fired;
   }
   return t;
 }
@@ -49,6 +54,8 @@ void TauLeaping::simulate_interval(const crn::ReactionNetwork& network,
   std::vector<std::uint64_t> counts(m);
 
   double t = t_begin;
+  std::uint64_t local_steps = 0;
+  std::uint64_t local_firings = 0;
   while (t < t_end) {
     double total = 0.0;
     for (std::size_t r = 0; r < m; ++r) {
@@ -77,7 +84,10 @@ void TauLeaping::simulate_interval(const crn::ReactionNetwork& network,
 
     // Degenerate leap: cheaper to take exact steps.
     if (tau < 10.0 / total) {
-      t = exact_steps(network, values, t, t_end, rng, sampler, 128);
+      std::uint64_t fired = 0;
+      t = exact_steps(network, values, t, t_end, rng, sampler, 128, fired);
+      local_steps += fired;
+      local_firings += fired;
       continue;
     }
     tau = std::min(tau, t_end - t);
@@ -110,14 +120,27 @@ void TauLeaping::simulate_interval(const crn::ReactionNetwork& network,
       if (!accepted) tau *= 0.5;
     }
     if (!accepted) {
-      t = exact_steps(network, values, t, t_end, rng, sampler, 128);
+      std::uint64_t fired = 0;
+      t = exact_steps(network, values, t, t_end, rng, sampler, 128, fired);
+      local_steps += fired;
+      local_firings += fired;
       continue;
     }
     t += tau;
     sampler.advance_before(t, values);
     values = proposed;
+    ++local_steps;  // one leap
+    for (std::size_t r = 0; r < m; ++r) local_firings += counts[r];
   }
   sampler.advance_before(t_end, values);
+
+  // One registry write per interval; a leap is one step with many firings.
+  if (local_steps > 0) {
+    static obs::Counter& steps = obs::counter("sim.ssa.steps");
+    static obs::Counter& firings = obs::counter("sim.ssa.firings");
+    steps.add(local_steps);
+    firings.add(local_firings);
+  }
 }
 
 }  // namespace glva::sim

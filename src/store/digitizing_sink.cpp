@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "logic/word_pack.h"
+#include "obs/metrics.h"
 #include "util/errors.h"
 
 namespace glva::store {
@@ -130,6 +131,10 @@ void DigitizingSink::finish() {
     }
   }
   tail_committed_ = true;
+  if (samples_ > 0) {
+    static obs::Counter& samples = obs::counter("store.digitize.samples");
+    samples.add(samples_);
+  }
 }
 
 logic::BitStream DigitizingSink::take_plane(std::size_t i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/errors.h"
 
 namespace glva::store {
@@ -105,6 +106,12 @@ void SpillSink::flush_chunk() {
   if (!file_) {
     throw StorageError("SpillSink: chunk write failed: " + path_);
   }
+  static obs::Counter& bytes_written =
+      obs::counter("store.spill.bytes_written");
+  static obs::Counter& chunks_flushed =
+      obs::counter("store.spill.chunks_flushed");
+  bytes_written.add(chunk.size());
+  chunks_flushed.increment();
   times_.clear();
   for (auto& series : series_) series.clear();
 }

@@ -1,0 +1,114 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+namespace glva::util {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn ";
+    case LogLevel::kInfo:
+      return "info ";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?????";
+}
+
+std::atomic<int>& level_store() {
+  // Seeded from GLVA_LOG once; --log-level overwrites later. Stored as
+  // int so the hot filter check is a single relaxed load.
+  static std::atomic<int>* level = [] {
+    auto* l = new std::atomic<int>(static_cast<int>(LogLevel::kInfo));
+    if (const char* env = std::getenv("GLVA_LOG")) {
+      const std::string_view name(env);
+      if (name == "error") l->store(static_cast<int>(LogLevel::kError));
+      if (name == "warn") l->store(static_cast<int>(LogLevel::kWarn));
+      if (name == "info") l->store(static_cast<int>(LogLevel::kInfo));
+      if (name == "debug") l->store(static_cast<int>(LogLevel::kDebug));
+    }
+    return l;
+  }();
+  return *level;
+}
+
+std::mutex g_sink_mutex;
+std::ostream* g_sink = nullptr;  // nullptr -> std::cerr
+
+}  // namespace
+
+bool set_log_level(std::string_view name) {
+  if (name == "error") {
+    set_log_level(LogLevel::kError);
+  } else if (name == "warn") {
+    set_log_level(LogLevel::kWarn);
+  } else if (name == "info") {
+    set_log_level(LogLevel::kInfo);
+  } else if (name == "debug") {
+    set_log_level(LogLevel::kDebug);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void set_log_level(LogLevel level) {
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(
+      level_store().load(std::memory_order_relaxed));
+}
+
+void set_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = sink;
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) >
+      level_store().load(std::memory_order_relaxed)) {
+    return;
+  }
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &secs);
+#else
+  localtime_r(&secs, &tm_buf);
+#endif
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "[%02d:%02d:%02d.%03d] ", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms));
+
+  std::string line;
+  line.reserve(message.size() + 32);
+  line += stamp;
+  line += level_name(level);
+  line += " ";
+  line.append(message.data(), message.size());
+  line += "\n";
+
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::ostream& out = g_sink ? *g_sink : std::cerr;
+  out << line << std::flush;
+}
+
+}  // namespace glva::util

@@ -1,0 +1,38 @@
+#ifndef GLVA_UTIL_LOG_H
+#define GLVA_UTIL_LOG_H
+
+// Tiny leveled logger for diagnostics that must never pollute stdout
+// (golden-pinned command output): timestamped lines on stderr, filtered
+// by a process-wide level. The default level is info; override with the
+// global --log-level CLI flag or the GLVA_LOG environment variable
+// (error|warn|info|debug). Tests can redirect the sink.
+
+#include <ostream>
+#include <string_view>
+
+namespace glva::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Returns the level for a name (error|warn|info|debug), or false on an
+// unknown name without changing the level.
+bool set_log_level(std::string_view name);
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Redirects log output (default: std::cerr). Pass nullptr to restore the
+// default. Not owned.
+void set_log_sink(std::ostream* sink);
+
+// Writes "[HH:MM:SS.mmm] level message\n" to the sink when level passes
+// the filter. Thread-safe; one line per call.
+void log(LogLevel level, std::string_view message);
+
+inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
+inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
+inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
+
+}  // namespace glva::util
+
+#endif  // GLVA_UTIL_LOG_H

@@ -1,0 +1,33 @@
+// Compiled with GLVA_NO_METRICS in every build (see CMakeLists.txt): this
+// TU exercises the full instrumentation surface against the no-op handles
+// so the kill-switch API cannot drift from the real one. It is never
+// executed — compiling is the test.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace glva::obs::smoke {
+
+std::string exercise_no_metrics_api(std::uint64_t n) {
+  static Counter& c = counter("smoke.counter");
+  c.add(n);
+  c.increment();
+
+  static Gauge& g = gauge("smoke.gauge");
+  g.set(static_cast<std::int64_t>(n));
+  g.add(-1);
+
+  static Histogram& h = histogram("smoke.histogram");
+  h.observe(static_cast<double>(n));
+  {
+    const ScopedLatency latency(h);
+  }
+
+  static_assert(!metrics_enabled(),
+                "this TU must be compiled with GLVA_NO_METRICS");
+  const Snapshot snap = snapshot();
+  return render_text(snap) + render_json(snap);
+}
+
+}  // namespace glva::obs::smoke

@@ -19,6 +19,7 @@
 
 #include "app/commands.h"
 #include "app/request.h"
+#include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
 #include "serve/result_cache.h"
@@ -596,6 +597,99 @@ TEST(ServeEndToEnd, StatusAndVersionOps) {
   ASSERT_TRUE(version.ok);
   EXPECT_NE(version.body.find("glva "), std::string::npos);
   EXPECT_NE(version.body.find("simd active:"), std::string::npos);
+}
+
+TEST(ServeEndToEnd, StatsOpReturnsMetricsSnapshot) {
+  Server server(small_server_options());
+  static_cast<void>(server.dispatch(analysis_payload(
+      "verify", "0x0B", {"--total-time", "400", "--no-timings"})));
+
+  const Json stats = glva::serve::parse_json(
+      server.dispatch(Json::object_of({{"op", Json::of("stats")}}).dump()));
+  ASSERT_NE(stats.find("ok"), nullptr);
+  EXPECT_TRUE(stats.find("ok")->boolean);
+  const Json* result = stats.find("result");
+  ASSERT_NE(result, nullptr);
+  ASSERT_TRUE(result->is_object());
+
+  // The schema is stable even under GLVA_NO_METRICS: every section is
+  // present, just empty, with metrics_enabled flagging the build.
+  const Json* enabled = result->find("metrics_enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_EQ(enabled->kind, Json::Kind::kBool);
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const Json* member = result->find(section);
+    ASSERT_NE(member, nullptr) << section;
+    EXPECT_TRUE(member->is_object()) << section;
+  }
+
+  if (glva::obs::metrics_enabled()) {
+    EXPECT_TRUE(enabled->boolean);
+    // Counters are process-global across tests, so assert presence and
+    // lower bounds rather than exact values.
+    const Json* counters = result->find("counters");
+    for (const char* name :
+         {"serve.requests.received", "serve.requests.executed",
+          "serve.cache.misses", "serve.cache.insertions"}) {
+      const Json* value = counters->find(name);
+      ASSERT_NE(value, nullptr) << name;
+      EXPECT_GE(std::stoull(value->number), 1u) << name;
+    }
+    const Json* verify_latency =
+        result->find("histograms")->find("serve.latency_us.verify");
+    ASSERT_NE(verify_latency, nullptr);
+    for (const char* field : {"count", "sum", "p50", "p95", "p99"}) {
+      EXPECT_NE(verify_latency->find(field), nullptr) << field;
+    }
+    EXPECT_GE(std::stoull(verify_latency->find("count")->number), 1u);
+  } else {
+    EXPECT_FALSE(enabled->boolean);
+  }
+}
+
+TEST(ServeEndToEnd, TraceFieldAttachesStageSpans) {
+  Server server(small_server_options());
+  const std::string payload =
+      Json::object_of(
+          {{"op", Json::of("verify")},
+           {"target", Json::of("0x0B")},
+           {"options", Json::array_of({Json::of("--total-time"),
+                                       Json::of("400"),
+                                       Json::of("--no-timings")})},
+           {"id", Json::of_u64(1)},
+           {"trace", Json::of(true)}})
+          .dump();
+
+  const Json first = glva::serve::parse_json(server.dispatch(payload));
+  ASSERT_NE(first.find("ok"), nullptr);
+  ASSERT_TRUE(first.find("ok")->boolean);
+  const Json* trace = first.find("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_TRUE(trace->is_array());
+  ASSERT_FALSE(trace->array.empty());
+  bool saw_simulate = false;
+  for (const Json& event : trace->array) {
+    ASSERT_TRUE(event.is_object());
+    const Json* name = event.find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->string == "simulate") saw_simulate = true;
+    ASSERT_NE(event.find("ph"), nullptr);
+    EXPECT_EQ(event.find("ph")->string, "X");
+  }
+  EXPECT_TRUE(saw_simulate);
+
+  // A cache hit runs nothing worth tracing: no trace member, body served
+  // from cache.
+  const Json second = glva::serve::parse_json(server.dispatch(payload));
+  ASSERT_TRUE(second.find("ok")->boolean);
+  EXPECT_TRUE(second.find("cached")->boolean);
+  EXPECT_EQ(second.find("trace"), nullptr);
+
+  // The wire schema rejects a non-boolean trace member.
+  const ParsedResponse bad = parse_response(server.dispatch(
+      "{\"op\":\"verify\",\"target\":\"0x0B\",\"trace\":\"yes\"}"));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error_kind, "protocol");
 }
 
 TEST(ServeEndToEnd, StoppedServerRejectsAsShuttingDown) {
