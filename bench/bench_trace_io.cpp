@@ -183,6 +183,10 @@ int main(int argc, char** argv) {
   cli.add_option("sink", "digitize", "mem | spill | digitize | all");
   cli.add_option("spill-dir", "",
                  "directory for .glvt files (default: <tmp>/glva-trace-io)");
+  cli.add_option("min-size-ratio", "0",
+                 "fail (exit 1) when the v1/v2 spill size ratio falls below "
+                 "this (0 = report only; the format section runs whenever "
+                 "the spill sink does)");
   cli.add_option("rss-budget-mb", "512",
                  "fail (exit 1) when peak RSS exceeds this many MiB "
                  "(checked only when timings are on)");
@@ -321,6 +325,70 @@ int main(int argc, char** argv) {
                 << "x (block over row)\n";
     }
     if (!replay_identical) rc = 1;
+
+    // Format comparison: the same samples re-spilled as .glvt v1 (raw time
+    // column) and v2 (implicit-grid kGrid sections). Sizes and the ratio
+    // are deterministic for a fixed seed, so the golden pins them; the
+    // write/replay timings show the v2 fast path (no time decode at all).
+    const auto respill = [&](std::uint32_t version, const std::string& name,
+                             double& write_seconds) {
+      const std::string path =
+          (std::filesystem::path(spill_dir) / name).string();
+      store::SpillSink::Options spill_options;
+      spill_options.seed = seed;
+      spill_options.sampling_period = sampling_period;
+      spill_options.format_version = version;
+      store::SpillSink sink(path, spill_options);
+      const auto start = std::chrono::steady_clock::now();
+      reader.replay(sink);
+      write_seconds = seconds_since(start);
+      return path;
+    };
+    double v1_write = 0.0;
+    double v2_write = 0.0;
+    const std::string v1_path = respill(1, "format_v1.glvt", v1_write);
+    const std::string v2_path =
+        respill(store::glvt::kVersion, "format_v2.glvt", v2_write);
+    const auto v1_size = std::filesystem::file_size(v1_path);
+    const auto v2_size = std::filesystem::file_size(v2_path);
+    const double ratio = v2_size > 0 ? static_cast<double>(v1_size) /
+                                           static_cast<double>(v2_size)
+                                     : 0.0;
+
+    const auto replay_planes = [&](const std::string& path,
+                                   double& replay_seconds) {
+      store::SpillReader format_reader(path);
+      store::DigitizingSink digitizer(tracked, threshold);
+      const auto start = std::chrono::steady_clock::now();
+      format_reader.replay(digitizer);
+      replay_seconds = seconds_since(start);
+      return digitizer.planes();
+    };
+    double v1_replay = 0.0;
+    double v2_replay = 0.0;
+    const bool formats_identical =
+        replay_planes(v1_path, v1_replay) == replay_planes(v2_path, v2_replay);
+
+    std::cout << "\n--- format: .glvt v1 vs v2 ---\n"
+              << "v1 size:    " << v1_size << " bytes (raw time column)\n"
+              << "v2 size:    " << v2_size << " bytes (implicit-grid times)\n"
+              << "ratio:      " << util::format_double(ratio, 2)
+              << "x smaller\n"
+              << "v1 and v2 replays digitize bit-identically: "
+              << (formats_identical ? "yes" : "NO") << "\n";
+    if (timings) {
+      std::cout << "write:      v1 " << util::format_double(v1_write, 3)
+                << " s, v2 " << util::format_double(v2_write, 3) << " s\n"
+                << "replay:     v1 " << util::format_double(v1_replay, 3)
+                << " s, v2 " << util::format_double(v2_replay, 3) << " s\n";
+    }
+    if (!formats_identical) rc = 1;
+    const double min_ratio = cli.get_double("min-size-ratio");
+    if (min_ratio > 0.0 && ratio < min_ratio) {
+      std::cout << "size ratio below --min-size-ratio "
+                << util::format_double(min_ratio, 2) << " -> FAIL\n";
+      rc = 1;
+    }
   }
 
   // Streaming-reduction ensemble: N digitize-sink replicates of the full

@@ -33,7 +33,8 @@ void add_analysis_options(util::CliParser& cli) {
                  "results; see docs/STORAGE.md)");
   cli.add_option("spill-dir", "",
                  "directory for .glvt spill files (required for --sink "
-                 "spill)");
+                 "spill; with --sink digitize, also writes a bit-plane "
+                 ".glvt artifact)");
   cli.add_flag("no-timings",
                "omit wall-clock lines from the report (byte-stable output "
                "for goldens, caching, and CLI/daemon identity)");

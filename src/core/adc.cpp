@@ -1,8 +1,10 @@
 #include "core/adc.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "logic/word_pack.h"
+#include "store/spill_reader.h"
 #include "util/errors.h"
 
 namespace glva::core {
@@ -113,6 +115,37 @@ PackedDigitalData take_digitized(store::DigitizingSink& sink,
     data.inputs.push_back(sink.take_plane(i));
   }
   data.output = sink.take_plane(input_count);
+  return data;
+}
+
+PackedDigitalData load_digitized(store::SpillReader& reader,
+                                 std::size_t input_count, double threshold) {
+  require_positive_threshold(threshold, "load_digitized");
+  // Bit comparison: the planes ARE the digitization — any threshold drift
+  // means they describe a different experiment, so there is no tolerance
+  // to apply.
+  std::uint64_t want_bits = 0;
+  std::uint64_t have_bits = 0;
+  const double have = reader.threshold();
+  std::memcpy(&want_bits, &threshold, sizeof want_bits);
+  std::memcpy(&have_bits, &have, sizeof have_bits);
+  if (want_bits != have_bits) {
+    throw InvalidArgument(
+        "load_digitized: file was digitized at a different threshold (" +
+        std::to_string(have) + " vs requested " + std::to_string(threshold) +
+        "): " + reader.path());
+  }
+  std::vector<logic::BitStream> planes = reader.read_planes();
+  if (planes.size() < input_count + 1) {
+    throw InvalidArgument(
+        "load_digitized: file tracks fewer species than inputs + output");
+  }
+  PackedDigitalData data;
+  data.inputs.reserve(input_count);
+  for (std::size_t i = 0; i < input_count; ++i) {
+    data.inputs.push_back(std::move(planes[i]));
+  }
+  data.output = std::move(planes[input_count]);
   return data;
 }
 

@@ -19,6 +19,10 @@
 /// stage). Both digitize identically bit for bit; see `docs/ANALYSIS.md`
 /// for the packed layout and `AnalysisBackend` in `logic_analyzer.h` for
 /// how a backend is selected.
+namespace glva::store {
+class SpillReader;  // store/spill_reader.h (load_digitized's source)
+}  // namespace glva::store
+
 namespace glva::core {
 
 /// Digitize one analog series: sample k is logic-1 iff analog[k] >=
@@ -94,5 +98,21 @@ struct PackedDigitalData {
 /// when the sink tracks fewer than input_count + 1 species.
 [[nodiscard]] PackedDigitalData take_digitized(store::DigitizingSink& sink,
                                                std::size_t input_count);
+
+/// Assemble the analyzer's input from a spilled bit-plane `.glvt` file
+/// (the `DigitizingSink` spill tee's artifact): `SpillReader::read_planes`
+/// hands the packed words back word-aligned, so the planes reach
+/// `analyze_packed` with no double materialization and no re-thresholding
+/// — bit-identical to the in-memory `take_digitized` handoff for the same
+/// run. Plane order follows the same convention (inputs MSB-first, then
+/// the output). `threshold` must bit-match the file header's recorded
+/// ThVAL: planes digitized at a different threshold are a different
+/// experiment, so a mismatch throws glva::InvalidArgument rather than
+/// silently relabeling them. Throws glva::StorageError for an analog file
+/// and glva::InvalidArgument when the file tracks fewer than
+/// input_count + 1 species.
+[[nodiscard]] PackedDigitalData load_digitized(store::SpillReader& reader,
+                                               std::size_t input_count,
+                                               double threshold);
 
 }  // namespace glva::core

@@ -61,9 +61,12 @@ EnsembleResult run_ensemble(const circuits::CircuitSpec& spec,
         GLVA_SPAN("replicate");
         ExperimentConfig replicate_config = config;
         replicate_config.seed = ensemble.replicate_seeds[r];
-        if (replicate_config.sink == store::SinkKind::kSpill) {
-          // One .glvt per replicate under spill_dir, named by replicate
-          // index and derived seed.
+        if (replicate_config.sink == store::SinkKind::kSpill ||
+            (replicate_config.sink == store::SinkKind::kDigitize &&
+             !replicate_config.spill_dir.empty())) {
+          // One .glvt per replicate under spill_dir (analog spill, or the
+          // digitize path's bit-plane artifact), named by replicate index
+          // and derived seed — parallel replicates must not share a file.
           replicate_config.spill_stem = spill_stem_for(spec, config) + "-r" +
                                         std::to_string(r);
         }

@@ -115,7 +115,24 @@ ExperimentResult run_experiment_digitize(const circuits::CircuitSpec& spec,
   tracked.push_back(spec.output_id);
 
   sim::VirtualLab lab = make_lab(spec, config);
-  store::DigitizingSink sink(std::move(tracked), config.threshold);
+  // With a spill directory, the digitized run also leaves a replayable
+  // bit-plane .glvt artifact (v2 kBits; ~64× smaller than an analog
+  // spill): core::load_digitized hands it back to analyze_packed later
+  // with no re-simulation and no re-thresholding.
+  store::DigitizingSink sink = [&] {
+    if (config.spill_dir.empty()) {
+      return store::DigitizingSink(std::move(tracked), config.threshold);
+    }
+    std::filesystem::create_directories(config.spill_dir);
+    store::DigitizingSink::SpillOptions spill;
+    spill.path = (std::filesystem::path(config.spill_dir) /
+                  (spill_stem_for(spec, config) + ".glvt"))
+                     .string();
+    spill.seed = config.seed;
+    spill.sampling_period = config.sampling_period;
+    return store::DigitizingSink(std::move(tracked), config.threshold,
+                                 std::move(spill));
+  }();
 
   const auto sim_start = std::chrono::steady_clock::now();
   sim::InputSchedule schedule = [&] {

@@ -44,6 +44,10 @@ struct ExperimentConfig {
   /// bit-identical analysis results for the same seed.
   store::SinkKind sink = store::SinkKind::kMemory;
   /// Directory for .glvt spill files; required when sink == kSpill.
+  /// Optional with kDigitize: when set, the run also streams its packed
+  /// planes into a bit-plane .glvt artifact (v2 kBits) that
+  /// core::load_digitized can replay into analyze_packed with no
+  /// re-simulation and no re-thresholding.
   std::string spill_dir;
   /// Spill filename stem override ("<stem>.glvt"); empty derives
   /// "<circuit>-s<seed>". Batch runners set it to keep per-job files

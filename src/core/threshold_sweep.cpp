@@ -20,7 +20,9 @@ ExperimentConfig point_config(const circuits::CircuitSpec& spec,
                               double threshold, std::size_t point) {
   ExperimentConfig config = base_config;
   config.threshold = threshold;
-  if (config.sink == store::SinkKind::kSpill) {
+  if (config.sink == store::SinkKind::kSpill ||
+      (config.sink == store::SinkKind::kDigitize &&
+       !config.spill_dir.empty())) {
     config.spill_stem =
         spill_stem_for(spec, base_config) + "-p" + std::to_string(point);
   }

@@ -41,19 +41,12 @@ sim::VirtualLab make_lab(const circuits::CircuitSpec& spec,
   return lab;
 }
 
-/// The mem/spill acquisition: materialize the sweep trace the same way
-/// run_experiment does (bit-identical for the same seed), keeping only
-/// what the monitor needs.
-sim::Trace acquire_trace(const circuits::CircuitSpec& spec,
-                         const core::ExperimentConfig& config) {
+/// The spill acquisition: stream the sweep to its .glvt (one file per
+/// replicate, same naming as the ensemble runner) and hand back the file
+/// path. What happens next depends on the backend — see run_one.
+std::string spill_sweep(const circuits::CircuitSpec& spec,
+                        const core::ExperimentConfig& config) {
   sim::VirtualLab lab = make_lab(spec, config);
-  if (config.sink == store::SinkKind::kMemory) {
-    return std::move(
-        lab.run_combination_sweep(config.total_time, config.high_level())
-            .trace);
-  }
-  // Spill: stream the sweep to its .glvt (one file per replicate, same
-  // naming as the ensemble runner), then re-materialize for digitization.
   std::filesystem::create_directories(config.spill_dir);
   const std::string path = (std::filesystem::path(config.spill_dir) /
                             (core::spill_stem_for(spec, config) + ".glvt"))
@@ -67,8 +60,7 @@ sim::Trace acquire_trace(const circuits::CircuitSpec& spec,
   static_cast<void>(
       lab.run_combination_sweep_into(config.total_time, config.high_level(),
                                      sink));
-  store::SpillReader reader(path);
-  return reader.read_all();
+  return path;
 }
 
 /// Packed evaluation of one replicate: one monitor pass per property,
@@ -189,7 +181,23 @@ CheckReplicate run_one(const circuits::CircuitSpec& spec,
     std::vector<std::string> tracked = spec.input_ids;
     tracked.push_back(spec.output_id);
     sim::VirtualLab lab = make_lab(spec, config);
-    store::DigitizingSink sink(std::move(tracked), config.threshold);
+    // With a spill directory, the digitized replicate also leaves a
+    // replayable bit-plane .glvt artifact, per-replicate stem — the same
+    // tee run_experiment's digitize path uses.
+    store::DigitizingSink sink = [&] {
+      if (config.spill_dir.empty()) {
+        return store::DigitizingSink(std::move(tracked), config.threshold);
+      }
+      std::filesystem::create_directories(config.spill_dir);
+      store::DigitizingSink::SpillOptions spill;
+      spill.path = (std::filesystem::path(config.spill_dir) /
+                    (core::spill_stem_for(spec, config) + ".glvt"))
+                       .string();
+      spill.seed = config.seed;
+      spill.sampling_period = config.sampling_period;
+      return store::DigitizingSink(std::move(tracked), config.threshold,
+                                   std::move(spill));
+    }();
     static_cast<void>(lab.run_combination_sweep_into(
         config.total_time, config.high_level(), sink));
     const core::PackedDigitalData data =
@@ -197,11 +205,36 @@ CheckReplicate run_one(const circuits::CircuitSpec& spec,
     return evaluate_packed_replicate(data, names, properties, config.seed);
   }
 
-  const sim::Trace trace = acquire_trace(spec, config);
   // Same auto-fallback as the analyzer: past the packed limit the 2^N
   // masks stop paying for themselves — the reference path is bit-identical.
   const bool packed = config.backend == core::AnalysisBackend::kPacked &&
                       spec.input_ids.size() <= core::kPackedAutoInputLimit;
+
+  if (config.sink == store::SinkKind::kSpill) {
+    const std::string path = spill_sweep(spec, config);
+    store::SpillReader reader(path);
+    if (packed) {
+      // Out of core: replay the spill chunk-by-chunk into the streaming
+      // ADC, so resident memory stays one chunk of doubles plus the bit
+      // planes — the full trace is never re-materialized. Bit-identical
+      // to digitizing a read_all() trace (the DigitizingSink contract).
+      std::vector<std::string> tracked = spec.input_ids;
+      tracked.push_back(spec.output_id);
+      store::DigitizingSink digitizer(std::move(tracked), config.threshold);
+      reader.replay(digitizer);
+      const core::PackedDigitalData data =
+          core::take_digitized(digitizer, spec.input_ids.size());
+      return evaluate_packed_replicate(data, names, properties, config.seed);
+    }
+    const sim::Trace trace = reader.read_all();
+    const core::DigitalData data = core::digitize(
+        trace, spec.input_ids, spec.output_id, config.threshold);
+    return evaluate_reference_replicate(data, names, properties, config.seed);
+  }
+
+  sim::VirtualLab lab = make_lab(spec, config);
+  const sim::Trace trace = std::move(
+      lab.run_combination_sweep(config.total_time, config.high_level()).trace);
   if (packed) {
     const core::PackedDigitalData data = core::digitize_packed(
         trace, spec.input_ids, spec.output_id, config.threshold);
@@ -281,7 +314,9 @@ CheckResult run_check(const circuits::CircuitSpec& spec,
       [&](std::size_t r) {
         core::ExperimentConfig replicate_config = config;
         replicate_config.seed = result.replicate_seeds[r];
-        if (replicate_config.sink == store::SinkKind::kSpill) {
+        if (replicate_config.sink == store::SinkKind::kSpill ||
+            (replicate_config.sink == store::SinkKind::kDigitize &&
+             !replicate_config.spill_dir.empty())) {
           replicate_config.spill_stem =
               core::spill_stem_for(spec, config) + "-r" + std::to_string(r);
         }

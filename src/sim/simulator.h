@@ -39,6 +39,14 @@ struct SimulationOptions {
 /// contract; the delivered samples are bit-identical to the historical
 /// row-at-a-time stream. The historical "materialize a Trace" behaviour is
 /// a `store::MemorySink` behind `StochasticSimulator::run`.
+///
+/// Grid contract: row k's time is computed as exactly
+/// `static_cast<double>(k) * sampling_period` (one multiply from the
+/// integer index — never an accumulated sum). The `.glvt` v2 writer
+/// relies on this to detect uniform time columns bit-for-bit and collapse
+/// them to an implicit-grid section (`glvt::SectionEncoding::kGrid`);
+/// change the arithmetic here and spills silently lose that compression
+/// (correctness is unaffected — the writer verifies before collapsing).
 class TraceSampler {
 public:
   /// Rows buffered per block flush. A multiple of 64 (the BitStream word

@@ -2,10 +2,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "logic/bit_stream.h"
+#include "store/glvt.h"
 #include "store/trace_sink.h"
 
 namespace glva::store {
@@ -28,10 +30,31 @@ namespace glva::store {
 /// stream is finished.
 class DigitizingSink final : public TraceSink {
 public:
+  /// Optional spill tee: when configured, the committed plane words are
+  /// also streamed chunk-wise into a v2 bit-plane `.glvt` file (header
+  /// `content_kind = kBits`, `kWords` sections — see `store/glvt.h`), so
+  /// a digitized run leaves a replayable artifact 64× smaller than the
+  /// analog spill. The words are written straight from the in-memory
+  /// planes — no re-encoding, no extra buffering — and `SpillReader::
+  /// read_planes` hands them back bit-identically with no re-thresholding.
+  struct SpillOptions {
+    std::string path;
+    /// Samples per chunk; must be a positive multiple of 64.
+    std::uint32_t chunk_samples = glvt::kDefaultChunkSamples;
+    /// Recorded in the header (self-describing file, like SpillSink's).
+    std::uint64_t seed = 0;
+    double sampling_period = 1.0;
+  };
+
   /// Track `species_ids` (any order, duplicates allowed — each entry gets
   /// its own plane) at ThVAL `threshold` (molecules, must be positive;
   /// throws glva::InvalidArgument otherwise).
   DigitizingSink(std::vector<std::string> species_ids, double threshold);
+
+  /// Same, with the spill tee enabled. Throws glva::InvalidArgument for a
+  /// bad chunk size or an empty path; the file is created in begin().
+  DigitizingSink(std::vector<std::string> species_ids, double threshold,
+                 SpillOptions spill);
 
   /// Resolves the tracked ids against the stream's species columns;
   /// throws glva::InvalidArgument for an unknown id.
@@ -45,9 +68,16 @@ public:
   void append_block(std::span<const double> times,
                     std::span<const std::span<const double>> series) override;
 
-  /// Commits the pending partial word of every plane. Planes are complete
-  /// (and word counts final) only after this.
+  /// Commits the pending partial word of every plane; with the spill tee,
+  /// also flushes the tail chunk, writes the chunk index, and finalizes
+  /// the `.glvt` file (throws glva::StorageError on write failure).
+  /// Planes are complete (and word counts final) only after this.
   void finish() override;
+
+  /// The spill tee's file path ("" when the tee is off).
+  [[nodiscard]] const std::string& spill_path() const noexcept {
+    return spill_.path;
+  }
 
   [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
   [[nodiscard]] const std::vector<std::string>& species_ids() const noexcept {
@@ -70,6 +100,11 @@ private:
   /// and 64 pending bits).
   void commit_words();
 
+  /// Stream every complete chunk of committed plane words to the spill
+  /// file; `final` also flushes the ragged tail chunk. No-op without the
+  /// tee.
+  void spill_chunks(bool final);
+
   std::vector<std::string> species_ids_;
   double threshold_;
   std::vector<std::size_t> columns_;  ///< tracked id -> species column
@@ -78,6 +113,14 @@ private:
   std::vector<std::uint64_t> pending_;  ///< one partial word per plane
   std::size_t samples_ = 0;  ///< total samples, committed + pending
   bool tail_committed_ = false;
+
+  // Spill tee state (inactive when spill_.path is empty).
+  SpillOptions spill_;
+  std::fstream spill_file_;
+  std::vector<std::uint64_t> spill_offsets_;  ///< chunk file offsets
+  std::uint64_t spilled_samples_ = 0;  ///< samples already on disk
+  std::uint64_t spill_write_offset_ = 0;
+  std::string spill_chunk_;  ///< chunk build buffer, reused
 };
 
 }  // namespace glva::store

@@ -126,4 +126,84 @@ std::vector<double> decode_section(std::string_view buffer,
   return values;
 }
 
+bool encode_time_section(const std::vector<double>& times,
+                         std::uint64_t first_sample, double sampling_period,
+                         std::string& out) {
+  bool grid = sampling_period > 0.0 && !times.empty();
+  for (std::size_t j = 0; grid && j < times.size(); ++j) {
+    // Bit comparison, not ==: the grid claim must survive replay exactly,
+    // and a NaN or -0.0 anywhere must force the fallback.
+    const double expected =
+        static_cast<double>(first_sample + j) * sampling_period;
+    grid = double_bits(times[j]) == double_bits(expected);
+  }
+  if (!grid) {
+    encode_section(times, out);
+    return false;
+  }
+  out.push_back(static_cast<char>(SectionEncoding::kGrid));
+  append_u32(out, sizeof(double));
+  append_f64(out, static_cast<double>(first_sample) * sampling_period);
+  return true;
+}
+
+void decode_time_section_into(std::string_view buffer, std::size_t& offset,
+                              std::size_t count, std::uint64_t first_sample,
+                              double sampling_period,
+                              std::vector<double>& values) {
+  if (offset >= buffer.size() ||
+      buffer[offset] != static_cast<char>(SectionEncoding::kGrid)) {
+    decode_section_into(buffer, offset, count, values);
+    return;
+  }
+  ++offset;  // tag
+  const auto payload_bytes =
+      read_pod<std::uint32_t>(buffer, offset, "glvt grid section");
+  if (payload_bytes != sizeof(double)) {
+    throw StorageError("glvt grid section: payload size mismatch");
+  }
+  const auto t0 = read_pod<double>(buffer, offset, "glvt grid section");
+  const double expected = static_cast<double>(first_sample) * sampling_period;
+  if (double_bits(t0) != double_bits(expected)) {
+    throw StorageError(
+        "glvt grid section: start time disagrees with the chunk position");
+  }
+  values.clear();
+  values.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    values.push_back(static_cast<double>(first_sample + j) * sampling_period);
+  }
+}
+
+void encode_words_section(const std::uint64_t* words, std::size_t word_count,
+                          std::string& out) {
+  out.push_back(static_cast<char>(SectionEncoding::kWords));
+  const std::size_t payload_bytes = word_count * sizeof(std::uint64_t);
+  append_u32(out, static_cast<std::uint32_t>(payload_bytes));
+  const std::size_t start = out.size();
+  out.resize(start + payload_bytes);
+  std::memcpy(out.data() + start, words, payload_bytes);
+}
+
+void decode_words_section(std::string_view buffer, std::size_t& offset,
+                          std::size_t word_count,
+                          std::vector<std::uint64_t>& words) {
+  const auto tag = read_pod<std::uint8_t>(buffer, offset, "glvt words section");
+  if (tag != static_cast<std::uint8_t>(SectionEncoding::kWords)) {
+    throw StorageError("glvt words section: unexpected encoding tag");
+  }
+  const auto payload_bytes =
+      read_pod<std::uint32_t>(buffer, offset, "glvt words section");
+  if (payload_bytes != word_count * sizeof(std::uint64_t)) {
+    throw StorageError("glvt words section: payload size mismatch");
+  }
+  if (buffer.size() - offset < payload_bytes) {
+    throw StorageError("glvt words section: truncated payload");
+  }
+  const std::size_t start = words.size();
+  words.resize(start + word_count);
+  std::memcpy(words.data() + start, buffer.data() + offset, payload_bytes);
+  offset += payload_bytes;
+}
+
 }  // namespace glva::store::glvt

@@ -13,9 +13,9 @@
 ///
 ///   header   magic "GLVT", version, seed, sampling_period,
 ///            species_count, chunk_capacity, sample_count, chunk_count,
-///            index_offset, species names
+///            index_offset, [v2: content_kind, threshold], species names
 ///   chunk i  "CHNK", samples n, then one *section* per column:
-///            times, species 0, species 1, ... (each raw or RLE)
+///            times, species 0, species 1, ... (each raw, RLE, or grid)
 ///   index    chunk_count × u64 absolute file offsets (at index_offset)
 ///
 /// Every chunk except the last holds exactly `chunk_capacity` samples, so
@@ -30,29 +30,56 @@
 /// which is what makes a spilled trace byte-for-byte reproducible and a
 /// re-materialized one bit-identical to the memory path.
 ///
+/// Version 2 extends the header with a content kind and ADC threshold and
+/// adds two section encodings: `kGrid` (a sampler-written uniform time
+/// grid collapses to its start time — the whole column is implied by
+/// `sample_index · sampling_period`) and `kWords` (packed 64-bit
+/// `BitStream` words — the chunk payload of a *digitized* file, written by
+/// `DigitizingSink` and handed back to the packed analyzer with no
+/// re-thresholding). Version 1 files carry neither and still decode byte
+/// for byte; writers can emit either version (`SpillSink::Options`).
+///
 /// See `docs/STORAGE.md` for the full layout diagram.
 namespace glva::store::glvt {
 
 inline constexpr char kMagic[4] = {'G', 'L', 'V', 'T'};
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;
+/// Oldest version the reader still decodes (byte-identically).
+inline constexpr std::uint32_t kMinVersion = 1;
 /// "CHNK" read as a little-endian u32.
 inline constexpr std::uint32_t kChunkMagic = 0x4B4E4843u;
 /// Default samples per chunk; must be a multiple of 64 (one chunk is then
 /// an integral number of BitStream words when replayed into the digitizer).
 inline constexpr std::uint32_t kDefaultChunkSamples = 4096;
-/// Byte length of the fixed header prefix (everything before the names).
+/// Byte length of the v1 fixed header prefix (everything before the names).
 inline constexpr std::size_t kHeaderFixedBytes = 56;
-/// File offsets of the three fields patched on finish.
+/// The v2 prefix appends content_kind (u32) and threshold (f64).
+inline constexpr std::size_t kHeaderFixedBytesV2 = 68;
+/// File offsets of the three fields patched on finish (same in v1 and v2:
+/// the v2 additions sit after index_offset).
 inline constexpr std::size_t kSampleCountOffset = 32;
 inline constexpr std::size_t kChunkCountOffset = 40;
 inline constexpr std::size_t kIndexOffsetOffset = 48;
 
+/// What a v2 file's chunk sections carry. `kAnalog` files hold one f64
+/// column per species (plus times); `kBits` files hold one packed bit
+/// plane per tracked species, thresholded at the header's threshold — the
+/// spilled form of `DigitizingSink`'s planes. v1 files are always analog.
+enum class ContentKind : std::uint32_t { kAnalog = 0, kBits = 1 };
+
 /// Per-section payload encodings. RLE runs over *bit-identical* doubles
 /// (compared as their 8-byte patterns, so NaNs and signed zeros round-trip
 /// exactly): clamped input species and low-copy-number amounts compress by
-/// orders of magnitude, while times — a strictly increasing grid — always
-/// fall back to raw.
-enum class SectionEncoding : std::uint8_t { kRaw = 0, kRle = 1 };
+/// orders of magnitude. Times — a strictly increasing grid — never RLE;
+/// in v1 they land raw (8 bytes/sample), in v2 a sampler-written uniform
+/// grid collapses to `kGrid` (8 bytes/chunk). `kWords` is the packed
+/// bit-plane payload of a `kBits` file; v2-only, like `kGrid`.
+enum class SectionEncoding : std::uint8_t {
+  kRaw = 0,
+  kRle = 1,
+  kGrid = 2,
+  kWords = 3
+};
 
 // Little bump allocators over std::string (the chunk build buffer).
 void append_u32(std::string& out, std::uint32_t value);
@@ -79,5 +106,44 @@ void encode_section(const std::vector<double>& values, std::string& out);
 /// no per-chunk allocations after the first. Same error contract.
 void decode_section_into(std::string_view buffer, std::size_t& offset,
                          std::size_t count, std::vector<double>& values);
+
+/// Encode a v2 time column. When every value is bit-identical to
+/// `(first_sample + j) · sampling_period` — exactly how `sim::TraceSampler`
+/// computes its grid — the column collapses to a `kGrid` section whose
+/// 8-byte payload is the chunk's start time t0 = first_sample ·
+/// sampling_period (redundant with the chunk index, kept as a corruption
+/// check); any other producer falls back to `encode_section`. Returns true
+/// when the grid form was used (the ~10× size win `spill.bytes_saved`
+/// counts).
+bool encode_time_section(const std::vector<double>& times,
+                         std::uint64_t first_sample, double sampling_period,
+                         std::string& out);
+
+/// Decode a v2 time column: a `kGrid` section is reconstructed as
+/// `(first_sample + j) · sampling_period` without touching any per-sample
+/// bytes (after validating the stored t0 bit-matches); raw/RLE sections
+/// delegate to `decode_section_into`. Throws glva::StorageError on a
+/// malformed grid payload or a t0 that disagrees with the chunk's
+/// position — a mis-indexed or corrupt grid chunk, not a decodable one.
+void decode_time_section_into(std::string_view buffer, std::size_t& offset,
+                              std::size_t count, std::uint64_t first_sample,
+                              double sampling_period,
+                              std::vector<double>& values);
+
+/// Encode one bit-plane section of a `kBits` chunk: a `kWords` tag and the
+/// plane's packed words verbatim (`word_count` = ceil(samples / 64), tail
+/// bits zero per the BitStream invariant) — one memcpy from
+/// `BitStream::words()`, no per-sample work.
+void encode_words_section(const std::uint64_t* words, std::size_t word_count,
+                          std::string& out);
+
+/// Decode one `kWords` section of exactly `word_count` words, *appending*
+/// to `words` (planes accumulate across chunks; chunk capacities are
+/// multiples of 64, so every chunk boundary is a word boundary). Throws
+/// glva::StorageError on a non-kWords tag or a payload that is not exactly
+/// `word_count · 8` bytes.
+void decode_words_section(std::string_view buffer, std::size_t& offset,
+                          std::size_t word_count,
+                          std::vector<std::uint64_t>& words);
 
 }  // namespace glva::store::glvt

@@ -58,10 +58,10 @@ SpillReader::SpillReader(std::string path) : path_(std::move(path)) {
     throw StorageError("SpillReader: not a .glvt file (bad magic): " + path_);
   }
   offset += sizeof glvt::kMagic;
-  const auto version = take<std::uint32_t>(header, offset);
-  if (version != glvt::kVersion) {
+  version_ = take<std::uint32_t>(header, offset);
+  if (version_ < glvt::kMinVersion || version_ > glvt::kVersion) {
     throw StorageError("SpillReader: unsupported .glvt version " +
-                       std::to_string(version) + ": " + path_);
+                       std::to_string(version_) + ": " + path_);
   }
   seed_ = take<std::uint64_t>(header, offset);
   sampling_period_ = take<double>(header, offset);
@@ -70,6 +70,28 @@ SpillReader::SpillReader(std::string path) : path_(std::move(path)) {
   sample_count_ = take<std::uint64_t>(header, offset);
   const auto chunk_count = take<std::uint64_t>(header, offset);
   index_offset_ = take<std::uint64_t>(header, offset);
+
+  if (version_ >= 2) {
+    // The v2 header tail: what the chunks carry, and the ADC threshold a
+    // bit-plane file was digitized at.
+    if (file_size < glvt::kHeaderFixedBytesV2) {
+      throw StorageError("SpillReader: truncated header: " + path_);
+    }
+    const std::string tail = read_bytes(
+        file_, glvt::kHeaderFixedBytesV2 - glvt::kHeaderFixedBytes, "header");
+    std::size_t tail_offset = 0;
+    const auto content = take<std::uint32_t>(tail, tail_offset);
+    if (content > static_cast<std::uint32_t>(glvt::ContentKind::kBits)) {
+      throw StorageError("SpillReader: unknown content kind: " + path_);
+    }
+    content_kind_ = static_cast<glvt::ContentKind>(content);
+    threshold_ = take<double>(tail, tail_offset);
+    if (content_kind_ == glvt::ContentKind::kBits && !(threshold_ > 0.0)) {
+      throw StorageError(
+          "SpillReader: bit-plane file with a non-positive threshold: " +
+          path_);
+    }
+  }
 
   if (index_offset_ == 0) {
     throw StorageError(
@@ -157,7 +179,23 @@ std::string_view SpillReader::file_bytes(std::uint64_t begin,
   return chunk_buffer_;
 }
 
+void SpillReader::require_content(glvt::ContentKind want,
+                                  const char* api) const {
+  if (content_kind_ == want) return;
+  if (want == glvt::ContentKind::kAnalog) {
+    throw StorageError(std::string("SpillReader::") + api +
+                       ": bit-plane file holds no analog samples "
+                       "(use read_planes): " +
+                       path_);
+  }
+  throw StorageError(std::string("SpillReader::") + api +
+                     ": analog file holds no bit planes "
+                     "(replay into a DigitizingSink instead): " +
+                     path_);
+}
+
 void SpillReader::read_chunk_into(std::size_t index, Chunk& chunk) {
+  require_content(glvt::ContentKind::kAnalog, "read_chunk");
   if (index >= chunk_offsets_.size()) {
     throw InvalidArgument("SpillReader::read_chunk: index out of range");
   }
@@ -182,7 +220,12 @@ void SpillReader::read_chunk_into(std::size_t index, Chunk& chunk) {
 
   chunk.first_sample =
       static_cast<std::uint64_t>(index) * chunk_capacity_;
-  glvt::decode_section_into(bytes, offset, samples, chunk.times);
+  if (version_ >= 2) {
+    glvt::decode_time_section_into(bytes, offset, samples, chunk.first_sample,
+                                   sampling_period_, chunk.times);
+  } else {
+    glvt::decode_section_into(bytes, offset, samples, chunk.times);
+  }
   chunk.series.resize(species_names_.size());
   for (std::size_t s = 0; s < species_names_.size(); ++s) {
     glvt::decode_section_into(bytes, offset, samples, chunk.series[s]);
@@ -199,6 +242,7 @@ SpillReader::Chunk SpillReader::read_chunk(std::size_t index) {
 }
 
 void SpillReader::replay(TraceSink& sink) {
+  require_content(glvt::ContentKind::kAnalog, "replay");
   sink.begin(species_names_);
   Chunk chunk;  // decode buffers reused across every chunk
   std::vector<std::span<const double>> columns(species_names_.size());
@@ -213,10 +257,13 @@ void SpillReader::replay(TraceSink& sink) {
 }
 
 void SpillReader::replay_rows(TraceSink& sink) {
-  // The pre-block-path replay, preserved verbatim as the reference the
-  // block path must be bit-identical to and the baseline `bench_trace_io`
-  // measures against: buffered ifstream reads (no mapping), a freshly
-  // allocated decode per chunk, and one append per sample row.
+  // The pre-block-path replay, preserved as the reference the block path
+  // must be bit-identical to and the baseline `bench_trace_io` measures
+  // against: buffered ifstream reads (no mapping), a freshly allocated
+  // decode per chunk, and one append per sample row. (Time decode is
+  // version-dispatched like the block path — a v2 grid column must
+  // reconstruct identically whichever replay runs.)
+  require_content(glvt::ContentKind::kAnalog, "replay_rows");
   sink.begin(species_names_);
   std::vector<double> row(species_names_.size());
   for (std::size_t c = 0; c < chunk_offsets_.size(); ++c) {
@@ -241,8 +288,15 @@ void SpillReader::replay_rows(TraceSink& sink) {
     if (samples == 0 || samples > chunk_capacity_) {
       throw StorageError("SpillReader: corrupt chunk sample count: " + path_);
     }
-    const std::vector<double> times =
-        glvt::decode_section(buffer, offset, samples);
+    std::vector<double> times;
+    if (version_ >= 2) {
+      glvt::decode_time_section_into(
+          buffer, offset, samples,
+          static_cast<std::uint64_t>(c) * chunk_capacity_, sampling_period_,
+          times);
+    } else {
+      glvt::decode_section_into(buffer, offset, samples, times);
+    }
     std::vector<std::vector<double>> series;
     series.reserve(species_names_.size());
     for (std::size_t s = 0; s < species_names_.size(); ++s) {
@@ -268,7 +322,65 @@ sim::Trace SpillReader::read_all() {
   return sink.take();
 }
 
+std::vector<logic::BitStream> SpillReader::read_planes() {
+  require_content(glvt::ContentKind::kBits, "read_planes");
+  const std::size_t total_words =
+      static_cast<std::size_t>((sample_count_ + 63) / 64);
+  std::vector<std::vector<std::uint64_t>> words(species_names_.size());
+  for (auto& plane : words) plane.reserve(total_words);
+
+  std::uint64_t seen = 0;
+  for (std::size_t c = 0; c < chunk_offsets_.size(); ++c) {
+    const std::uint64_t begin = chunk_offsets_[c];
+    const std::uint64_t end = c + 1 < chunk_offsets_.size()
+                                  ? chunk_offsets_[c + 1]
+                                  : index_offset_;
+    if (end <= begin) {
+      throw StorageError("SpillReader: corrupt chunk index: " + path_);
+    }
+    const std::string_view bytes = file_bytes(begin, end);
+
+    std::size_t offset = 0;
+    if (bytes.size() < 2 * sizeof(std::uint32_t) ||
+        take<std::uint32_t>(bytes, offset) != glvt::kChunkMagic) {
+      throw StorageError("SpillReader: bad chunk magic: " + path_);
+    }
+    const auto samples = take<std::uint32_t>(bytes, offset);
+    // Planes concatenate across chunks, so every chunk but the last must
+    // be exactly full — a short interior chunk would shift every later
+    // sample (the analog replay tolerates it; word alignment cannot).
+    const bool last = c + 1 == chunk_offsets_.size();
+    if (samples == 0 || samples > chunk_capacity_ ||
+        (!last && samples != chunk_capacity_)) {
+      throw StorageError("SpillReader: corrupt chunk sample count: " + path_);
+    }
+    const std::size_t chunk_words = (samples + 63) / 64;
+    for (std::size_t s = 0; s < species_names_.size(); ++s) {
+      glvt::decode_words_section(bytes, offset, chunk_words, words[s]);
+    }
+    if (offset != bytes.size()) {
+      throw StorageError("SpillReader: trailing bytes in chunk: " + path_);
+    }
+    seen += samples;
+  }
+  if (seen != sample_count_) {
+    throw StorageError(
+        "SpillReader: chunk samples do not cover the header count: " + path_);
+  }
+
+  std::vector<logic::BitStream> planes;
+  planes.reserve(words.size());
+  for (auto& plane : words) {
+    // from_words re-masks the tail word, so a corrupt tail cannot break
+    // the BitStream zero-tail invariant downstream kernels rely on.
+    planes.push_back(logic::BitStream::from_words(
+        static_cast<std::size_t>(sample_count_), std::move(plane)));
+  }
+  return planes;
+}
+
 void SpillReader::write_csv(std::ostream& out) {
+  require_content(glvt::ContentKind::kAnalog, "write_csv");
   {
     util::CsvWriter header;
     std::vector<std::string> fields{"time"};

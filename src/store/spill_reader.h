@@ -7,7 +7,9 @@
 #include <string_view>
 #include <vector>
 
+#include "logic/bit_stream.h"
 #include "sim/trace.h"
+#include "store/glvt.h"
 #include "store/trace_sink.h"
 
 namespace glva::store {
@@ -18,6 +20,14 @@ namespace glva::store {
 /// either chunk-at-a-time (`read_chunk`, `replay` — bounded memory) or
 /// all at once (`read_all` — re-materializes the `sim::Trace` for the
 /// figure renderers and the reference analysis path).
+///
+/// Both on-disk versions decode here: v1 files replay byte-identically to
+/// what they always did, v2 analog files reconstruct `kGrid` time columns
+/// arithmetically (no per-sample decode), and v2 *bit-plane* files
+/// (`content_kind() == kBits`) hand their packed words back through
+/// `read_planes()` — word-aligned, never re-thresholded. The analog APIs
+/// (`replay`, `read_all`, `read_chunk`, `write_csv`) reject bit-plane
+/// files with glva::StorageError, and vice versa.
 ///
 /// On POSIX targets the file is memory-mapped read-only and chunks decode
 /// straight out of the mapping (no read() copy per chunk — page-cache
@@ -65,6 +75,16 @@ public:
     return sampling_period_;
   }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  /// On-disk format version (1 or 2).
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  /// What the chunks carry; v1 files are always analog.
+  [[nodiscard]] glvt::ContentKind content_kind() const noexcept {
+    return content_kind_;
+  }
+  /// The ADC threshold a bit-plane file was digitized at (0.0 for analog
+  /// files — the field exists so a replay can refuse a threshold
+  /// mismatch instead of silently re-labelling planes).
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
 
   /// Decode chunk `index`. Throws glva::InvalidArgument for an
   /// out-of-range index and glva::StorageError for a corrupt chunk.
@@ -93,6 +113,15 @@ public:
   /// Re-materialize the full trace (replay into a MemorySink).
   [[nodiscard]] sim::Trace read_all();
 
+  /// Reassemble a bit-plane file's packed planes, one `BitStream` per
+  /// tracked species (in `species_names()` order): chunk word payloads are
+  /// concatenated with bulk copies — chunk capacities are multiples of 64,
+  /// so every chunk boundary is a word boundary and the planes come back
+  /// word-aligned, bit-identical to the `DigitizingSink` planes that were
+  /// spilled. Throws glva::StorageError on an analog file or a corrupt
+  /// chunk.
+  [[nodiscard]] std::vector<logic::BitStream> read_planes();
+
   /// Stream the trace as CSV, byte-identical to `sim::Trace::to_csv()` on
   /// the re-materialized trace, without holding more than one chunk.
   void write_csv(std::ostream& out);
@@ -103,6 +132,10 @@ private:
   [[nodiscard]] std::string_view file_bytes(std::uint64_t begin,
                                             std::uint64_t end);
 
+  /// Throw glva::StorageError unless the file's content kind is `want` —
+  /// the analog/bit-plane API guard.
+  void require_content(glvt::ContentKind want, const char* api) const;
+
   std::string path_;
   std::ifstream file_;
   std::vector<std::string> species_names_;
@@ -112,6 +145,9 @@ private:
   std::uint32_t chunk_capacity_ = 0;
   double sampling_period_ = 1.0;
   std::uint64_t seed_ = 0;
+  std::uint32_t version_ = 0;
+  glvt::ContentKind content_kind_ = glvt::ContentKind::kAnalog;
+  double threshold_ = 0.0;
   std::string chunk_buffer_;  ///< raw chunk bytes, reused across reads
   const char* map_ = nullptr;  ///< read-only file mapping (POSIX), or null
   std::size_t map_size_ = 0;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -268,7 +269,11 @@ TEST(Spill, RejectsUnsupportedVersion) {
   stream_trace(synthetic_trace(10), sink);
 
   std::string bytes = read_file_bytes(path);
-  bytes[4] = 99;  // version field
+  bytes[4] = 99;  // version field, above kVersion
+  std::ofstream(path, std::ios::binary) << bytes;
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+
+  bytes[4] = 0;  // below kMinVersion
   std::ofstream(path, std::ios::binary) << bytes;
   EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
 }
@@ -309,7 +314,7 @@ TEST(Spill, RejectsOversizedHeaderFields) {
   // reader trusts it with an allocation.
   std::string huge_name = bytes;
   for (std::size_t b = 0; b < 4; ++b) {
-    huge_name[store::glvt::kHeaderFixedBytes + b] = '\xff';
+    huge_name[store::glvt::kHeaderFixedBytesV2 + b] = '\xff';
   }
   std::ofstream(path, std::ios::binary) << huge_name;
   EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
@@ -334,7 +339,7 @@ TEST(Spill, RejectsCorruptChunkMagic) {
 
   // The first chunk starts right after the header: fixed prefix + one
   // (u32 length + bytes) record per species name.
-  std::size_t chunk_offset = store::glvt::kHeaderFixedBytes;
+  std::size_t chunk_offset = store::glvt::kHeaderFixedBytesV2;
   for (const auto& name : trace.species_names()) {
     chunk_offset += sizeof(std::uint32_t) + name.size();
   }
@@ -370,6 +375,378 @@ TEST(Spill, GoldenFileBytesAreStable) {
          "changed intentionally (and bump glvt::kVersion)";
   EXPECT_TRUE(generated == golden)
       << "byte-level .glvt drift — bump glvt::kVersion on format changes";
+}
+
+// ------------------------------------------------ v2 grid/words sections
+
+TEST(GlvtCodec, UniformGridCollapsesToGridSection) {
+  std::vector<double> times;
+  for (std::size_t j = 0; j < 128; ++j) {
+    times.push_back(static_cast<double>(64 + j) * 0.5);
+  }
+  std::string buffer;
+  EXPECT_TRUE(store::glvt::encode_time_section(times, 64, 0.5, buffer));
+  EXPECT_EQ(buffer.size(), 1u + 4u + 8u);  // tag + length + t0, per chunk
+
+  std::vector<double> decoded;
+  std::size_t offset = 0;
+  store::glvt::decode_time_section_into(buffer, offset, times.size(), 64, 0.5,
+                                        decoded);
+  EXPECT_EQ(offset, buffer.size());
+  EXPECT_EQ(decoded, times);
+}
+
+TEST(GlvtCodec, OffGridTimesFallBackToSectionEncoding) {
+  const std::vector<double> times = {0.0, 0.5, 1.01, 1.5};  // one off-grid
+  std::string buffer;
+  EXPECT_FALSE(store::glvt::encode_time_section(times, 0, 0.5, buffer));
+
+  std::vector<double> decoded;
+  std::size_t offset = 0;
+  store::glvt::decode_time_section_into(buffer, offset, times.size(), 0, 0.5,
+                                        decoded);
+  EXPECT_EQ(decoded, times);
+}
+
+TEST(GlvtCodec, GridDecodeRejectsMismatchedStartTime) {
+  std::vector<double> times;
+  for (std::size_t j = 0; j < 64; ++j) {
+    times.push_back(static_cast<double>(64 + j) * 0.5);
+  }
+  std::string buffer;
+  ASSERT_TRUE(store::glvt::encode_time_section(times, 64, 0.5, buffer));
+
+  // Decoding the same bytes as if the chunk sat elsewhere in the file must
+  // fail the stored-t0 cross-check, not silently relabel the samples.
+  std::vector<double> decoded;
+  std::size_t offset = 0;
+  EXPECT_THROW(store::glvt::decode_time_section_into(buffer, offset, 64, 128,
+                                                     0.5, decoded),
+               StorageError);
+
+  // A truncated grid payload is rejected too.
+  const std::string truncated = buffer.substr(0, buffer.size() - 4);
+  offset = 0;
+  EXPECT_THROW(store::glvt::decode_time_section_into(truncated, offset, 64,
+                                                     64, 0.5, decoded),
+               StorageError);
+}
+
+TEST(GlvtCodec, WordsSectionRoundTripAndErrors) {
+  const std::vector<std::uint64_t> words = {0x0123456789ABCDEFull, 0xFFull};
+  std::string buffer;
+  store::glvt::encode_words_section(words.data(), words.size(), buffer);
+
+  std::vector<std::uint64_t> decoded;
+  std::size_t offset = 0;
+  store::glvt::decode_words_section(buffer, offset, words.size(), decoded);
+  EXPECT_EQ(offset, buffer.size());
+  EXPECT_EQ(decoded, words);
+
+  // Payload size disagreeing with the expected word count.
+  offset = 0;
+  std::vector<std::uint64_t> scratch;
+  EXPECT_THROW(
+      store::glvt::decode_words_section(buffer, offset, words.size() + 1,
+                                        scratch),
+      StorageError);
+
+  // A non-kWords tag where a bit-plane section is required.
+  std::string bad_tag = buffer;
+  bad_tag[0] = 0;  // kRaw
+  offset = 0;
+  EXPECT_THROW(
+      store::glvt::decode_words_section(bad_tag, offset, words.size(),
+                                        scratch),
+      StorageError);
+
+  // Truncation inside the payload.
+  const std::string truncated = buffer.substr(0, buffer.size() - 1);
+  offset = 0;
+  EXPECT_THROW(
+      store::glvt::decode_words_section(truncated, offset, words.size(),
+                                        scratch),
+      StorageError);
+}
+
+// ------------------------------------------------ v1 backward compatibility
+
+TEST(SpillV1, GoldenV1FixtureStillDecodesBitForBit) {
+  const fs::path v1_path = fs::path(GLVA_GOLDEN_DIR) / "spill_fixed_v1.glvt";
+  store::SpillReader reader(v1_path.string());
+  EXPECT_EQ(reader.version(), 1u);
+  EXPECT_EQ(reader.content_kind(), store::glvt::ContentKind::kAnalog);
+  EXPECT_EQ(reader.threshold(), 0.0);
+  EXPECT_EQ(reader.sample_count(), 150u);
+  expect_traces_identical(synthetic_trace(150), reader.read_all());
+}
+
+TEST(SpillV1, V1WriterReproducesV1GoldenBytes) {
+  // format_version = 1 must keep emitting the legacy layout byte for byte
+  // (the compat contract the CI size-ratio smoke also leans on).
+  const fs::path path = temp_path("v1_rewrite.glvt");
+  store::SpillSink::Options options;
+  options.chunk_samples = 64;
+  options.seed = 123;
+  options.sampling_period = 0.5;
+  options.format_version = 1;
+  store::SpillSink sink(path.string(), options);
+  stream_trace(synthetic_trace(150), sink);
+
+  EXPECT_TRUE(read_file_bytes(path) ==
+              read_file_bytes(fs::path(GLVA_GOLDEN_DIR) /
+                              "spill_fixed_v1.glvt"))
+      << "v1 writer drifted from the checked-in v1 fixture";
+}
+
+TEST(SpillV1, V1ToV2UpgradeReplayMatchesV2Golden) {
+  // Replaying the v1 fixture through a v2 sink is the upgrade path; its
+  // bytes must equal the freshly written v2 golden exactly (same samples,
+  // same parameters — only the container version differs).
+  const fs::path v1_path = fs::path(GLVA_GOLDEN_DIR) / "spill_fixed_v1.glvt";
+  store::SpillReader v1(v1_path.string());
+
+  const fs::path upgraded = temp_path("upgraded_v2.glvt");
+  store::SpillSink::Options options;
+  options.chunk_samples = v1.chunk_capacity();
+  options.seed = v1.seed();
+  options.sampling_period = v1.sampling_period();
+  store::SpillSink sink(upgraded.string(), options);
+  v1.replay(sink);
+
+  EXPECT_TRUE(read_file_bytes(upgraded) ==
+              read_file_bytes(fs::path(GLVA_GOLDEN_DIR) / "spill_fixed.glvt"));
+}
+
+TEST(SpillV1, V2GoldenIsGridCompressed) {
+  const fs::path v2_path = fs::path(GLVA_GOLDEN_DIR) / "spill_fixed.glvt";
+  store::SpillReader reader(v2_path.string());
+  EXPECT_EQ(reader.version(), store::glvt::kVersion);
+  // The whole point of kGrid: the same trace, meaningfully smaller (the
+  // time column was most of the v1 file).
+  EXPECT_LT(fs::file_size(v2_path),
+            fs::file_size(fs::path(GLVA_GOLDEN_DIR) / "spill_fixed_v1.glvt"));
+  expect_traces_identical(synthetic_trace(150), reader.read_all());
+}
+
+TEST(SpillV1, RejectsUnwritableFormatVersion) {
+  store::SpillSink::Options options;
+  options.chunk_samples = 64;
+  options.format_version = 3;
+  EXPECT_THROW(store::SpillSink("x.glvt", options), InvalidArgument);
+  options.format_version = 0;
+  EXPECT_THROW(store::SpillSink("x.glvt", options), InvalidArgument);
+}
+
+// ---------------------------------------------------- v2 file error paths
+
+TEST(SpillV2, RejectsCorruptGridStartTime) {
+  // Write a genuinely grid-compressed v2 file (times on the sink's
+  // sampling grid), then flip a byte of the first chunk's stored t0: the
+  // header and index stay valid, the chunk decode must throw.
+  const fs::path path = temp_path("bad_grid.glvt");
+  store::SpillSink::Options options;
+  options.chunk_samples = 64;
+  options.sampling_period = 0.5;
+  store::SpillSink sink(path.string(), options);
+  stream_trace(synthetic_trace(100), sink);
+
+  std::size_t chunk_offset = store::glvt::kHeaderFixedBytesV2;
+  for (const std::string name : {"A", "B", "GFP"}) {
+    chunk_offset += sizeof(std::uint32_t) + name.size();
+  }
+  // Chunk layout: magic u32, samples u32, then the time section's
+  // tag u8 + payload length u32 + t0 f64.
+  const std::size_t t0_offset = chunk_offset + 4 + 4 + 1 + 4;
+  std::string bytes = read_file_bytes(path);
+  ASSERT_EQ(static_cast<store::glvt::SectionEncoding>(
+                bytes[chunk_offset + 8]),
+            store::glvt::SectionEncoding::kGrid);
+  bytes[t0_offset + 3] ^= 0x40;
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  store::SpillReader reader(path.string());
+  EXPECT_THROW((void)reader.read_chunk(0), StorageError);
+}
+
+TEST(SpillV2, RejectsBadContentKindAndThresholdFields) {
+  const fs::path path = temp_path("bad_content.glvt");
+  store::SpillSink sink(path.string(), {.chunk_samples = 64});
+  stream_trace(synthetic_trace(10), sink);
+  const std::string bytes = read_file_bytes(path);
+
+  // An unknown content kind (the u32 right after index_offset).
+  std::string bad_kind = bytes;
+  bad_kind[store::glvt::kIndexOffsetOffset + 8] = 7;
+  std::ofstream(path, std::ios::binary) << bad_kind;
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+
+  // A kBits file whose threshold field is zero is self-contradictory.
+  std::string bits_no_threshold = bytes;
+  bits_no_threshold[store::glvt::kIndexOffsetOffset + 8] = 1;  // kBits
+  std::ofstream(path, std::ios::binary) << bits_no_threshold;
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
+}
+
+// ------------------------------------------------------- bit-plane spills
+
+store::DigitizingSink::SpillOptions plane_spill(const fs::path& path) {
+  store::DigitizingSink::SpillOptions spill;
+  spill.path = path.string();
+  spill.chunk_samples = 64;
+  spill.seed = 9;
+  spill.sampling_period = 0.5;
+  return spill;
+}
+
+TEST(BitPlaneSpill, RoundTripMatchesInMemoryPlanes) {
+  const sim::Trace trace = synthetic_trace(300);
+  const fs::path path = temp_path("planes.glvt");
+  store::DigitizingSink sink({"A", "B", "GFP"}, 15.0, plane_spill(path));
+  EXPECT_EQ(sink.spill_path(), path.string());
+  stream_trace(trace, sink);
+
+  store::SpillReader reader(path.string());
+  EXPECT_EQ(reader.version(), store::glvt::kVersion);
+  EXPECT_EQ(reader.content_kind(), store::glvt::ContentKind::kBits);
+  EXPECT_EQ(reader.threshold(), 15.0);
+  EXPECT_EQ(reader.species_names(),
+            (std::vector<std::string>{"A", "B", "GFP"}));
+  EXPECT_EQ(reader.sample_count(), 300u);
+
+  const std::vector<logic::BitStream> planes = reader.read_planes();
+  ASSERT_EQ(planes.size(), 3u);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(planes[p], sink.planes()[p]) << "plane " << p;
+  }
+
+  // The analog APIs refuse a bit-plane file (and name the mismatch).
+  EXPECT_THROW((void)reader.read_all(), StorageError);
+  store::MemorySink memory;
+  EXPECT_THROW(reader.replay(memory), StorageError);
+  std::ostringstream csv;
+  EXPECT_THROW(reader.write_csv(csv), StorageError);
+}
+
+TEST(BitPlaneSpill, RoundTripFuzzAcrossSizes) {
+  // Ragged tails, exact word/chunk boundaries, empty stream.
+  for (const std::size_t samples : {0u, 1u, 63u, 64u, 65u, 129u, 1000u}) {
+    const sim::Trace trace = synthetic_trace(samples);
+    const fs::path path =
+        temp_path("planes_fuzz_" + std::to_string(samples) + ".glvt");
+    store::DigitizingSink sink({"GFP", "A"}, 10.0, plane_spill(path));
+    stream_trace(trace, sink);
+
+    store::SpillReader reader(path.string());
+    ASSERT_EQ(reader.sample_count(), samples);
+    const std::vector<logic::BitStream> planes = reader.read_planes();
+    ASSERT_EQ(planes.size(), 2u);
+    EXPECT_EQ(planes[0], sink.planes()[0]) << samples << " samples";
+    EXPECT_EQ(planes[1], sink.planes()[1]) << samples << " samples";
+  }
+}
+
+TEST(BitPlaneSpill, LoadDigitizedMatchesTakeDigitized) {
+  const sim::Trace trace = synthetic_trace(500);
+  const fs::path path = temp_path("planes_load.glvt");
+  store::DigitizingSink sink({"A", "B", "GFP"}, 15.0, plane_spill(path));
+  stream_trace(trace, sink);
+  const core::PackedDigitalData direct = core::take_digitized(sink, 2);
+
+  store::SpillReader reader(path.string());
+  const core::PackedDigitalData loaded = core::load_digitized(reader, 2, 15.0);
+  ASSERT_EQ(loaded.inputs.size(), direct.inputs.size());
+  EXPECT_EQ(loaded.inputs[0], direct.inputs[0]);
+  EXPECT_EQ(loaded.inputs[1], direct.inputs[1]);
+  EXPECT_EQ(loaded.output, direct.output);
+
+  // A bit-exact threshold match is required — planes digitized at 15.0
+  // must not be passed off as planes for any other threshold.
+  EXPECT_THROW((void)core::load_digitized(reader, 2, 15.5), InvalidArgument);
+  // Plane count must cover inputs + output.
+  EXPECT_THROW((void)core::load_digitized(reader, 3, 15.0), InvalidArgument);
+}
+
+TEST(BitPlaneSpill, ReadPlanesRejectsAnalogFile) {
+  const fs::path path = temp_path("analog_not_planes.glvt");
+  store::SpillSink sink(path.string(), {.chunk_samples = 64});
+  stream_trace(synthetic_trace(10), sink);
+  store::SpillReader reader(path.string());
+  EXPECT_THROW((void)reader.read_planes(), StorageError);
+}
+
+TEST(BitPlaneSpill, RejectsCorruptWordsSection) {
+  const fs::path path = temp_path("bad_words.glvt");
+  store::DigitizingSink sink({"A", "B", "GFP"}, 15.0, plane_spill(path));
+  stream_trace(synthetic_trace(100), sink);
+
+  std::size_t chunk_offset = store::glvt::kHeaderFixedBytesV2;
+  for (const std::string name : {"A", "B", "GFP"}) {
+    chunk_offset += sizeof(std::uint32_t) + name.size();
+  }
+  std::string bytes = read_file_bytes(path);
+  ASSERT_EQ(static_cast<store::glvt::SectionEncoding>(
+                bytes[chunk_offset + 8]),
+            store::glvt::SectionEncoding::kWords);
+  bytes[chunk_offset + 8] = 0;  // kRaw where kWords is required
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  store::SpillReader reader(path.string());
+  EXPECT_THROW((void)reader.read_planes(), StorageError);
+}
+
+// ------------------------------------------------------ async spill writer
+
+TEST(AsyncSpill, SyncEnvEscapeHatchWritesIdenticalBytes) {
+  const sim::Trace trace = synthetic_trace(1000);
+  const fs::path async_path = temp_path("async.glvt");
+  const fs::path sync_path = temp_path("sync.glvt");
+
+  store::SpillSink::Options options;
+  options.chunk_samples = 64;
+  options.sampling_period = 0.5;
+  {
+    store::SpillSink sink(async_path.string(), options);
+    stream_trace(trace, sink);
+  }
+  ::setenv("GLVA_SYNC_SPILL", "1", 1);
+  {
+    store::SpillSink sink(sync_path.string(), options);
+    stream_trace(trace, sink);
+  }
+  ::unsetenv("GLVA_SYNC_SPILL");
+
+  EXPECT_TRUE(read_file_bytes(async_path) == read_file_bytes(sync_path))
+      << "GLVA_SYNC_SPILL must be a pure scheduling switch, not a format one";
+}
+
+TEST(AsyncSpill, WriterErrorSurfacesAsStorageError) {
+  // /dev/full accepts the open and fails every flush with ENOSPC — the
+  // canonical injection point for the latched-error contract. The error
+  // may surface from an append (latched by the writer thread) or from
+  // finish(); either way it must be StorageError, not a silent truncation.
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "/dev/full not available";
+  EXPECT_THROW(
+      {
+        store::SpillSink sink("/dev/full", {.chunk_samples = 64});
+        stream_trace(synthetic_trace(20000), sink);
+      },
+      StorageError);
+}
+
+TEST(AsyncSpill, DestructionWithoutFinishLeavesRejectedFile) {
+  // Exception-unwind path: the writer thread must join cleanly and the
+  // unfinished file must keep its index_offset == 0 sentinel.
+  const fs::path path = temp_path("abandoned.glvt");
+  {
+    store::SpillSink sink(path.string(), {.chunk_samples = 64});
+    sink.begin({"A", "B"});
+    for (std::size_t k = 0; k < 500; ++k) {
+      sink.append(static_cast<double>(k), {1.0, 2.0});
+    }
+    // No finish().
+  }
+  EXPECT_THROW(store::SpillReader{path.string()}, StorageError);
 }
 
 // -------------------------------------------------------- DigitizingSink
@@ -498,6 +875,23 @@ TEST(AppendBlock, SpillSinkWritesIdenticalBytesAcrossBlockSizes) {
       EXPECT_EQ(read_file_bytes(block_path), row_bytes)
           << "chunk " << chunk << ", slicing " << v;
     }
+  }
+}
+
+TEST(AppendBlock, BitPlaneSpillWritesIdenticalBytesAcrossBlockSizes) {
+  const sim::Trace trace = synthetic_trace(333);
+  const fs::path row_path = temp_path("planes_rows.glvt");
+  store::DigitizingSink rows({"A", "GFP"}, 15.0, plane_spill(row_path));
+  stream_trace(trace, rows);
+  const std::string row_bytes = read_file_bytes(row_path);
+
+  for (std::size_t v = 0; v < kBlockSlicings.size(); ++v) {
+    const fs::path block_path =
+        temp_path("planes_blocks_" + std::to_string(v) + ".glvt");
+    store::DigitizingSink blocks({"A", "GFP"}, 15.0,
+                                 plane_spill(block_path));
+    stream_trace_blocks(trace, blocks, kBlockSlicings[v]);
+    EXPECT_EQ(read_file_bytes(block_path), row_bytes) << "slicing " << v;
   }
 }
 
